@@ -1,0 +1,1 @@
+bench/main.ml: Array Experiments Format List Micro String Sys

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Bytes Char Experiments Float Harness Hashtbl Instance Lauberhorn List Measure Net Nic Printf Protocheck Rpc Sim Staged Test Time Toolkit

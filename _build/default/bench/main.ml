@@ -1,0 +1,43 @@
+(* The benchmark harness: regenerates every figure and quantitative
+   claim of "The NIC should be part of the OS" (HotOS '25).
+
+   Usage:
+     dune exec bench/main.exe            # run every experiment
+     dune exec bench/main.exe -- fig2 e7 # run selected sections
+
+   Section ids follow DESIGN.md's experiment index. *)
+
+let sections =
+  [
+    ("fig2", Experiments.Fig2.run);
+    ("steps", Experiments.Steps.run);
+    ("dispatch", Experiments.Dispatch.run);
+    ("crossover", Experiments.Crossover.run);
+    ("tryagain", Experiments.Tryagain.run);
+    ("loadsweep", Experiments.Loadsweep.run);
+    ("dynamic", Experiments.Dynamic.run);
+    ("energy", Experiments.Energy.run);
+    ("scaling", Experiments.Scaling.run);
+    ("modelcheck", Experiments.Modelcheck.run);
+    ("encrypt", Experiments.Encrypt.run);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst sections
+  in
+  Format.printf
+    "Lauberhorn reproduction harness - \"The NIC should be part of the OS\" (HotOS '25)@.";
+  Format.printf "Sections: %s@." (String.concat " " requested);
+  List.iter
+    (fun id ->
+      match List.assoc_opt id sections with
+      | Some run -> run ()
+      | None ->
+          Format.printf "unknown section %S; known: %s@." id
+            (String.concat ", " (List.map fst sections)))
+    requested;
+  Format.printf "@.all requested sections finished.@."

@@ -1,0 +1,135 @@
+(* E11 — Bechamel microbenchmarks of the simulator's hot paths.
+
+   These measure real wall-clock costs of the repository's own code
+   (not simulated time): the event heap, checksums, the RPC codec, the
+   Toeplitz hash, CONTROL-line encode/decode, and a full model-check.
+   One [Test.make] per row. *)
+
+open Bechamel
+open Toolkit
+
+let test_event_heap =
+  Test.make ~name:"event_heap push+pop x1000"
+    (Staged.stage (fun () ->
+         let h = Sim.Event_heap.create () in
+         for i = 0 to 999 do
+           ignore (Sim.Event_heap.push h ~time:((i * 7919) mod 1000) i)
+         done;
+         let rec drain () =
+           match Sim.Event_heap.pop h with
+           | Some _ -> drain ()
+           | None -> ()
+         in
+         drain ()))
+
+let test_checksum =
+  let buf = Bytes.init 1500 (fun i -> Char.chr (i land 0xff)) in
+  Test.make ~name:"internet checksum 1500B"
+    (Staged.stage (fun () -> ignore (Net.Checksum.compute buf ~pos:0 ~len:1500)))
+
+let test_codec =
+  let value =
+    Rpc.Value.Tuple
+      [
+        Rpc.Value.Int 123456789L;
+        Rpc.Value.str "hello world, this is a string field";
+        Rpc.Value.List (List.init 16 (fun i -> Rpc.Value.int i));
+      ]
+  in
+  let schema =
+    Rpc.Schema.Tuple
+      [ Rpc.Schema.Int; Rpc.Schema.Str; Rpc.Schema.List Rpc.Schema.Int ]
+  in
+  let encoded = Rpc.Codec.encode value in
+  Test.make ~name:"rpc codec encode+decode"
+    (Staged.stage (fun () ->
+         ignore (Rpc.Codec.encode value);
+         ignore (Rpc.Codec.decode schema encoded)))
+
+let test_toeplitz =
+  let tuple = Bytes.init 12 (fun i -> Char.chr (i * 17 land 0xff)) in
+  Test.make ~name:"toeplitz hash (12B tuple)"
+    (Staged.stage (fun () ->
+         ignore (Nic.Rss.toeplitz_hash ~key:Nic.Rss.default_key tuple)))
+
+let test_ctrl_line =
+  let msg =
+    Lauberhorn.Message.Request
+      {
+        Lauberhorn.Message.rpc_id = 42L;
+        service_id = 7;
+        method_id = 0;
+        code_ptr = 0x4000_0000L;
+        data_ptr = 0x7000_0000L;
+        total_args = 64;
+        inline_args = Bytes.make 64 'a';
+        aux_count = 0;
+        via_dma = false;
+      }
+  in
+  Test.make ~name:"CONTROL line encode+decode"
+    (Staged.stage (fun () ->
+         let line = Lauberhorn.Message.encode ~line_bytes:128 msg in
+         ignore (Lauberhorn.Message.decode line)))
+
+let test_frame =
+  let src = Harness.Traffic.client_endpoint () in
+  let dst = Harness.Traffic.server_endpoint ~port:7000 in
+  let payload = Bytes.make 64 'x' in
+  Test.make ~name:"frame encode+parse (64B UDP)"
+    (Staged.stage (fun () ->
+         let f = Net.Frame.make ~src ~dst payload in
+         ignore (Net.Frame.parse (Net.Frame.encode f))))
+
+let test_modelcheck =
+  Test.make ~name:"model-check protocol (3 packets)"
+    (Staged.stage (fun () ->
+         ignore (Protocheck.Lauberhorn_model.check ~packets:3 ())))
+
+let tests =
+  [
+    test_event_heap;
+    test_checksum;
+    test_codec;
+    test_toeplitz;
+    test_ctrl_line;
+    test_frame;
+    test_modelcheck;
+  ]
+
+let run () =
+  Experiments.Common.section "E11: Bechamel microbenchmarks (real wall-clock)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let rows =
+    List.map
+      (fun test ->
+        let results =
+          Benchmark.all cfg instances (Test.make_grouped ~name:"" [ test ])
+        in
+        let analysis = Analyze.all ols Instance.monotonic_clock results in
+        Hashtbl.fold
+          (fun name ols acc ->
+            let time =
+              match Analyze.OLS.estimates ols with
+              | Some (t :: _) -> t
+              | Some [] | None -> Float.nan
+            in
+            let r2 =
+              match Analyze.OLS.r_square ols with
+              | Some r -> r
+              | None -> Float.nan
+            in
+            [ name; Printf.sprintf "%.1f ns" time;
+              Printf.sprintf "%.4f" r2 ]
+            :: acc)
+          analysis []
+        |> List.concat)
+      tests
+  in
+  Experiments.Common.table ~header:[ "microbenchmark"; "time/run"; "r²" ] rows

@@ -1,0 +1,37 @@
+(* lauberhorn-figures: regenerate a single experiment by id (the bench
+   executable runs them all; this gives scripted access to one). *)
+
+open Cmdliner
+
+let sections =
+  [
+    ("fig2", Experiments.Fig2.run);
+    ("steps", Experiments.Steps.run);
+    ("dispatch", Experiments.Dispatch.run);
+    ("crossover", Experiments.Crossover.run);
+    ("tryagain", Experiments.Tryagain.run);
+    ("loadsweep", Experiments.Loadsweep.run);
+    ("dynamic", Experiments.Dynamic.run);
+    ("energy", Experiments.Energy.run);
+    ("scaling", Experiments.Scaling.run);
+    ("modelcheck", Experiments.Modelcheck.run);
+    ("encrypt", Experiments.Encrypt.run);
+  ]
+
+let section_arg =
+  let section_conv = Arg.enum sections in
+  let doc =
+    Printf.sprintf "Experiment to run: %s."
+      (String.concat ", " (List.map fst sections))
+  in
+  Arg.(non_empty & pos_all section_conv [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let run fns =
+  List.iter (fun f -> f ()) fns;
+  0
+
+let cmd =
+  let doc = "regenerate one figure/experiment of the reproduction" in
+  Cmd.v (Cmd.info "lauberhorn-figures" ~doc) Term.(const run $ section_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,196 @@
+(* lauberhorn-sim: run one simulated server under a chosen stack and
+   workload, and print latency percentiles, throughput, cycle
+   accounting, and the stack's internal counters. *)
+
+open Cmdliner
+
+let stack_conv =
+  Arg.enum
+    [
+      ("lauberhorn", `Lauberhorn);
+      ("lauberhorn-query", `Lauberhorn_query);
+      ("linux", `Linux);
+      ("bypass", `Bypass);
+      ("ccnic-static", `Static);
+    ]
+
+let profile_conv =
+  Arg.enum
+    (List.map
+       (fun p -> (p.Coherence.Interconnect.name, p))
+       Coherence.Interconnect.all)
+
+let stack_arg =
+  let doc =
+    "Server stack: lauberhorn (the paper's design), lauberhorn-query (the \
+     no-mirror ablation), linux (kernel path), bypass (poll mode), \
+     ccnic-static (coherent NIC, traditional static split)."
+  in
+  Arg.(value & opt stack_conv `Lauberhorn & info [ "s"; "stack" ] ~doc)
+
+let profile_arg =
+  let doc = "Interconnect profile for the baseline stacks." in
+  Arg.(
+    value
+    & opt profile_conv Coherence.Interconnect.pcie_enzian
+    & info [ "profile" ] ~doc)
+
+let cores_arg =
+  Arg.(value & opt int 8 & info [ "c"; "cores" ] ~doc:"CPU cores.")
+
+let services_arg =
+  Arg.(value & opt int 1 & info [ "n"; "services" ] ~doc:"Echo services.")
+
+let rate_arg =
+  Arg.(
+    value & opt float 200_000.
+    & info [ "r"; "rate" ] ~doc:"Offered load, requests per second.")
+
+let duration_arg =
+  Arg.(
+    value & opt int 30
+    & info [ "d"; "duration" ] ~doc:"Workload window, milliseconds.")
+
+let payload_arg =
+  Arg.(value & opt int 64 & info [ "payload" ] ~doc:"Argument bytes.")
+
+let zipf_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "zipf" ] ~doc:"Zipf popularity exponent (0 = uniform).")
+
+let handler_arg =
+  Arg.(
+    value & opt int 500 & info [ "handler-ns" ] ~doc:"Handler CPU time, ns.")
+
+let min_workers_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "min-workers" ] ~doc:"Resident workers per service (lauberhorn).")
+
+let max_workers_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "max-workers" ] ~doc:"Worker ceiling per service (lauberhorn).")
+
+let timeout_arg =
+  Arg.(
+    value & opt int 15_000
+    & info [ "tryagain-us" ] ~doc:"TRYAGAIN timeout, microseconds.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.")
+
+let counters_arg =
+  Arg.(value & flag & info [ "counters" ] ~doc:"Dump internal counters.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "trace" ]
+        ~doc:
+          "Replay arrivals from a CSV trace (time_us, service_idx, bytes)            instead of the synthetic open loop.")
+
+let dump_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump-trace" ]
+        ~doc:
+          "Synthesize a trace from the workload parameters, write it to            this file, and exit.")
+
+let run stack profile cores services rate duration payload zipf handler_ns
+    min_workers max_workers timeout_us seed counters trace dump_trace =
+  let flavour =
+    match stack with
+    | `Lauberhorn ->
+        Experiments.Common.Lauberhorn
+          ( Lauberhorn.Config.with_timeout Lauberhorn.Config.enzian
+              (Sim.Units.us timeout_us),
+            Lauberhorn.Sched_mirror.Push )
+    | `Lauberhorn_query ->
+        Experiments.Common.Lauberhorn
+          ( Lauberhorn.Config.with_timeout Lauberhorn.Config.enzian
+              (Sim.Units.us timeout_us),
+            Lauberhorn.Sched_mirror.Query )
+    | `Linux -> Experiments.Common.Linux profile
+    | `Bypass -> Experiments.Common.Bypass profile
+    | `Static ->
+        Experiments.Common.Static
+          (Lauberhorn.Config.with_timeout Lauberhorn.Config.enzian
+             (Sim.Units.us timeout_us))
+  in
+  match dump_trace with
+  | Some path ->
+      let rng = Sim.Rng.create ~seed in
+      let events =
+        Workload.Trace_replay.synthesize rng
+          ~duration:(Sim.Units.ms duration) ~rate_per_s:rate
+          ~services ~zipf_s:zipf ()
+      in
+      Workload.Trace_replay.save ~path events;
+      Format.printf "wrote %s: %s@." path (Workload.Trace_replay.stats events);
+      0
+  | None ->
+  let m =
+    match trace with
+    | Some path -> (
+        match Workload.Trace_replay.load ~path with
+        | Error e ->
+            Format.eprintf "trace %s: %s@." path e;
+            exit 2
+        | Ok events ->
+            Format.printf "replaying %s: %s@." path
+              (Workload.Trace_replay.stats events);
+            Experiments.Common.replay_run ~ncores:cores ~min_workers
+              ~max_workers ~handler_time:(Sim.Units.ns handler_ns) ~events
+              flavour)
+    | None ->
+        Experiments.Common.open_loop_run ~ncores:cores ~nservices:services
+          ~min_workers ~max_workers ~payload ~zipf_s:zipf
+          ~handler_time:(Sim.Units.ns handler_ns) ~seed
+          ~horizon:(Sim.Units.ms duration) ~rate flavour
+  in
+  Format.printf "stack:       %s@." m.Experiments.Common.name;
+  Format.printf "workload:    %d services, %s offered, %dB payloads, %dms@."
+    services
+    (Format.asprintf "%a" Sim.Units.pp_rate rate)
+    payload duration;
+  Format.printf "completed:   %d / %d sent@." m.Experiments.Common.completed
+    m.Experiments.Common.sent;
+  Format.printf "throughput:  %a@." Sim.Units.pp_rate
+    m.Experiments.Common.throughput;
+  Format.printf "latency:     p50=%s p90=%s p99=%s max=%s@."
+    (Experiments.Common.ns m.Experiments.Common.p50)
+    (Experiments.Common.ns m.Experiments.Common.p90)
+    (Experiments.Common.ns m.Experiments.Common.p99)
+    (Experiments.Common.ns m.Experiments.Common.max);
+  let window = cores * m.Experiments.Common.window in
+  let pct v = 100. *. float_of_int v /. float_of_int window in
+  Format.printf
+    "cpu:         user %.1f%%  kernel %.1f%%  spin %.1f%%  stall %.1f%%@."
+    (pct m.Experiments.Common.user_ns)
+    (pct m.Experiments.Common.kernel_ns)
+    (pct m.Experiments.Common.spin_ns)
+    (pct m.Experiments.Common.stall_ns);
+  if counters then begin
+    Format.printf "counters:@.";
+    List.iter
+      (fun (k, v) -> Format.printf "  %s: %d@." k v)
+      m.Experiments.Common.counters
+  end;
+  0
+
+let cmd =
+  let doc =
+    "simulate an RPC server: Lauberhorn (HotOS '25) or its baselines"
+  in
+  Cmd.v
+    (Cmd.info "lauberhorn-sim" ~doc)
+    Term.(
+      const run $ stack_arg $ profile_arg $ cores_arg $ services_arg
+      $ rate_arg $ duration_arg $ payload_arg $ zipf_arg $ handler_arg
+      $ min_workers_arg $ max_workers_arg $ timeout_arg $ seed_arg
+      $ counters_arg $ trace_arg $ dump_trace_arg)
+
+let () = exit (Cmd.eval' cmd)

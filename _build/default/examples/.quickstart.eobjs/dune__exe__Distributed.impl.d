@@ -1,0 +1,1 @@
+examples/distributed.ml: Bytes Format Harness Lauberhorn Net Option Rpc Sim

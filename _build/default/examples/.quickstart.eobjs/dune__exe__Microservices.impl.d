@@ -1,0 +1,1 @@
+examples/microservices.ml: Bytes Format Harness Lauberhorn Rpc Sim String

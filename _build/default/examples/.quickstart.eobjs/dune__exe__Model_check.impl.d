@@ -1,0 +1,1 @@
+examples/model_check.ml: Format List Protocheck

@@ -1,0 +1,1 @@
+examples/packet_walkthrough.ml: Bytes Char Coherence Format Harness Lauberhorn List Net Printf Rpc String

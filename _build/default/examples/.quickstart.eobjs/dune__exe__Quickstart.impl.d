@@ -1,0 +1,1 @@
+examples/quickstart.ml: Baseline Bytes Coherence Format Harness Int64 Lauberhorn Rpc Sim Workload

@@ -1,0 +1,1 @@
+examples/serverless.ml: Array Bytes Format Harness Hashtbl Int64 Lauberhorn List Rpc Sim Workload

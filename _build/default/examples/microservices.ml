@@ -1,0 +1,205 @@
+(* Microservices: a client-orchestrated call chain over one Lauberhorn
+   server hosting three colocated services — the workload the paper's
+   introduction motivates (data center microservices, mostly-small
+   RPCs).
+
+   The chain per user request:
+     1. auth.check(token)        -> bool
+     2. kv.get(key)              -> (found, value)
+     3. render.render(value)     -> page blob
+
+   Each step's reply drives the next call through a per-call reply
+   continuation (paper section 6's cheap reply end-points), so chain
+   latency composes three end-system round trips plus handler times.
+
+   Run with: dune exec examples/microservices.exe *)
+
+let auth_service =
+  Rpc.Interface.service ~id:1 ~name:"auth"
+    [
+      Rpc.Interface.method_def ~id:0 ~name:"check" ~request:Rpc.Schema.Str
+        ~response:Rpc.Schema.Bool ~handler_time:(Sim.Units.ns 700)
+        (fun v ->
+          match v with
+          | Rpc.Value.Str token ->
+              Rpc.Value.Bool (String.length token >= 8)
+          | _ -> Rpc.Value.Bool false);
+    ]
+
+let render_service =
+  Rpc.Interface.service ~id:3 ~name:"render"
+    [
+      Rpc.Interface.method_def ~id:0 ~name:"render" ~request:Rpc.Schema.Blob
+        ~response:Rpc.Schema.Blob ~handler_time:(Sim.Units.us 3)
+        (fun v ->
+          match v with
+          | Rpc.Value.Blob b ->
+              Rpc.Value.Blob
+                (Bytes.cat (Bytes.of_string "<html>") b)
+          | _ -> Rpc.Value.Blob Bytes.empty);
+    ]
+
+let chains = 2_000
+let auth_port = 7001
+let kv_port = 7002
+let render_port = 7003
+
+let () =
+  let engine = Sim.Engine.create () in
+  let client = ref None in
+  let stack =
+    Lauberhorn.Stack.create engine ~cfg:Lauberhorn.Config.enzian ~ncores:6
+      ~services:
+        [
+          Lauberhorn.Stack.spec ~port:auth_port auth_service;
+          Lauberhorn.Stack.spec ~port:kv_port (Rpc.Interface.kv_service ~id:2 ());
+          Lauberhorn.Stack.spec ~port:render_port render_service;
+        ]
+      ~egress:(fun frame ->
+        match !client with Some c -> Harness.Client.on_reply c frame | None -> ())
+      ()
+  in
+  let c =
+    Harness.Client.create engine
+      ~send:(fun frame -> Lauberhorn.Stack.ingress stack frame)
+      ()
+  in
+  client := Some c;
+  Harness.Client.expect c ~service_id:1 ~method_id:0 Rpc.Schema.Bool;
+  Harness.Client.expect c ~service_id:2 ~method_id:0
+    (Rpc.Schema.Tuple [ Rpc.Schema.Bool; Rpc.Schema.Blob ]);
+  Harness.Client.expect c ~service_id:2 ~method_id:1 Rpc.Schema.Unit;
+  Harness.Client.expect c ~service_id:3 ~method_id:0 Rpc.Schema.Blob;
+
+  (* Seed the KV store through the front door. *)
+  Harness.Client.call c ~service_id:2 ~method_id:1 ~port:kv_port
+    (Rpc.Value.Tuple
+       [ Rpc.Value.str "user:42"; Rpc.Value.Blob (Bytes.of_string "profile-data") ])
+    (fun _ -> ());
+
+  let chain_latencies = Sim.Histogram.create () in
+  let failures = ref 0 in
+  let run_chain () =
+    let t0 = Sim.Engine.now engine in
+    Harness.Client.call c ~service_id:1 ~method_id:0 ~port:auth_port
+      (Rpc.Value.str "token-abcdef")
+      (fun auth_ok ->
+        match auth_ok with
+        | Rpc.Value.Bool true ->
+            Harness.Client.call c ~service_id:2 ~method_id:0 ~port:kv_port
+              (Rpc.Value.str "user:42")
+              (fun kv ->
+                match kv with
+                | Rpc.Value.Tuple [ Rpc.Value.Bool true; Rpc.Value.Blob v ]
+                  ->
+                    Harness.Client.call c ~service_id:3 ~method_id:0
+                      ~port:render_port (Rpc.Value.Blob v) (fun page ->
+                        (match page with
+                        | Rpc.Value.Blob b
+                          when Bytes.length b > String.length "<html>" ->
+                            Sim.Histogram.record chain_latencies
+                              (Sim.Engine.now engine - t0)
+                        | _ -> incr failures))
+                | _ -> incr failures)
+        | _ -> incr failures)
+  in
+  (* Open-loop chains at 20k/s. *)
+  let rng = Sim.Rng.create ~seed:3 in
+  let started = ref 0 in
+  let rec arrivals () =
+    if !started < chains then begin
+      incr started;
+      run_chain ();
+      ignore
+        (Sim.Engine.schedule_after engine
+           ~after:(max 1 (int_of_float (Sim.Rng.exponential rng ~mean:50_000.)))
+           arrivals)
+    end
+  in
+  arrivals ();
+  Sim.Engine.run engine ~until:(Sim.Units.ms 200);
+
+  Format.printf "microservices: %d three-step chains, %d failures@."
+    (Sim.Histogram.count chain_latencies)
+    !failures;
+  Format.printf "chain latency: %a@." Sim.Histogram.pp_summary
+    chain_latencies;
+  Format.printf "@.per-service dispatch counters:@.%a@." Sim.Counter.pp
+    (Lauberhorn.Stack.counters stack);
+  Format.printf
+    "@.Each chain = 3 RPCs; with ~2.7us per hot fast-path RPC plus@.";
+  Format.printf
+    "handler times (0.7us + 0.8us + 3us), chains land around 12-14us.@.";
+
+  (* Part 2: the same composition server-side, as a nested RPC (paper
+     section 6): one "frontend" service whose handler calls kv.get and
+     renders, so the client pays a single round trip. *)
+  let engine2 = Sim.Engine.create () in
+  let client2 = ref None in
+  let frontend =
+    Rpc.Interface.service ~id:4 ~name:"frontend"
+      [
+        Rpc.Interface.method_def ~id:0 ~name:"page" ~request:Rpc.Schema.Str
+          ~response:Rpc.Schema.Blob ~handler_time:(Sim.Units.us 1)
+          ~nested:(fun ~call key ~done_ ->
+            call ~service_id:2 ~method_id:0 key (fun kv_reply ->
+                match kv_reply with
+                | Rpc.Value.Tuple [ Rpc.Value.Bool true; Rpc.Value.Blob v ]
+                  ->
+                    done_
+                      (Rpc.Value.Blob (Bytes.cat (Bytes.of_string "<html>") v))
+                | _ -> done_ (Rpc.Value.Blob (Bytes.of_string "<html>404"))))
+          (fun _ -> Rpc.Value.Blob Bytes.empty);
+      ]
+  in
+  let kv2 = Rpc.Interface.kv_service ~id:2 () in
+  let stack2 =
+    Lauberhorn.Stack.create engine2 ~cfg:Lauberhorn.Config.enzian ~ncores:6
+      ~services:
+        [
+          Lauberhorn.Stack.spec ~port:7100 frontend;
+          Lauberhorn.Stack.spec ~port:7002 kv2;
+        ]
+      ~egress:(fun frame ->
+        match !client2 with
+        | Some c -> Harness.Client.on_reply c frame
+        | None -> ())
+      ()
+  in
+  let c2 =
+    Harness.Client.create engine2
+      ~send:(fun frame -> Lauberhorn.Stack.ingress stack2 frame)
+      ()
+  in
+  client2 := Some c2;
+  Harness.Client.expect c2 ~service_id:4 ~method_id:0 Rpc.Schema.Blob;
+  Harness.Client.expect c2 ~service_id:2 ~method_id:1 Rpc.Schema.Unit;
+  Harness.Client.call c2 ~service_id:2 ~method_id:1 ~port:7002
+    (Rpc.Value.Tuple
+       [ Rpc.Value.str "user:42"; Rpc.Value.Blob (Bytes.of_string "profile-data") ])
+    (fun _ -> ());
+  let nested_lat = Sim.Histogram.create () in
+  let remaining = ref 1000 in
+  let rec one () =
+    let t0 = Sim.Engine.now engine2 in
+    Harness.Client.call c2 ~service_id:4 ~method_id:0 ~port:7100
+      (Rpc.Value.str "user:42")
+      (fun page ->
+        (match page with
+        | Rpc.Value.Blob b when Bytes.length b > 6 ->
+            Sim.Histogram.record nested_lat (Sim.Engine.now engine2 - t0)
+        | _ -> ());
+        decr remaining;
+        if !remaining > 0 then
+          ignore
+            (Sim.Engine.schedule_after engine2 ~after:(Sim.Units.us 20) one))
+  in
+  ignore (Sim.Engine.schedule_after engine2 ~after:(Sim.Units.us 10) one);
+  Sim.Engine.run engine2 ~until:(Sim.Units.ms 100);
+  Format.printf
+    "@.server-side nested chain (frontend calls kv internally, section 6):@.";
+  Format.printf "nested-chain latency: %a@." Sim.Histogram.pp_summary
+    nested_lat;
+  Format.printf "nested calls made by the frontend: %d@."
+    (Sim.Counter.value
+       (Sim.Counter.counter (Lauberhorn.Stack.counters stack2) "nested_calls"))

@@ -1,0 +1,1 @@
+lib/baseline/bypass_stack.ml: Array Bytes Costs Harness Hashtbl List Net Nic Osmodel Printf Rpc Sim

@@ -1,0 +1,1 @@
+lib/baseline/bypass_stack.mli: Coherence Costs Harness Net Nic Osmodel Rpc Sim

@@ -1,0 +1,1 @@
+lib/baseline/linux_stack.ml: Bytes Costs Float Harness Hashtbl List Net Nic Osmodel Printf Rpc Sim

@@ -1,0 +1,1 @@
+lib/baseline/linux_stack.mli: Coherence Costs Harness Net Nic Osmodel Rpc Sim

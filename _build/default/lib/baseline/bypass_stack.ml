@@ -1,0 +1,250 @@
+type service_spec = { service : Rpc.Interface.service_def; port : int }
+
+let spec ~port service = { service; port }
+
+type poller = {
+  pidx : int;
+  core : int;
+  pthread : Osmodel.Proc.thread;
+  mutable spin_since : Sim.Units.time option;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  kern : Osmodel.Kernel.t;
+  mutable nic : Nic.Dma_nic.t option;
+  sw : Costs.t;
+  by_port : (int, service_spec) Hashtbl.t;
+  port_to_poller : (int, int) Hashtbl.t;
+  mutable pollers : poller array;
+  egress : Net.Frame.t -> unit;
+  counters : Sim.Counter.group;
+}
+
+let kernel t = t.kern
+
+let nic t =
+  match t.nic with
+  | Some n -> n
+  | None -> invalid_arg "Bypass_stack: NIC not initialised"
+
+let counters t = t.counters
+let ctr t name = Sim.Counter.counter t.counters name
+
+let charge_user t p cost =
+  Osmodel.Cpu_account.charge
+    (Osmodel.Kernel.account t.kern ~core:p.core)
+    Osmodel.Cpu_account.User cost
+
+(* Run-to-completion handling of one frame on the poller's core. The
+   poller thread owns its core outright, so we charge its ledger
+   directly and sequence work with engine delays. *)
+let rec poll_loop t p () =
+  let ring = Nic.Dma_nic.rx_ring (nic t) ~queue:p.pidx in
+  match Nic.Ring.consume ring with
+  | Some frame ->
+      let rx = t.sw.Costs.poll_rx_per_packet + t.sw.Costs.bypass_demux in
+      charge_user t p rx;
+      ignore
+        (Sim.Engine.schedule_after t.engine ~after:rx (fun () ->
+             handle t p frame))
+  | None ->
+      (* Park the (simulated) spin: the ring's produce callback resumes
+         us and we back-charge the spin window. *)
+      p.spin_since <- Some (Sim.Engine.now t.engine)
+
+and handle t p frame =
+  let drop counter =
+    Sim.Counter.incr (ctr t counter);
+    poll_loop t p ()
+  in
+  match Rpc.Wire_format.decode frame.Net.Frame.payload with
+  | Error _ -> drop "rx_bad_rpc"
+  | Ok wire -> (
+      match
+        Hashtbl.find_opt t.by_port frame.Net.Frame.udp.Net.Udp.dst_port
+      with
+      | None -> drop "rx_no_service"
+      | Some sspec -> (
+          match
+            Rpc.Interface.find_method sspec.service
+              wire.Rpc.Wire_format.method_id
+          with
+          | None -> drop "rx_no_method"
+          | Some mdef -> (
+              match
+                Rpc.Codec.decode mdef.Rpc.Interface.request
+                  wire.Rpc.Wire_format.body
+              with
+              | Error _ -> drop "rx_bad_args"
+              | Ok args -> execute t p frame wire mdef args)))
+
+and execute t p frame (wire : Rpc.Wire_format.t) mdef args =
+  let deser =
+    Rpc.Deser_cost.cost Rpc.Deser_cost.software
+      ~fields:(Rpc.Value.field_count args)
+      ~bytes:(Bytes.length wire.Rpc.Wire_format.body)
+  in
+  let work = deser + mdef.Rpc.Interface.handler_time in
+  charge_user t p work;
+  ignore
+    (Sim.Engine.schedule_after t.engine ~after:work (fun () ->
+         let result = mdef.Rpc.Interface.execute args in
+         let body = Rpc.Codec.encode result in
+         let marshal =
+           Rpc.Deser_cost.cost Rpc.Deser_cost.software_marshal
+             ~fields:(Rpc.Value.field_count result)
+             ~bytes:(Bytes.length body)
+           + t.sw.Costs.doorbell
+         in
+         charge_user t p marshal;
+         ignore
+           (Sim.Engine.schedule_after t.engine ~after:marshal (fun () ->
+                let reply =
+                  {
+                    Rpc.Wire_format.rpc_id = wire.Rpc.Wire_format.rpc_id;
+                    service_id = wire.Rpc.Wire_format.service_id;
+                    method_id = wire.Rpc.Wire_format.method_id;
+                    kind = Rpc.Wire_format.Response;
+                    body;
+                  }
+                in
+                let out =
+                  Net.Frame.make
+                    ~src:(Net.Frame.dst_endpoint frame)
+                    ~dst:(Net.Frame.src_endpoint frame)
+                    (Rpc.Wire_format.encode reply)
+                in
+                Sim.Counter.incr (ctr t "tx_frames");
+                Nic.Dma_nic.transmit (nic t) out ~via:t.egress;
+                Sim.Counter.incr (ctr t "rpcs_handled");
+                poll_loop t p ()))))
+
+let resume_from_spin t p () =
+  match p.spin_since with
+  | None -> ()
+  | Some start ->
+      p.spin_since <- None;
+      let spun = Sim.Engine.now t.engine - start in
+      (* Round up to whole poll iterations — the packet waits for the
+         current ring check to come around. *)
+      let iters = 1 + (spun / max 1 t.sw.Costs.poll_iteration) in
+      Osmodel.Cpu_account.charge
+        (Osmodel.Kernel.account t.kern ~core:p.core)
+        Osmodel.Cpu_account.Spin
+        (iters * t.sw.Costs.poll_iteration);
+      ignore
+        (Sim.Engine.schedule_after t.engine ~after:t.sw.Costs.poll_iteration
+           (fun () -> poll_loop t p ()))
+
+let create engine ~profile ~ncores ?pollers ?kernel_costs
+    ?(sw_costs = Costs.default) ~services ~egress () =
+  if services = [] then invalid_arg "Bypass_stack.create: no services";
+  let npollers = match pollers with Some n -> n | None -> ncores in
+  if npollers < 1 || npollers > ncores then
+    invalid_arg "Bypass_stack.create: pollers out of [1, ncores]";
+  let kern =
+    match kernel_costs with
+    | Some costs -> Osmodel.Kernel.create engine ~ncores ~costs ()
+    | None -> Osmodel.Kernel.create engine ~ncores ()
+  in
+  let t =
+    {
+      engine;
+      kern;
+      nic = None;
+      sw = sw_costs;
+      by_port = Hashtbl.create 64;
+      port_to_poller = Hashtbl.create 64;
+      pollers = [||];
+      egress;
+      counters = Sim.Counter.group "bypass";
+    }
+  in
+  (* One RX queue per poller; interrupts permanently masked. *)
+  let nic_config =
+    {
+      Nic.Dma_nic.default_config with
+      Nic.Dma_nic.nqueues = npollers;
+      coalesce_interval = 0;
+    }
+  in
+  let dnic =
+    Nic.Dma_nic.create engine profile ~config:nic_config
+      ~on_rx_interrupt:(fun ~queue:_ -> ())
+      ()
+  in
+  for q = 0 to npollers - 1 do
+    Nic.Dma_nic.mask_irq dnic ~queue:q
+  done;
+  t.nic <- Some dnic;
+  (* Static service -> poller assignment, round robin. *)
+  List.iteri
+    (fun i sspec ->
+      Hashtbl.replace t.by_port sspec.port sspec;
+      Hashtbl.replace t.port_to_poller sspec.port (i mod npollers))
+    services;
+  Nic.Dma_nic.set_steering dnic (fun frame ->
+      match
+        Hashtbl.find_opt t.port_to_poller frame.Net.Frame.udp.Net.Udp.dst_port
+      with
+      | Some q -> q
+      | None -> 0);
+  (* Spawn pinned poller threads. *)
+  let proc = Osmodel.Kernel.new_process kern ~name:"bypass-app" in
+  t.pollers <-
+    Array.init npollers (fun pidx ->
+        let p_ref = ref None in
+        let body () =
+          match !p_ref with
+          | Some p -> poll_loop t p ()
+          | None -> assert false
+        in
+        let pthread =
+          Osmodel.Kernel.spawn kern proc
+            ~name:(Printf.sprintf "poller%d" pidx)
+            ~affinity:pidx body
+        in
+        let p = { pidx; core = pidx; pthread; spin_since = None } in
+        p_ref := Some p;
+        p);
+  Array.iter
+    (fun p ->
+      let ring = Nic.Dma_nic.rx_ring dnic ~queue:p.pidx in
+      Nic.Ring.on_produce ring (fun () -> resume_from_spin t p ());
+      Osmodel.Kernel.wake kern p.pthread)
+    t.pollers;
+  t
+
+let ingress t frame = Nic.Dma_nic.rx_from_wire (nic t) frame
+
+let flush_spin t =
+  (* Charge the open spin window of every idle poller up to now; the
+     window restarts so repeated flushes do not double-charge. *)
+  let now = Sim.Engine.now t.engine in
+  Array.iter
+    (fun p ->
+      match p.spin_since with
+      | None -> ()
+      | Some start ->
+          if now > start then begin
+            Osmodel.Cpu_account.charge
+              (Osmodel.Kernel.account t.kern ~core:p.core)
+              Osmodel.Cpu_account.Spin (now - start);
+            p.spin_since <- Some now
+          end)
+    t.pollers
+
+let poller_of_port t ~port =
+  match Hashtbl.find_opt t.port_to_poller port with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Bypass_stack: unknown port %d" port)
+
+let driver t =
+  Harness.Driver.make ~name:"bypass"
+    ~ingress:(fun f -> ingress t f)
+    ~kernel:t.kern ~counters:t.counters
+    ~describe:(fun () ->
+      Printf.sprintf "bypass(%d pollers, %d services)"
+        (Array.length t.pollers) (Hashtbl.length t.by_port))
+    ()

@@ -1,0 +1,42 @@
+(** The kernel-bypass baseline: DPDK/IX-style poll-mode, run-to-
+    completion stack.
+
+    Each poller owns one dedicated, pinned core and one NIC receive
+    queue; the NIC's flow director steers each service's UDP port to
+    the queue of the poller that statically owns that service.
+    Interrupts are permanently masked; an empty ring costs spin cycles
+    (accounted precisely, not simulated per iteration).
+
+    Fast when the assignment matches the load; rigid when it does not:
+    services cannot move between pollers, idle pollers burn their core,
+    and a hot poller cannot borrow its neighbour's — exactly the
+    trade-off the paper targets (§1–2). *)
+
+type service_spec = {
+  service : Rpc.Interface.service_def;
+  port : int;
+}
+
+val spec : port:int -> Rpc.Interface.service_def -> service_spec
+
+type t
+
+val create :
+  Sim.Engine.t -> profile:Coherence.Interconnect.profile -> ncores:int ->
+  ?pollers:int -> ?kernel_costs:Osmodel.Kernel.costs -> ?sw_costs:Costs.t ->
+  services:service_spec list -> egress:(Net.Frame.t -> unit) -> unit -> t
+(** [pollers] defaults to [ncores]. Services are assigned to pollers
+    round-robin; the assignment is static for the stack's lifetime. *)
+
+val ingress : t -> Net.Frame.t -> unit
+val kernel : t -> Osmodel.Kernel.t
+val nic : t -> Nic.Dma_nic.t
+val counters : t -> Sim.Counter.group
+val poller_of_port : t -> port:int -> int
+
+val flush_spin : t -> unit
+(** Charge every poller's open idle-spin window up to the current
+    simulated time. Call before reading the kernel's cycle ledgers
+    (spin is otherwise only accounted when a packet ends the window). *)
+
+val driver : t -> Harness.Driver.t

@@ -1,0 +1,24 @@
+type t = {
+  softirq_per_packet : Sim.Units.duration;
+  socket_demux : Sim.Units.duration;
+  recv_copy_per_byte : float;
+  send_path : Sim.Units.duration;
+  send_copy_per_byte : float;
+  doorbell : Sim.Units.duration;
+  poll_iteration : Sim.Units.duration;
+  poll_rx_per_packet : Sim.Units.duration;
+  bypass_demux : Sim.Units.duration;
+}
+
+let default =
+  {
+    softirq_per_packet = Sim.Units.ns 1_200;
+    socket_demux = Sim.Units.ns 300;
+    recv_copy_per_byte = 0.05;
+    send_path = Sim.Units.ns 900;
+    send_copy_per_byte = 0.05;
+    doorbell = Sim.Units.ns 300;
+    poll_iteration = Sim.Units.ns 80;
+    poll_rx_per_packet = Sim.Units.ns 250;
+    bypass_demux = Sim.Units.ns 100;
+  }

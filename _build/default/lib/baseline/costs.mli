@@ -1,0 +1,27 @@
+(** Software receive-path costs shared by the baseline stacks.
+
+    Calibrated to the published per-packet budgets of Linux-class
+    stacks and DPDK-class poll-mode stacks on server CPUs; all values
+    are per small packet unless stated. The comparisons in the paper
+    are between path *structures*, so what matters is that each step
+    exists and carries a defensible magnitude. *)
+
+type t = {
+  softirq_per_packet : Sim.Units.duration;
+      (** Driver RX + skb + IP/UDP processing in softirq context. *)
+  socket_demux : Sim.Units.duration;
+      (** Socket hash lookup and enqueue. *)
+  recv_copy_per_byte : float;  (** copy_to_user, ns per byte. *)
+  send_path : Sim.Units.duration;
+      (** sendto syscall path incl. skb alloc and UDP/IP out. *)
+  send_copy_per_byte : float;
+  doorbell : Sim.Units.duration;  (** MMIO posted write to the NIC. *)
+  poll_iteration : Sim.Units.duration;
+      (** Bypass: one empty poll-loop pass (ring check). *)
+  poll_rx_per_packet : Sim.Units.duration;
+      (** Bypass: raw frame -> app buffer, headers checked. *)
+  bypass_demux : Sim.Units.duration;
+      (** Bypass: user-level flow/service lookup. *)
+}
+
+val default : t

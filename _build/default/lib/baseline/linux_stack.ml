@@ -1,0 +1,222 @@
+type service_spec = {
+  service : Rpc.Interface.service_def;
+  port : int;
+  threads : int;
+}
+
+let spec ?(threads = 2) ~port service =
+  if threads < 1 then invalid_arg "Linux_stack.spec: threads < 1";
+  { service; port; threads }
+
+type service_rt = {
+  sspec : service_spec;
+  socket : Net.Frame.t Osmodel.Socket.t;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  kern : Osmodel.Kernel.t;
+  mutable nic : Nic.Dma_nic.t option;
+  sw : Costs.t;
+  by_port : (int, service_rt) Hashtbl.t;
+  egress : Net.Frame.t -> unit;
+  counters : Sim.Counter.group;
+}
+
+let kernel t = t.kern
+
+let nic t =
+  match t.nic with
+  | Some n -> n
+  | None -> invalid_arg "Linux_stack: NIC not initialised"
+
+let counters t = t.counters
+let ctr t name = Sim.Counter.counter t.counters name
+
+let napi_budget = 64
+
+(* NAPI poll in softirq context on [core]: drain the ring with a
+   budget, charging kernel time per packet; unmask when empty. *)
+let rec napi t ~core ~queue ~budget () =
+  let ring = Nic.Dma_nic.rx_ring (nic t) ~queue in
+  match Nic.Ring.consume ring with
+  | None -> Nic.Dma_nic.unmask_irq (nic t) ~queue
+  | Some frame ->
+      let cost = t.sw.Costs.softirq_per_packet + t.sw.Costs.socket_demux in
+      Osmodel.Cpu_account.charge
+        (Osmodel.Kernel.account t.kern ~core)
+        Osmodel.Cpu_account.Kernel cost;
+      ignore
+        (Sim.Engine.schedule_after t.engine ~after:cost (fun () ->
+             (match
+                Hashtbl.find_opt t.by_port frame.Net.Frame.udp.Net.Udp.dst_port
+              with
+             | None -> Sim.Counter.incr (ctr t "rx_no_service")
+             | Some rt -> Osmodel.Socket.enqueue rt.socket frame);
+             if budget > 1 then napi t ~core ~queue ~budget:(budget - 1) ()
+             else begin
+               (* Budget exhausted: ksoftirqd would take over; model as
+                  continued polling after a reschedule-sized gap. *)
+               Sim.Counter.incr (ctr t "napi_budget_exhausted");
+               ignore
+                 (Sim.Engine.schedule_after t.engine
+                    ~after:(Osmodel.Kernel.costs t.kern).Osmodel.Kernel.syscall
+                    (napi t ~core ~queue ~budget:napi_budget))
+             end))
+
+let on_rx_interrupt t ~queue =
+  Nic.Dma_nic.mask_irq (nic t) ~queue;
+  Sim.Counter.incr (ctr t "interrupts");
+  Osmodel.Kernel.run_irq t.kern ~cost:(Sim.Units.ns 700)
+    (fun ~core -> napi t ~core ~queue ~budget:napi_budget ())
+
+(* One blocking server thread: recvfrom -> unmarshal -> handler ->
+   marshal -> sendto -> doorbell -> NIC TX. *)
+let rec server_loop t rt th () =
+  Osmodel.Socket.recv rt.socket th (fun frame ->
+      let payload = frame.Net.Frame.payload in
+      let copy_cost =
+        int_of_float
+          (Float.round
+             (t.sw.Costs.recv_copy_per_byte
+             *. float_of_int (Bytes.length payload)))
+      in
+      Osmodel.Kernel.run_for t.kern th ~kind:Osmodel.Cpu_account.Kernel
+        copy_cost (fun () ->
+          match Rpc.Wire_format.decode payload with
+          | Error _ ->
+              Sim.Counter.incr (ctr t "rx_bad_rpc");
+              server_loop t rt th ()
+          | Ok wire -> handle_rpc t rt th frame wire))
+
+and handle_rpc t rt th frame (wire : Rpc.Wire_format.t) =
+  match
+    Rpc.Interface.find_method rt.sspec.service wire.Rpc.Wire_format.method_id
+  with
+  | None ->
+      Sim.Counter.incr (ctr t "rx_no_method");
+      server_loop t rt th ()
+  | Some mdef -> (
+      match
+        Rpc.Codec.decode mdef.Rpc.Interface.request wire.Rpc.Wire_format.body
+      with
+      | Error _ ->
+          Sim.Counter.incr (ctr t "rx_bad_args");
+          server_loop t rt th ()
+      | Ok args ->
+          let deser_cost =
+            Rpc.Deser_cost.cost Rpc.Deser_cost.software
+              ~fields:(Rpc.Value.field_count args)
+              ~bytes:(Bytes.length wire.Rpc.Wire_format.body)
+          in
+          Osmodel.Kernel.run_for t.kern th ~kind:Osmodel.Cpu_account.User
+            (deser_cost + mdef.Rpc.Interface.handler_time) (fun () ->
+              let result = mdef.Rpc.Interface.execute args in
+              let body = Rpc.Codec.encode result in
+              let marshal_cost =
+                Rpc.Deser_cost.cost Rpc.Deser_cost.software_marshal
+                  ~fields:(Rpc.Value.field_count result)
+                  ~bytes:(Bytes.length body)
+              in
+              Osmodel.Kernel.run_for t.kern th
+                ~kind:Osmodel.Cpu_account.User marshal_cost (fun () ->
+                  send_reply t rt th frame wire body)))
+
+and send_reply t rt th frame wire body =
+  let send_cost =
+    t.sw.Costs.send_path
+    + int_of_float
+        (Float.round
+           (t.sw.Costs.send_copy_per_byte *. float_of_int (Bytes.length body)))
+    + t.sw.Costs.doorbell
+  in
+  Osmodel.Kernel.run_for t.kern th ~kind:Osmodel.Cpu_account.Kernel send_cost
+    (fun () ->
+      let reply =
+        {
+          Rpc.Wire_format.rpc_id = wire.Rpc.Wire_format.rpc_id;
+          service_id = wire.Rpc.Wire_format.service_id;
+          method_id = wire.Rpc.Wire_format.method_id;
+          kind = Rpc.Wire_format.Response;
+          body;
+        }
+      in
+      let out =
+        Net.Frame.make
+          ~src:(Net.Frame.dst_endpoint frame)
+          ~dst:(Net.Frame.src_endpoint frame)
+          (Rpc.Wire_format.encode reply)
+      in
+      Sim.Counter.incr (ctr t "tx_frames");
+      Nic.Dma_nic.transmit (nic t) out ~via:t.egress;
+      server_loop t rt th ())
+
+let create engine ~profile ~ncores ?kernel_costs ?(sw_costs = Costs.default)
+    ?nic_config ~services ~egress () =
+  if services = [] then invalid_arg "Linux_stack.create: no services";
+  let kern =
+    match kernel_costs with
+    | Some costs -> Osmodel.Kernel.create engine ~ncores ~costs ()
+    | None -> Osmodel.Kernel.create engine ~ncores ()
+  in
+  let t =
+    {
+      engine;
+      kern;
+      nic = None;
+      sw = sw_costs;
+      by_port = Hashtbl.create 64;
+      egress;
+      counters = Sim.Counter.group "linux";
+    }
+  in
+  let nic_config =
+    match nic_config with Some c -> c | None -> Nic.Dma_nic.default_config
+  in
+  t.nic <-
+    Some
+      (Nic.Dma_nic.create engine profile ~config:nic_config
+         ~on_rx_interrupt:(fun ~queue -> on_rx_interrupt t ~queue)
+         ());
+  List.iter
+    (fun sspec ->
+      let rt = { sspec; socket = Osmodel.Socket.create kern () } in
+      if Hashtbl.mem t.by_port sspec.port then
+        invalid_arg
+          (Printf.sprintf "Linux_stack.create: port %d taken" sspec.port);
+      Hashtbl.add t.by_port sspec.port rt;
+      let proc =
+        Osmodel.Kernel.new_process kern
+          ~name:sspec.service.Rpc.Interface.service_name
+      in
+      for i = 0 to sspec.threads - 1 do
+        let th_ref = ref None in
+        let body () =
+          match !th_ref with
+          | Some th -> server_loop t rt th ()
+          | None -> assert false
+        in
+        let th =
+          Osmodel.Kernel.spawn kern proc
+            ~name:
+              (Printf.sprintf "%s-t%d"
+                 sspec.service.Rpc.Interface.service_name i)
+            body
+        in
+        th_ref := Some th;
+        Osmodel.Kernel.wake kern th
+      done)
+    services;
+  t
+
+let ingress t frame = Nic.Dma_nic.rx_from_wire (nic t) frame
+
+let driver t =
+  Harness.Driver.make ~name:"linux"
+    ~ingress:(fun f -> ingress t f)
+    ~kernel:t.kern ~counters:t.counters
+    ~describe:(fun () ->
+      Printf.sprintf "linux(%d cores, %d services)"
+        (Osmodel.Kernel.ncores t.kern)
+        (Hashtbl.length t.by_port))
+    ()

@@ -1,0 +1,35 @@
+(** The traditional kernel receive path (paper Figure 1 + §2's twelve
+    steps, as a conventional OS implements them).
+
+    DMA NIC → moderated MSI-X → IRQ → NAPI softirq (driver poll, IP/UDP
+    processing, socket demux) → wake a blocked server thread → context
+    switch → recvfrom copy → software unmarshal → handler → software
+    marshal → sendto → doorbell → NIC TX DMA.
+
+    Flexible (any thread anywhere, arbitrarily many services) but every
+    step above costs CPU cycles on the data path — this is the baseline
+    the paper's Figure 5 contrasts against. *)
+
+type service_spec = {
+  service : Rpc.Interface.service_def;
+  port : int;
+  threads : int;  (** Blocking server threads for this service. *)
+}
+
+val spec : ?threads:int -> port:int -> Rpc.Interface.service_def ->
+  service_spec
+(** [threads] defaults to 2. *)
+
+type t
+
+val create :
+  Sim.Engine.t -> profile:Coherence.Interconnect.profile -> ncores:int ->
+  ?kernel_costs:Osmodel.Kernel.costs -> ?sw_costs:Costs.t ->
+  ?nic_config:Nic.Dma_nic.config -> services:service_spec list ->
+  egress:(Net.Frame.t -> unit) -> unit -> t
+
+val ingress : t -> Net.Frame.t -> unit
+val kernel : t -> Osmodel.Kernel.t
+val nic : t -> Nic.Dma_nic.t
+val counters : t -> Sim.Counter.group
+val driver : t -> Harness.Driver.t

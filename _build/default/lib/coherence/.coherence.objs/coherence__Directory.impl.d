@@ -1,0 +1,1 @@
+lib/coherence/directory.ml: Hashtbl Int List Printf

@@ -1,0 +1,1 @@
+lib/coherence/home_agent.ml: Array Bytes Interconnect Printf Sim

@@ -1,0 +1,1 @@
+lib/coherence/home_agent.mli: Interconnect Sim

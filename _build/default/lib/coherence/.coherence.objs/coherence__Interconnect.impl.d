@@ -1,0 +1,1 @@
+lib/coherence/interconnect.ml: Float Format Sim

@@ -1,0 +1,1 @@
+lib/coherence/interconnect.mli: Format Sim

@@ -1,0 +1,114 @@
+type agent = int
+
+let device_agent_base = 1_000
+
+type line_state = Invalid | Shared of agent list | Modified of agent
+type t = { lines : (int, line_state) Hashtbl.t }
+
+let create () = { lines = Hashtbl.create 256 }
+
+let state t ~line =
+  match Hashtbl.find_opt t.lines line with
+  | Some s -> s
+  | None -> Invalid
+
+let set t ~line s =
+  match s with
+  | Invalid -> Hashtbl.remove t.lines line
+  | Shared _ | Modified _ -> Hashtbl.replace t.lines line s
+
+type transaction = {
+  latency : latency_class;
+  invalidated : agent list;
+  writeback_from : agent option;
+}
+
+and latency_class = Hit | Miss_clean | Miss_dirty
+
+let read t ~line ~agent =
+  match state t ~line with
+  | Invalid ->
+      set t ~line (Shared [ agent ]);
+      { latency = Miss_clean; invalidated = []; writeback_from = None }
+  | Shared sharers ->
+      if List.mem agent sharers then
+        { latency = Hit; invalidated = []; writeback_from = None }
+      else begin
+        set t ~line (Shared (List.sort_uniq Int.compare (agent :: sharers)));
+        { latency = Miss_clean; invalidated = []; writeback_from = None }
+      end
+  | Modified owner ->
+      if owner = agent then
+        { latency = Hit; invalidated = []; writeback_from = None }
+      else begin
+        (* Owner is downgraded to sharer after writing back. *)
+        set t ~line (Shared (List.sort_uniq Int.compare [ agent; owner ]));
+        { latency = Miss_dirty; invalidated = []; writeback_from = Some owner }
+      end
+
+let write t ~line ~agent =
+  match state t ~line with
+  | Invalid ->
+      set t ~line (Modified agent);
+      { latency = Miss_clean; invalidated = []; writeback_from = None }
+  | Shared sharers ->
+      let others = List.filter (fun a -> a <> agent) sharers in
+      set t ~line (Modified agent);
+      let latency = if List.mem agent sharers then Hit else Miss_clean in
+      { latency; invalidated = others; writeback_from = None }
+  | Modified owner ->
+      if owner = agent then
+        { latency = Hit; invalidated = []; writeback_from = None }
+      else begin
+        set t ~line (Modified agent);
+        {
+          latency = Miss_dirty;
+          invalidated = [ owner ];
+          writeback_from = Some owner;
+        }
+      end
+
+let evict t ~line ~agent =
+  match state t ~line with
+  | Invalid -> ()
+  | Shared sharers -> (
+      match List.filter (fun a -> a <> agent) sharers with
+      | [] -> set t ~line Invalid
+      | rest -> set t ~line (Shared rest))
+  | Modified owner -> if owner = agent then set t ~line Invalid
+
+let holders t ~line =
+  match state t ~line with
+  | Invalid -> []
+  | Shared sharers -> sharers
+  | Modified owner -> [ owner ]
+
+let lines_held_by t ~agent =
+  Hashtbl.fold
+    (fun line s acc ->
+      let held =
+        match s with
+        | Invalid -> false
+        | Shared sharers -> List.mem agent sharers
+        | Modified owner -> owner = agent
+      in
+      if held then line :: acc else acc)
+    t.lines []
+  |> List.sort Int.compare
+
+let check_invariants t =
+  let check line s =
+    match s with
+    | Invalid -> Error (Printf.sprintf "line %d: stored Invalid state" line)
+    | Shared [] -> Error (Printf.sprintf "line %d: empty sharer list" line)
+    | Shared sharers ->
+        let sorted = List.sort_uniq Int.compare sharers in
+        if sorted <> sharers then
+          Error (Printf.sprintf "line %d: unsorted/duplicate sharers" line)
+        else Ok ()
+    | Modified _ -> Ok ()
+  in
+  Hashtbl.fold
+    (fun line s acc ->
+      match acc with Error _ -> acc | Ok () -> check line s)
+    t.lines (Ok ())

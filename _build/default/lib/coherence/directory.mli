@@ -1,0 +1,55 @@
+(** Directory-based MESI bookkeeping for host-homed cache lines.
+
+    This is the substrate for reasoning about who owns which line and
+    what a coherence transaction must do (invalidate sharers, pull a
+    dirty copy). It tracks protocol state only — latencies are priced by
+    the caller using an {!Interconnect.profile}, and timing is driven by
+    the simulation engine. The invariants (single writer, readers xor
+    writer) are checked by property tests. *)
+
+type agent = int
+(** CPU cores are agents 0..n-1; devices get ids ≥ {!device_agent_base}. *)
+
+val device_agent_base : int
+
+type line_state =
+  | Invalid
+  | Shared of agent list  (** Non-empty, sorted, no duplicates. *)
+  | Modified of agent
+
+type t
+
+val create : unit -> t
+
+val state : t -> line:int -> line_state
+(** Lines not yet touched are [Invalid]. *)
+
+type transaction = {
+  latency : latency_class;
+  invalidated : agent list;  (** Agents whose copies were revoked. *)
+  writeback_from : agent option;
+      (** Previous owner whose dirty data had to be pulled. *)
+}
+
+and latency_class =
+  | Hit  (** Requester already had sufficient rights. *)
+  | Miss_clean  (** Served from home memory. *)
+  | Miss_dirty  (** Required a writeback from the owner. *)
+
+val read : t -> line:int -> agent:agent -> transaction
+(** Obtain a shared copy. *)
+
+val write : t -> line:int -> agent:agent -> transaction
+(** Obtain exclusive ownership (invalidates other holders). *)
+
+val evict : t -> line:int -> agent:agent -> unit
+(** Drop the agent's copy, if any. *)
+
+val holders : t -> line:int -> agent list
+(** All agents with a valid copy. *)
+
+val lines_held_by : t -> agent:agent -> int list
+(** All lines the agent currently holds (sorted). *)
+
+val check_invariants : t -> (unit, string) result
+(** Structural invariants of every tracked line. *)

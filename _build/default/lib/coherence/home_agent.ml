@@ -1,0 +1,159 @@
+type line_id = int
+type fill = Data of bytes | Tryagain
+
+type parked = {
+  callback : fill -> unit;
+  timer : Sim.Engine.handle;
+}
+
+type line = {
+  mutable staged : bytes option;
+  mutable parked : parked option;
+  mutable cpu_copy : bytes option;  (* last CPU store, until fetched *)
+  mutable on_load : (served:bool -> unit) option;
+  mutable on_store : (bytes -> unit) option;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  prof : Interconnect.profile;
+  timeout : Sim.Units.duration;
+  mutable lines : line array;
+  mutable n_lines : int;
+  mutable loads : int;
+  mutable fills : int;
+  mutable tryagains : int;
+  mutable stores : int;
+  mutable fetchx : int;
+}
+
+let create engine prof ~timeout =
+  if timeout <= 0 then invalid_arg "Home_agent.create: non-positive timeout";
+  {
+    engine;
+    prof;
+    timeout;
+    lines = Array.init 16 (fun _ ->
+        { staged = None; parked = None; cpu_copy = None; on_load = None;
+          on_store = None });
+    n_lines = 0;
+    loads = 0;
+    fills = 0;
+    tryagains = 0;
+    stores = 0;
+    fetchx = 0;
+  }
+
+let profile t = t.prof
+let engine t = t.engine
+
+let alloc_line t =
+  if t.n_lines = Array.length t.lines then begin
+    let bigger =
+      Array.init (2 * t.n_lines) (fun i ->
+          if i < t.n_lines then t.lines.(i)
+          else
+            { staged = None; parked = None; cpu_copy = None; on_load = None;
+              on_store = None })
+    in
+    t.lines <- bigger
+  end;
+  let id = t.n_lines in
+  t.n_lines <- t.n_lines + 1;
+  id
+
+let line t id =
+  if id < 0 || id >= t.n_lines then
+    invalid_arg (Printf.sprintf "Home_agent: unknown line %d" id);
+  t.lines.(id)
+
+let set_on_load t id f = (line t id).on_load <- Some f
+let set_on_store t id f = (line t id).on_store <- Some f
+
+let respond t ln k fill =
+  (match fill with
+  | Data _ -> t.fills <- t.fills + 1
+  | Tryagain -> t.tryagains <- t.tryagains + 1);
+  ignore ln;
+  ignore
+    (Sim.Engine.schedule_after t.engine ~after:t.prof.Interconnect.load_response
+       (fun () -> k fill))
+
+let complete_parked t ln fill =
+  match ln.parked with
+  | None -> ()
+  | Some p ->
+      ln.parked <- None;
+      Sim.Engine.cancel t.engine p.timer;
+      respond t ln p.callback fill
+
+let cpu_load t id k =
+  let ln = line t id in
+  t.loads <- t.loads + 1;
+  (* The miss takes load_request to reach the home agent. *)
+  ignore
+    (Sim.Engine.schedule_after t.engine ~after:t.prof.Interconnect.load_request
+       (fun () ->
+         match ln.staged with
+         | Some data ->
+             ln.staged <- None;
+             respond t ln k (Data data);
+             (match ln.on_load with Some f -> f ~served:true | None -> ())
+         | None ->
+             if ln.parked <> None then
+               invalid_arg
+                 (Printf.sprintf
+                    "Home_agent.cpu_load: line %d already has a parked load"
+                    id);
+             let timer =
+               Sim.Engine.schedule_after t.engine ~after:t.timeout (fun () ->
+                   match ln.parked with
+                   | None -> ()
+                   | Some p ->
+                       ln.parked <- None;
+                       respond t ln p.callback Tryagain)
+             in
+             ln.parked <- Some { callback = k; timer };
+             (match ln.on_load with Some f -> f ~served:false | None -> ())))
+
+let stage t id data =
+  let ln = line t id in
+  if Bytes.length data > t.prof.Interconnect.cache_line_bytes then
+    invalid_arg
+      (Printf.sprintf "Home_agent.stage: %d bytes exceeds line size %d"
+         (Bytes.length data) t.prof.Interconnect.cache_line_bytes);
+  match ln.parked with
+  | Some _ -> complete_parked t ln (Data data)
+  | None -> ln.staged <- Some data
+
+let stage_pending t id = (line t id).staged <> None
+let load_parked t id = (line t id).parked <> None
+
+let kick t id =
+  let ln = line t id in
+  complete_parked t ln Tryagain
+
+let cpu_store t id data =
+  let ln = line t id in
+  t.stores <- t.stores + 1;
+  ln.cpu_copy <- Some data;
+  ignore
+    (Sim.Engine.schedule_after t.engine
+       ~after:t.prof.Interconnect.store_release (fun () ->
+         match ln.on_store with Some f -> f data | None -> ()))
+
+let fetch_exclusive t id k =
+  let ln = line t id in
+  t.fetchx <- t.fetchx + 1;
+  ignore
+    (Sim.Engine.schedule_after t.engine
+       ~after:t.prof.Interconnect.fetch_exclusive (fun () ->
+         let data = ln.cpu_copy in
+         ln.cpu_copy <- None;
+         k data))
+
+let loads t = t.loads
+let fills t = t.fills
+let tryagains t = t.tryagains
+let stores t = t.stores
+let fetch_exclusives t = t.fetchx

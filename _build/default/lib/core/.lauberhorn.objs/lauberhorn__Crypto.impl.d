@@ -1,0 +1,1 @@
+lib/core/crypto.ml: Float Sim

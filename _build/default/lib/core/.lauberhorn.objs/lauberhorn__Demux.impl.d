@@ -1,0 +1,1 @@
+lib/core/demux.ml: Array Endpoint Hashtbl Int List Printf Rpc

@@ -1,0 +1,1 @@
+lib/core/demux.mli: Endpoint Rpc

@@ -1,0 +1,1 @@
+lib/core/endpoint.ml: Array Bytes Coherence Config Float Message Printf Queue Sim

@@ -1,0 +1,1 @@
+lib/core/endpoint.mli: Coherence Config Message

@@ -1,0 +1,1 @@
+lib/core/message.ml: Bytes Format Net Printf

@@ -1,0 +1,1 @@
+lib/core/nic_sched.ml: Hashtbl Sim

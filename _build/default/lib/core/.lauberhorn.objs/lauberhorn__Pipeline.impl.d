@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Config Format Rpc Sim

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Config Format Sim

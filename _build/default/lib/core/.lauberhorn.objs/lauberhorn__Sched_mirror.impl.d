@@ -1,0 +1,1 @@
+lib/core/sched_mirror.ml: Array Coherence List Option Osmodel Sim

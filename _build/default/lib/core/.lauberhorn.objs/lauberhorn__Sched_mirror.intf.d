@@ -1,0 +1,1 @@
+lib/core/sched_mirror.mli: Coherence Osmodel Sim

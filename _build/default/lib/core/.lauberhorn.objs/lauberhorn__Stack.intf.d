@@ -1,0 +1,1 @@
+lib/core/stack.mli: Coherence Config Endpoint Harness Net Osmodel Rpc Sched_mirror Sim Telemetry

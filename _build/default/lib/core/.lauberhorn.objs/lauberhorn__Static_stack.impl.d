@@ -1,0 +1,1 @@
+lib/core/static_stack.ml: Array Bytes Coherence Config Demux Endpoint Harness Hashtbl Int64 List Message Net Nic Osmodel Pipeline Printf Rpc Sim

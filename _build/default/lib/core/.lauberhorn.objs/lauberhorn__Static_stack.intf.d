@@ -1,0 +1,1 @@
+lib/core/static_stack.mli: Config Harness Net Osmodel Rpc Sim

@@ -1,0 +1,1 @@
+lib/core/telemetry.ml: Format Hashtbl Int List Printf Sim

@@ -1,0 +1,1 @@
+lib/core/tx_endpoint.ml: Array Bytes Coherence Config Printf Queue

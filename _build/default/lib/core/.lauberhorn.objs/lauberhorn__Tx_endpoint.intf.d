@@ -1,0 +1,1 @@
+lib/core/tx_endpoint.mli: Coherence Config

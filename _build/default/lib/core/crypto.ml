@@ -1,0 +1,13 @@
+type profile = {
+  setup : Sim.Units.duration;
+  gbps : float;
+  tag_check : Sim.Units.duration;
+}
+
+let aes_gcm_nic = { setup = 40; gbps = 100.; tag_check = 20 }
+let aes_gcm_cpu = { setup = 120; gbps = 32.; tag_check = 80 }
+
+let cost p ~bytes =
+  if bytes < 0 then invalid_arg "Crypto.cost: negative size";
+  p.setup + p.tag_check
+  + int_of_float (Float.round (float_of_int (bytes * 8) /. p.gbps))

@@ -1,0 +1,23 @@
+(** Wire-encryption cost model (paper §6: "encryption can be handled
+    with fairly standard techniques").
+
+    Two standard techniques are priced: an inline AES-GCM engine in the
+    NIC pipeline (processing at line rate as the frame streams through,
+    so it adds a near-constant pipeline delay and zero CPU), and
+    CPU-side AES-GCM (fast with AES-NI, but it consumes core cycles per
+    byte — visible in the kernel baseline's per-RPC budget). *)
+
+type profile = {
+  setup : Sim.Units.duration;  (** Key schedule/IV/per-packet setup. *)
+  gbps : float;  (** Streaming throughput of the engine. *)
+  tag_check : Sim.Units.duration;  (** GMAC verification. *)
+}
+
+val aes_gcm_nic : profile
+(** Inline pipeline engine at 100 Gb/s line rate. *)
+
+val aes_gcm_cpu : profile
+(** A server core with AES-NI (~4 GB/s ≈ 32 Gb/s). *)
+
+val cost : profile -> bytes:int -> Sim.Units.duration
+(** Per-packet decrypt-and-verify (or encrypt-and-tag) time. *)

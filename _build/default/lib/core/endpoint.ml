@@ -1,0 +1,179 @@
+type t = {
+  ha : Coherence.Home_agent.t;
+  cfg : Config.t;
+  eid : int;
+  ctrl : Coherence.Home_agent.line_id array;
+  on_response : Message.response -> unit;
+  mutable on_parked : (unit -> unit) option;
+  pending : (Message.request * bool) Queue.t;  (* request, kernel_dispatch *)
+  mutable cur : int;
+  to_collect : int Queue.t;
+  mutable outstanding : int;
+  mutable n_delivered : int;
+  mutable n_responses : int;
+  mutable n_dropped : int;
+}
+
+let id t = t.eid
+
+let ctrl_line t i =
+  if i <> 0 && i <> 1 then invalid_arg "Endpoint.ctrl_line: index not 0/1";
+  t.ctrl.(i)
+
+let engine t = Coherence.Home_agent.engine t.ha
+let prof t = (t.cfg : Config.t).Config.profile
+
+(* Auxiliary lines stream behind the CONTROL line at the coherent-path
+   bandwidth (cf. Interconnect.line_transfer); oversized payloads use a
+   DMA burst instead. *)
+let aux_stream_delay t ~lines =
+  let p = prof t in
+  lines
+  * int_of_float
+      (Float.round
+         (float_of_int (p.Coherence.Interconnect.cache_line_bytes * 8)
+         /. p.Coherence.Interconnect.coherent_bandwidth_gbps))
+
+let extra_request_delay t (msg : Message.request) =
+  if msg.Message.via_dma then
+    Coherence.Interconnect.dma_transfer (prof t) ~bytes:msg.Message.total_args
+  else if msg.Message.aux_count > 0 then
+    aux_stream_delay t ~lines:msg.Message.aux_count
+  else 0
+
+let extra_response_delay t (resp : Message.response) =
+  let inline = Bytes.length resp.Message.inline_body in
+  let rest = resp.Message.total_len - inline in
+  if rest <= 0 then 0
+  else if resp.Message.total_len > t.cfg.Config.dma_threshold then
+    Coherence.Interconnect.dma_transfer (prof t) ~bytes:rest
+  else aux_stream_delay t ~lines:resp.Message.resp_aux_count
+
+let stage_now t (msg, kernel_dispatch) =
+  let line = t.ctrl.(t.cur) in
+  t.cur <- 1 - t.cur;
+  t.outstanding <- t.outstanding + 1;
+  t.n_delivered <- t.n_delivered + 1;
+  Queue.add (1 - t.cur) t.to_collect;
+  let delay = extra_request_delay t msg in
+  let envelope =
+    if kernel_dispatch then Message.Kernel_dispatch msg
+    else Message.Request msg
+  in
+  let image =
+    Message.encode
+      ~line_bytes:(prof t).Coherence.Interconnect.cache_line_bytes envelope
+  in
+  if delay = 0 then Coherence.Home_agent.stage t.ha line image
+  else
+    ignore
+      (Sim.Engine.schedule_after (engine t) ~after:delay (fun () ->
+           Coherence.Home_agent.stage t.ha line image))
+
+let rec try_deliver t =
+  if t.outstanding < 2 then
+    match Queue.take_opt t.pending with
+    | Some msg ->
+        stage_now t msg;
+        try_deliver t
+    | None -> ()
+
+let deliver ?(kernel_dispatch = false) t msg =
+  if t.outstanding < 2 && Queue.is_empty t.pending then begin
+    stage_now t (msg, kernel_dispatch);
+    true
+  end
+  else if Queue.length t.pending < t.cfg.Config.nic_queue_depth then begin
+    Queue.add (msg, kernel_dispatch) t.pending;
+    true
+  end
+  else begin
+    t.n_dropped <- t.n_dropped + 1;
+    false
+  end
+
+let collect t c =
+  Coherence.Home_agent.fetch_exclusive t.ha t.ctrl.(c) (fun data ->
+      match data with
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Endpoint %d: fetch-exclusive found no response in line %d"
+               t.eid c)
+      | Some bytes -> (
+          match Message.decode_response bytes with
+          | Error e ->
+              invalid_arg
+                (Printf.sprintf "Endpoint %d: bad response line: %s" t.eid e)
+          | Ok resp ->
+              let finish () =
+                t.outstanding <- t.outstanding - 1;
+                t.n_responses <- t.n_responses + 1;
+                t.on_response resp;
+                try_deliver t
+              in
+              let delay = extra_response_delay t resp in
+              if delay = 0 then finish ()
+              else
+                ignore
+                  (Sim.Engine.schedule_after (engine t) ~after:delay finish)))
+
+let on_ctrl_load t j ~served =
+  (match Queue.peek_opt t.to_collect with
+  | Some c when c = 1 - j ->
+      ignore (Queue.pop t.to_collect);
+      collect t c
+  | Some _ | None -> ());
+  if not served then begin
+    (match t.on_parked with Some f -> f () | None -> ());
+    try_deliver t
+  end
+
+let set_on_parked t f = t.on_parked <- Some f
+let parked t = Coherence.Home_agent.load_parked t.ha t.ctrl.(t.cur)
+let kick t = if parked t then Coherence.Home_agent.kick t.ha t.ctrl.(t.cur)
+
+let retire t =
+  if parked t then begin
+    (* Complete the parked load with a RETIRE marker. The line is not a
+       delivery: no credit consumed, no response expected, so [cur] and
+       the collect queue stay untouched. *)
+    Coherence.Home_agent.stage t.ha t.ctrl.(t.cur)
+      (Message.encode
+         ~line_bytes:(prof t).Coherence.Interconnect.cache_line_bytes
+         Message.Retire);
+    true
+  end
+  else false
+let queue_depth t = Queue.length t.pending
+let in_flight t = t.outstanding
+let stats_delivered t = t.n_delivered
+let stats_responses t = t.n_responses
+let stats_dropped t = t.n_dropped
+
+let create ha cfg ~id ~on_response () =
+  let t =
+    {
+      ha;
+      cfg;
+      eid = id;
+      ctrl =
+        [| Coherence.Home_agent.alloc_line ha;
+           Coherence.Home_agent.alloc_line ha |];
+      on_response;
+      on_parked = None;
+      pending = Queue.create ();
+      cur = 0;
+      to_collect = Queue.create ();
+      outstanding = 0;
+      n_delivered = 0;
+      n_responses = 0;
+      n_dropped = 0;
+    }
+  in
+  Coherence.Home_agent.set_on_load ha t.ctrl.(0) (fun ~served ->
+      on_ctrl_load t 0 ~served);
+  Coherence.Home_agent.set_on_load ha t.ctrl.(1) (fun ~served ->
+      on_ctrl_load t 1 ~served);
+  t
+

@@ -1,0 +1,75 @@
+type svc_stats = {
+  mutable rate : float;  (* arrivals/s, EWMA *)
+  mutable last_arrival : Sim.Units.time option;
+  mutable accepted : int;
+  mutable completed : int;
+}
+
+type t = {
+  ewma_tau : float;  (* seconds *)
+  hi_watermark : int;
+  target_util : float;
+  table : (int, svc_stats) Hashtbl.t;
+}
+
+let create ?(ewma_tau = Sim.Units.us 100) ?(hi_watermark = 4)
+    ?(target_util = 0.7) () =
+  if ewma_tau <= 0 then invalid_arg "Nic_sched.create: non-positive tau";
+  if target_util <= 0. || target_util > 1. then
+    invalid_arg "Nic_sched.create: target_util out of (0,1]";
+  {
+    ewma_tau = Sim.Units.to_float_s ewma_tau;
+    hi_watermark;
+    target_util;
+    table = Hashtbl.create 32;
+  }
+
+let stats t service =
+  match Hashtbl.find_opt t.table service with
+  | Some s -> s
+  | None ->
+      let s =
+        { rate = 0.; last_arrival = None; accepted = 0; completed = 0 }
+      in
+      Hashtbl.add t.table service s;
+      s
+
+let on_arrival t ~service ~now =
+  let s = stats t service in
+  s.accepted <- s.accepted + 1;
+  (match s.last_arrival with
+  | None -> ()
+  | Some prev ->
+      let dt = Sim.Units.to_float_s (max 1 (now - prev)) in
+      let inst = 1. /. dt in
+      (* Time-constant EWMA: weight decays with the gap length, so idle
+         periods pull the estimate down. *)
+      let alpha = 1. -. exp (-.dt /. t.ewma_tau) in
+      s.rate <- s.rate +. (alpha *. (inst -. s.rate)));
+  s.last_arrival <- Some now
+
+let on_complete t ~service =
+  let s = stats t service in
+  s.completed <- s.completed + 1
+
+let rate t ~service = (stats t service).rate
+let outstanding t ~service =
+  let s = stats t service in
+  s.accepted - s.completed
+
+type decision = Steady | Add_worker | Release_worker
+
+let decide t ~service ~queue_depth ~workers ~handler_time =
+  let s = stats t service in
+  if queue_depth > t.hi_watermark then Add_worker
+  else if workers > 1 then begin
+    (* Would one fewer worker still sit below the utilisation target? *)
+    let per_req = Sim.Units.to_float_s handler_time in
+    let util_with = s.rate *. per_req /. float_of_int (workers - 1) in
+    if util_with < t.target_util *. 0.5 && queue_depth = 0 then
+      Release_worker
+    else Steady
+  end
+  else Steady
+
+let services_tracked t = Hashtbl.length t.table

@@ -1,0 +1,41 @@
+(** NIC-gathered load statistics and core-scaling policy (paper §5.2).
+
+    "[Preemption] can be initiated by the kernel scheduler, or by
+    Lauberhorn based on statistics it gathers about the instantaneous
+    load on each server process. This approach therefore also supports
+    dynamic scaling of the cores used for RPC based on load."
+
+    The NIC keeps, per service, an exponentially weighted arrival rate
+    and watches endpoint queue depth. The policy is deliberately
+    simple and hysteretic: scale up when the queue persists above the
+    high watermark, release a core (let the worker's TRYAGAIN-yield
+    take effect) when the rate says one fewer worker still keeps
+    utilisation below the low-water target. *)
+
+type t
+
+val create :
+  ?ewma_tau:Sim.Units.duration -> ?hi_watermark:int ->
+  ?target_util:float -> unit -> t
+(** Defaults: 100 µs rate-averaging constant, scale up when more than 4
+    requests queue, aim below 70% per-worker utilisation. *)
+
+val on_arrival : t -> service:int -> now:Sim.Units.time -> unit
+val on_complete : t -> service:int -> unit
+
+val rate : t -> service:int -> float
+(** Estimated arrivals per second. *)
+
+val outstanding : t -> service:int -> int
+(** Accepted minus completed. *)
+
+type decision =
+  | Steady
+  | Add_worker  (** Dispatch an additional worker (scale up). *)
+  | Release_worker  (** Let one worker yield its core (scale down). *)
+
+val decide :
+  t -> service:int -> queue_depth:int -> workers:int ->
+  handler_time:Sim.Units.duration -> decision
+
+val services_tracked : t -> int

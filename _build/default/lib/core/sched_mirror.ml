@@ -1,0 +1,69 @@
+type mode = Push | Query
+
+type t = {
+  mmode : mode;
+  prof : Coherence.Interconnect.profile;
+  kernel : Osmodel.Kernel.t;
+  view : (int * int) option array;  (* core -> (pid, tid) *)
+  mutable pushes : int;
+}
+
+let create ~mode prof kernel =
+  let t =
+    {
+      mmode = mode;
+      prof;
+      kernel;
+      view = Array.make (Osmodel.Kernel.ncores kernel) None;
+      pushes = 0;
+    }
+  in
+  (match mode with
+  | Push ->
+      Osmodel.Kernel.on_context_switch kernel (fun ~core ~prev:_ ~next ->
+          let entry =
+            Option.map
+              (fun (th : Osmodel.Proc.thread) ->
+                (th.Osmodel.Proc.proc.Osmodel.Proc.pid, th.Osmodel.Proc.tid))
+              next
+          in
+          (* The push crosses the interconnect before the NIC sees it. *)
+          ignore
+            (Sim.Engine.schedule_after
+               (Osmodel.Kernel.engine kernel)
+               ~after:prof.Coherence.Interconnect.store_release
+               (fun () ->
+                 t.pushes <- t.pushes + 1;
+                 t.view.(core) <- entry)))
+  | Query -> ());
+  t
+
+let mode t = t.mmode
+
+let lookup_cost t =
+  match t.mmode with
+  | Push -> 0
+  | Query -> t.prof.Coherence.Interconnect.mmio_read
+
+let truth t core =
+  Option.map
+    (fun (th : Osmodel.Proc.thread) ->
+      (th.Osmodel.Proc.proc.Osmodel.Proc.pid, th.Osmodel.Proc.tid))
+    (Osmodel.Kernel.current t.kernel ~core)
+
+let core_occupant t ~core =
+  match t.mmode with Push -> t.view.(core) | Query -> truth t core
+
+let cores_running t ~pid =
+  let n = Osmodel.Kernel.ncores t.kernel in
+  let rec go core acc =
+    if core >= n then List.rev acc
+    else
+      match core_occupant t ~core with
+      | Some (p, _) when p = pid -> go (core + 1) (core :: acc)
+      | Some _ | None -> go (core + 1) acc
+  in
+  go 0 []
+
+let is_running t ~pid = cores_running t ~pid <> []
+let pushes t = t.pushes

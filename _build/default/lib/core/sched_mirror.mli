@@ -1,0 +1,35 @@
+(** The NIC's mirror of kernel scheduling state (paper §4–5.2).
+
+    In [Push] mode — the paper's design — the kernel pushes every
+    occupancy change over the coherent interconnect; the NIC's view
+    lags reality by one store-release latency but costs nothing to
+    consult at dispatch time. The [Query] ablation (E3 variant) models
+    a conventional untrusted-NIC design in which the NIC must ask the
+    host (one MMIO round trip) at each dispatch, showing why sharing
+    state beats querying for it. *)
+
+type mode = Push | Query
+
+type t
+
+val create :
+  mode:mode -> Coherence.Interconnect.profile -> Osmodel.Kernel.t -> t
+(** Installs a context-switch hook on the kernel (Push mode applies the
+    update after the push latency; Query mode keeps no copy). *)
+
+val mode : t -> mode
+
+val lookup_cost : t -> Sim.Units.duration
+(** NIC-side cost of consulting the scheduling state at dispatch time:
+    0 in [Push] mode, one MMIO read in [Query] mode. *)
+
+val core_occupant : t -> core:int -> (int * int) option
+(** The NIC's belief about the [(pid, tid)] on a core. *)
+
+val cores_running : t -> pid:int -> int list
+(** Cores believed to run threads of the process. *)
+
+val is_running : t -> pid:int -> bool
+
+val pushes : t -> int
+(** State-update messages received (Push mode). *)

@@ -1,0 +1,312 @@
+type service_spec = { service : Rpc.Interface.service_def; port : int }
+
+let spec ~port service = { service; port }
+
+type inflight = {
+  mdef : Rpc.Interface.method_def;
+  args : Rpc.Value.t;
+  reply_src : Net.Frame.endpoint;
+  reply_dst : Net.Frame.endpoint;
+  mutable full_body : bytes;
+}
+
+type worker = {
+  wthread : Osmodel.Proc.thread;
+  wep : Endpoint.t;
+  mutable cpu_idx : int;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  cfg : Config.t;
+  kern : Osmodel.Kernel.t;
+  ha : Coherence.Home_agent.t;
+  dmx : Demux.t;
+  egress : Net.Frame.t -> unit;
+  counters : Sim.Counter.group;
+  inflight : (int64, inflight) Hashtbl.t;
+  by_service : (int, worker) Hashtbl.t;
+  core_map : (int, int) Hashtbl.t;
+  mutable mac : Nic.Mac.t option;
+}
+
+let kernel t = t.kern
+let counters t = t.counters
+let ctr t name = Sim.Counter.counter t.counters name
+let prof t = t.cfg.Config.profile
+let line_bytes t = (prof t).Coherence.Interconnect.cache_line_bytes
+let mem_read_cost bytes = 100 + (bytes / 25)
+
+(* ---------- The pinned worker loop ---------- *)
+
+let respond_line t w ~rpc_id ~body =
+  let cap = Message.response_inline_capacity ~line_bytes:(line_bytes t) in
+  let inline_len = min cap (Bytes.length body) in
+  let rest = Bytes.length body - inline_len in
+  let resp_aux_count =
+    if rest <= 0 then 0 else (rest + line_bytes t - 1) / line_bytes t
+  in
+  Coherence.Home_agent.cpu_store t.ha
+    (Endpoint.ctrl_line w.wep w.cpu_idx)
+    (Message.encode_response ~line_bytes:(line_bytes t)
+       {
+         Message.resp_rpc_id = rpc_id;
+         status = 0;
+         total_len = Bytes.length body;
+         inline_body = Bytes.sub body 0 inline_len;
+         resp_aux_count;
+       })
+
+let rec worker_loop t w () =
+  Osmodel.Kernel.stall_begin t.kern w.wthread;
+  Coherence.Home_agent.cpu_load t.ha
+    (Endpoint.ctrl_line w.wep w.cpu_idx)
+    (fun fill ->
+      Osmodel.Kernel.stall_end t.kern w.wthread;
+      match fill with
+      | Coherence.Home_agent.Tryagain ->
+          (* Share the core with any colocated pinned service: yield
+             and come straight back. No retirement — the static world
+             never gives the core up for good. *)
+          Osmodel.Kernel.yield t.kern w.wthread (fun () -> worker_loop t w ())
+      | Coherence.Home_agent.Data line -> (
+          match Message.decode line with
+          | Ok (Message.Request r) -> handle t w r
+          | Ok (Message.Tryagain | Message.Retire | Message.Kernel_dispatch _)
+          | Error _ ->
+              Sim.Counter.incr (ctr t "worker_bad_line");
+              worker_loop t w ()))
+
+and handle t w (r : Message.request) =
+  match Hashtbl.find_opt t.inflight r.Message.rpc_id with
+  | None ->
+      Sim.Counter.incr (ctr t "worker_orphan_request");
+      worker_loop t w ()
+  | Some inf ->
+      let dma_read =
+        if r.Message.via_dma then mem_read_cost r.Message.total_args else 0
+      in
+      Osmodel.Kernel.run_for t.kern w.wthread ~kind:Osmodel.Cpu_account.User
+        (inf.mdef.Rpc.Interface.handler_time + dma_read) (fun () ->
+          let result = inf.mdef.Rpc.Interface.execute inf.args in
+          let body = Rpc.Codec.encode result in
+          inf.full_body <- body;
+          respond_line t w ~rpc_id:r.Message.rpc_id ~body;
+          w.cpu_idx <- 1 - w.cpu_idx;
+          Sim.Counter.incr (ctr t "rpcs_handled");
+          worker_loop t w ())
+
+(* ---------- NIC side ---------- *)
+
+let tx_mac_delay = Sim.Units.ns 200
+
+let on_endpoint_response t (resp : Message.response) =
+  match Hashtbl.find_opt t.inflight resp.Message.resp_rpc_id with
+  | None -> Sim.Counter.incr (ctr t "orphan_response")
+  | Some inf ->
+      Hashtbl.remove t.inflight resp.Message.resp_rpc_id;
+      let reply =
+        {
+          Rpc.Wire_format.rpc_id = resp.Message.resp_rpc_id;
+          service_id = 0;
+          method_id = inf.mdef.Rpc.Interface.method_id;
+          kind = Rpc.Wire_format.Response;
+          body = inf.full_body;
+        }
+      in
+      let frame =
+        Net.Frame.make ~src:inf.reply_src ~dst:inf.reply_dst
+          (Rpc.Wire_format.encode reply)
+      in
+      ignore
+        (Sim.Engine.schedule_after t.engine ~after:tx_mac_delay (fun () ->
+             Sim.Counter.incr (ctr t "tx_frames");
+             t.egress frame))
+
+let rec nic_rx t frame =
+  Sim.Counter.incr (ctr t "rx_frames");
+  match Rpc.Wire_format.decode frame.Net.Frame.payload with
+  | Error _ -> Sim.Counter.incr (ctr t "rx_bad_rpc")
+  | Ok wire -> (
+      match Demux.lookup t.dmx ~port:frame.Net.Frame.udp.Net.Udp.dst_port with
+      | None -> Sim.Counter.incr (ctr t "rx_no_service")
+      | Some entry -> (
+          match
+            Rpc.Interface.find_method entry.Demux.service
+              wire.Rpc.Wire_format.method_id
+          with
+          | None -> Sim.Counter.incr (ctr t "rx_no_method")
+          | Some mdef -> (
+              match
+                Rpc.Codec.decode mdef.Rpc.Interface.request
+                  wire.Rpc.Wire_format.body
+              with
+              | Error _ -> Sim.Counter.incr (ctr t "rx_bad_args")
+              | Ok args ->
+                  (* No scheduling state to consult: static binding. *)
+                  let breakdown =
+                    Pipeline.rx t.cfg ~sched_lookup:0
+                      ~fields:(Rpc.Value.field_count args)
+                      ~arg_bytes:(Bytes.length wire.Rpc.Wire_format.body)
+                  in
+                  ignore
+                    (Sim.Engine.schedule_after t.engine
+                       ~after:breakdown.Pipeline.total (fun () ->
+                         dispatch t entry frame wire mdef args)))))
+
+and dispatch t (entry : Demux.entry) frame (wire : Rpc.Wire_format.t) mdef
+    args =
+  let rpc_id = wire.Rpc.Wire_format.rpc_id in
+  if Hashtbl.mem t.inflight rpc_id then
+    Sim.Counter.incr (ctr t "duplicate_rpc_id")
+  else begin
+    let body = wire.Rpc.Wire_format.body in
+    let arg_bytes = Bytes.length body in
+    let window = Config.endpoint_window t.cfg in
+    let via_dma =
+      arg_bytes > t.cfg.Config.dma_threshold || arg_bytes > window
+    in
+    let inline_cap = Config.inline_capacity t.cfg in
+    let inline_len = min inline_cap arg_bytes in
+    let aux_count =
+      if via_dma then 0
+      else
+        let rest = arg_bytes - inline_len in
+        if rest <= 0 then 0 else (rest + line_bytes t - 1) / line_bytes t
+    in
+    Hashtbl.replace t.inflight rpc_id
+      {
+        mdef;
+        args;
+        reply_src = Net.Frame.dst_endpoint frame;
+        reply_dst = Net.Frame.src_endpoint frame;
+        full_body = Bytes.empty;
+      };
+    let w =
+      Hashtbl.find t.by_service entry.Demux.service.Rpc.Interface.service_id
+    in
+    let msg =
+      {
+        Message.rpc_id;
+        service_id = entry.Demux.service.Rpc.Interface.service_id;
+        method_id = mdef.Rpc.Interface.method_id;
+        code_ptr =
+          Demux.code_ptr entry ~method_id:mdef.Rpc.Interface.method_id;
+        data_ptr = entry.Demux.data_ptr;
+        total_args = arg_bytes;
+        inline_args = Bytes.sub body 0 inline_len;
+        aux_count;
+        via_dma;
+      }
+    in
+    if not (Endpoint.deliver w.wep msg) then begin
+      Hashtbl.remove t.inflight rpc_id;
+      Sim.Counter.incr (ctr t "nic_queue_drop")
+    end
+  end
+
+(* ---------- Construction ---------- *)
+
+let next_code_ptr = ref 0x5000_0000L
+
+let fresh_code_ptrs n =
+  Array.init n (fun i ->
+      let base = !next_code_ptr in
+      next_code_ptr := Int64.add base 0x1000L;
+      Int64.add base (Int64.of_int (i * 64)))
+
+let create engine ~cfg ~ncores ?kernel_costs ~services ~egress () =
+  if services = [] then invalid_arg "Static_stack.create: no services";
+  let kern =
+    match kernel_costs with
+    | Some costs -> Osmodel.Kernel.create engine ~ncores ~costs ()
+    | None -> Osmodel.Kernel.create engine ~ncores ()
+  in
+  let ha =
+    Coherence.Home_agent.create engine cfg.Config.profile
+      ~timeout:cfg.Config.tryagain_timeout
+  in
+  let t =
+    {
+      engine;
+      cfg;
+      kern;
+      ha;
+      dmx = Demux.create ();
+      egress;
+      counters = Sim.Counter.group "ccnic-static";
+      inflight = Hashtbl.create 4096;
+      by_service = Hashtbl.create 32;
+      core_map = Hashtbl.create 32;
+      mac = None;
+    }
+  in
+  List.iteri
+    (fun i sspec ->
+      let svc = sspec.service in
+      let core = i mod ncores in
+      let proc =
+        Osmodel.Kernel.new_process kern ~name:svc.Rpc.Interface.service_name
+      in
+      let wep =
+        Endpoint.create ha cfg ~id:i
+          ~on_response:(fun r -> on_endpoint_response t r)
+          ()
+      in
+      let w_ref = ref None in
+      let body () =
+        match !w_ref with
+        | Some w -> worker_loop t w ()
+        | None -> assert false
+      in
+      let wthread =
+        Osmodel.Kernel.spawn kern proc
+          ~name:(svc.Rpc.Interface.service_name ^ "-pinned")
+          ~affinity:core body
+      in
+      let w = { wthread; wep; cpu_idx = 0 } in
+      w_ref := Some w;
+      Hashtbl.replace t.by_service svc.Rpc.Interface.service_id w;
+      Hashtbl.replace t.core_map svc.Rpc.Interface.service_id core;
+      let code_ptrs =
+        fresh_code_ptrs
+          (List.fold_left
+             (fun acc m -> max acc (m.Rpc.Interface.method_id + 1))
+             1 svc.Rpc.Interface.methods)
+      in
+      Demux.bind t.dmx ~port:sspec.port
+        {
+          Demux.service = svc;
+          pid = proc.Osmodel.Proc.pid;
+          endpoint = wep;
+          code_ptrs;
+          data_ptr = Int64.of_int (0x7800_0000 + (i * 0x10000));
+        };
+      Osmodel.Kernel.wake kern wthread)
+    services;
+  let mac = Nic.Mac.create engine ~sink:(fun f -> nic_rx t f) () in
+  t.mac <- Some mac;
+  t
+
+let ingress t frame =
+  match t.mac with
+  | Some mac -> Nic.Mac.rx mac frame
+  | None -> invalid_arg "Static_stack.ingress: MAC not initialised"
+
+let core_of_service t ~service_id =
+  match Hashtbl.find_opt t.core_map service_id with
+  | Some c -> c
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Static_stack: unknown service %d" service_id)
+
+let driver t =
+  Harness.Driver.make ~name:"ccnic-static"
+    ~ingress:(fun f -> ingress t f)
+    ~kernel:t.kern ~counters:t.counters
+    ~describe:(fun () ->
+      Printf.sprintf "ccnic-static(%s, %d cores, %d services)"
+        (prof t).Coherence.Interconnect.name
+        (Osmodel.Kernel.ncores t.kern)
+        (Hashtbl.length t.by_service))
+    ()

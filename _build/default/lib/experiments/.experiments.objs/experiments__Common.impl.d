@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array Baseline Bytes Coherence Format Harness Int64 Lauberhorn List Osmodel Rpc Sim String Workload

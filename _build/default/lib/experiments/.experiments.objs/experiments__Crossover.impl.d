@@ -1,0 +1,1 @@
+lib/experiments/crossover.ml: Coherence Common Format Lauberhorn List Printf Sim Workload

@@ -1,0 +1,1 @@
+lib/experiments/dispatch.ml: Coherence Common Lauberhorn Printf Sim Workload

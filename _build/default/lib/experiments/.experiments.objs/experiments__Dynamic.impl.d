@@ -1,0 +1,1 @@
+lib/experiments/dynamic.ml: Coherence Common Lauberhorn List Printf Sim

@@ -1,0 +1,1 @@
+lib/experiments/encrypt.ml: Common Format Lauberhorn List Printf Sim

@@ -1,0 +1,1 @@
+lib/experiments/energy.ml: Coherence Common Lauberhorn List Printf Sim

@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Coherence Common Format Harness Lauberhorn List Net Sim String Workload

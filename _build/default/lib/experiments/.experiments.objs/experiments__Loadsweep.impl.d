@@ -1,0 +1,1 @@
+lib/experiments/loadsweep.ml: Coherence Common Lauberhorn List Printf Sim

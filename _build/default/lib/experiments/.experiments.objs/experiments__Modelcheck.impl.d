@@ -1,0 +1,1 @@
+lib/experiments/modelcheck.ml: Common Format List Protocheck

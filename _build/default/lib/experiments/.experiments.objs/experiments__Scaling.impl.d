@@ -1,0 +1,1 @@
+lib/experiments/scaling.ml: Common Lauberhorn List Printf Sim String Workload

@@ -1,0 +1,1 @@
+lib/experiments/steps.ml: Coherence Common Format Lauberhorn List Sim

@@ -1,0 +1,1 @@
+lib/experiments/tryagain.ml: Coherence Common Lauberhorn List Sim Workload

@@ -1,0 +1,221 @@
+(* Shared infrastructure for the experiment harness: build a server
+   stack of a given flavour, drive it with a workload, and collect
+   latency/cycle measurements. *)
+
+type flavour =
+  | Lauberhorn of Lauberhorn.Config.t * Lauberhorn.Sched_mirror.mode
+  | Linux of Coherence.Interconnect.profile
+  | Bypass of Coherence.Interconnect.profile
+  | Static of Lauberhorn.Config.t
+      (** CC-NIC/nanoPU ablation: coherent delivery, traditional static
+          split. *)
+
+let flavour_name = function
+  | Lauberhorn (cfg, Lauberhorn.Sched_mirror.Push) ->
+      "lauberhorn/" ^ cfg.Lauberhorn.Config.profile.Coherence.Interconnect.name
+  | Lauberhorn (_, Lauberhorn.Sched_mirror.Query) -> "lauberhorn/no-mirror"
+  | Linux p -> "linux/" ^ p.Coherence.Interconnect.name
+  | Bypass p -> "bypass/" ^ p.Coherence.Interconnect.name
+  | Static _ -> "ccnic-static"
+
+type server = {
+  engine : Sim.Engine.t;
+  driver : Harness.Driver.t;
+  recorder : Harness.Recorder.t;
+  setup : Workload.Scenario.setup;
+  flush : unit -> unit;  (* finalize ledgers (bypass spin windows) *)
+  lauberhorn : Lauberhorn.Stack.t option;
+}
+
+(* Build a server hosting [setup]'s services under the given flavour. *)
+let make_server ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)
+    ?(linux_threads = 2) flavour setup =
+  let engine = Sim.Engine.create () in
+  let recorder = Harness.Recorder.create engine in
+  let egress = Harness.Recorder.egress recorder in
+  let driver, flush, lauberhorn =
+    match flavour with
+    | Lauberhorn (cfg, mirror_mode) ->
+        let s =
+          Lauberhorn.Stack.create engine ~cfg ~ncores ~mirror_mode
+            ~services:
+              (List.mapi
+                 (fun i def ->
+                   Lauberhorn.Stack.spec ~min_workers ~max_workers
+                     ~port:setup.Workload.Scenario.ports.(i) def)
+                 setup.Workload.Scenario.defs)
+            ~egress ()
+        in
+        (Lauberhorn.Stack.driver s, (fun () -> ()), Some s)
+    | Linux profile ->
+        let s =
+          Baseline.Linux_stack.create engine ~profile ~ncores
+            ~services:
+              (List.mapi
+                 (fun i def ->
+                   Baseline.Linux_stack.spec ~threads:linux_threads
+                     ~port:setup.Workload.Scenario.ports.(i) def)
+                 setup.Workload.Scenario.defs)
+            ~egress ()
+        in
+        (Baseline.Linux_stack.driver s, (fun () -> ()), None)
+    | Bypass profile ->
+        let s =
+          Baseline.Bypass_stack.create engine ~profile ~ncores
+            ~services:
+              (List.mapi
+                 (fun i def ->
+                   Baseline.Bypass_stack.spec
+                     ~port:setup.Workload.Scenario.ports.(i) def)
+                 setup.Workload.Scenario.defs)
+            ~egress ()
+        in
+        ( Baseline.Bypass_stack.driver s,
+          (fun () -> Baseline.Bypass_stack.flush_spin s),
+          None )
+    | Static cfg ->
+        let s =
+          Lauberhorn.Static_stack.create engine ~cfg ~ncores
+            ~services:
+              (List.mapi
+                 (fun i def ->
+                   Lauberhorn.Static_stack.spec
+                     ~port:setup.Workload.Scenario.ports.(i) def)
+                 setup.Workload.Scenario.defs)
+            ~egress ()
+        in
+        (Lauberhorn.Static_stack.driver s, (fun () -> ()), None)
+  in
+  { engine; driver; recorder; setup; flush; lauberhorn }
+
+let inject_blob server ~seq ~service_idx ~bytes =
+  let setup = server.setup in
+  Harness.Traffic.inject server.recorder server.driver
+    ~rpc_id:(Int64.of_int seq)
+    ~service_id:(Workload.Scenario.service_id_of setup ~service_idx)
+    ~method_id:0
+    ~port:(Workload.Scenario.port_of setup ~service_idx)
+    (Rpc.Value.Blob (Bytes.make bytes 'w'))
+
+type measurement = {
+  name : string;
+  sent : int;
+  completed : int;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  mean : float;
+  max : int;
+  throughput : float;  (* completions per second over the window *)
+  user_ns : int;
+  kernel_ns : int;
+  spin_ns : int;
+  stall_ns : int;
+  window : Sim.Units.duration;
+  counters : (string * int) list;
+}
+
+let measure ?(drain = Sim.Units.ms 10) ~name ~horizon server =
+  Sim.Engine.run server.engine ~until:(horizon + drain);
+  server.flush ();
+  let h = Harness.Recorder.latencies server.recorder in
+  let completed = Harness.Recorder.completed server.recorder in
+  let acct =
+    Osmodel.Cpu_account.merge
+      (Osmodel.Kernel.accounts server.driver.Harness.Driver.kernel)
+  in
+  let q p = if completed = 0 then 0 else Sim.Histogram.quantile h p in
+  {
+    name;
+    sent = Harness.Recorder.sent server.recorder;
+    completed;
+    p50 = q 0.5;
+    p90 = q 0.9;
+    p99 = q 0.99;
+    mean = Sim.Histogram.mean h;
+    max = (if completed = 0 then 0 else Sim.Histogram.max_value h);
+    throughput = float_of_int completed /. Sim.Units.to_float_s horizon;
+    user_ns = Osmodel.Cpu_account.charged acct Osmodel.Cpu_account.User;
+    kernel_ns = Osmodel.Cpu_account.charged acct Osmodel.Cpu_account.Kernel;
+    spin_ns = Osmodel.Cpu_account.charged acct Osmodel.Cpu_account.Spin;
+    stall_ns = Osmodel.Cpu_account.charged acct Osmodel.Cpu_account.Stall;
+    window = horizon + drain;
+    counters = Sim.Counter.to_list server.driver.Harness.Driver.counters;
+  }
+
+let counter m name =
+  match List.assoc_opt name m.counters with Some v -> v | None -> 0
+
+(* A standard open-loop run: [nservices] echo services, Poisson
+   arrivals, optional Zipf skew, fixed payload. *)
+let open_loop_run ?(ncores = 8) ?(nservices = 1) ?(min_workers = 1)
+    ?(max_workers = 2) ?(payload = 64) ?(zipf_s = 0.)
+    ?(handler_time = Sim.Units.ns 500) ?(seed = 42)
+    ?(horizon = Sim.Units.ms 30) ~rate flavour =
+  let setup = Workload.Scenario.echo_fleet ~n:nservices ~handler_time () in
+  let server = make_server ~ncores ~min_workers ~max_workers flavour setup in
+  let rng = Sim.Rng.create ~seed in
+  Workload.Arrivals.open_loop server.engine rng ~rate_per_s:rate
+    ~until:horizon (fun ~seq ->
+      let service_idx =
+        if zipf_s > 0. then
+          (Workload.Rpc_mix.zipf_pick rng ~services:nservices ~s:zipf_s)
+            .Workload.Rpc_mix.service_idx
+        else if nservices = 1 then 0
+        else
+          (Workload.Rpc_mix.uniform_pick rng ~services:nservices)
+            .Workload.Rpc_mix.service_idx
+      in
+      inject_blob server ~seq ~service_idx ~bytes:payload);
+  measure ~name:(flavour_name flavour) ~horizon server
+
+(* A replayed-trace run over [nservices] echo services. *)
+let replay_run ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)
+    ?(handler_time = Sim.Units.ns 500) ~events flavour =
+  let nservices =
+    1
+    + List.fold_left
+        (fun acc ev -> max acc ev.Workload.Trace_replay.service_idx)
+        0 events
+  in
+  let setup = Workload.Scenario.echo_fleet ~n:nservices ~handler_time () in
+  let server = make_server ~ncores ~min_workers ~max_workers flavour setup in
+  let seq = ref 0 in
+  Workload.Trace_replay.replay server.engine events (fun ev ->
+      incr seq;
+      inject_blob server ~seq:!seq
+        ~service_idx:ev.Workload.Trace_replay.service_idx
+        ~bytes:(min ev.Workload.Trace_replay.bytes 60_000));
+  let horizon =
+    match List.rev events with
+    | last :: _ -> last.Workload.Trace_replay.at + Sim.Units.ms 1
+    | [] -> Sim.Units.ms 1
+  in
+  measure ~name:(flavour_name flavour) ~horizon server
+
+(* ---------- Report formatting ---------- *)
+
+let section title =
+  Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
+
+let note fmt = Format.printf ("  " ^^ fmt ^^ "@.")
+
+let table ~header rows =
+  let widths =
+    List.fold_left
+      (fun acc row ->
+        List.map2 (fun w cell -> max w (String.length cell)) acc row)
+      (List.map String.length header)
+      rows
+  in
+  let print_row row =
+    Format.printf "  ";
+    List.iter2 (fun w cell -> Format.printf "%-*s  " w cell) widths row;
+    Format.printf "@."
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let ns v = Format.asprintf "%a" Sim.Units.pp_duration v
+let rate_str v = Format.asprintf "%a" Sim.Units.pp_rate v

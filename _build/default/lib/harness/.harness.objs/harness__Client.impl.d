@@ -1,0 +1,1 @@
+lib/harness/client.ml: Hashtbl Int64 Net Rpc Sim Traffic

@@ -1,0 +1,1 @@
+lib/harness/client.mli: Net Rpc Sim

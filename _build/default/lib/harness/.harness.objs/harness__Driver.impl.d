@@ -1,0 +1,1 @@
+lib/harness/driver.ml: Net Osmodel Sim

@@ -1,0 +1,1 @@
+lib/harness/driver.mli: Net Osmodel Sim

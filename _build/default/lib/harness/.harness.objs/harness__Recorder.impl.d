@@ -1,0 +1,1 @@
+lib/harness/recorder.ml: Hashtbl Net Rpc Sim

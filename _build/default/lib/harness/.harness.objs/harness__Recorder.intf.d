@@ -1,0 +1,1 @@
+lib/harness/recorder.mli: Net Sim

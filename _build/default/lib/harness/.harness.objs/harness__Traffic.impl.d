@@ -1,0 +1,1 @@
+lib/harness/traffic.ml: Driver Int64 Net Recorder Rpc

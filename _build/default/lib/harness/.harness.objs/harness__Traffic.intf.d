@@ -1,0 +1,1 @@
+lib/harness/traffic.mli: Driver Net Recorder Rpc

@@ -1,0 +1,137 @@
+type t = {
+  engine : Sim.Engine.t;
+  send : Net.Frame.t -> unit;
+  endpoint : Net.Frame.endpoint;
+  continuations : Rpc.Value.t Rpc.Continuation.t;
+  epochs : (int, int) Hashtbl.t;
+      (* continuation id -> epoch: a recycled id must not accept a late
+         response meant for its previous owner (ABA) *)
+  mutable next_epoch : int;
+  schemas : (int * int, Rpc.Schema.t) Hashtbl.t;
+  mutable completed : int;
+  mutable errors : int;
+  mutable retransmits : int;
+  mutable abandoned : int;
+}
+
+(* rpc_id = epoch << 20 | continuation id. *)
+let cont_bits = 20
+
+let rpc_id_of ~epoch ~cont =
+  Int64.logor
+    (Int64.shift_left (Int64.of_int epoch) cont_bits)
+    (Int64.of_int cont)
+
+let split_rpc_id id =
+  ( Int64.to_int (Int64.shift_right_logical id cont_bits),
+    Int64.to_int (Int64.logand id (Int64.of_int ((1 lsl cont_bits) - 1))) )
+
+let create engine ~send ?endpoint () =
+  let endpoint =
+    match endpoint with Some e -> e | None -> Traffic.client_endpoint ()
+  in
+  {
+    engine;
+    send;
+    endpoint;
+    continuations = Rpc.Continuation.create ();
+    epochs = Hashtbl.create 64;
+    next_epoch = 1;
+    schemas = Hashtbl.create 16;
+    completed = 0;
+    errors = 0;
+    retransmits = 0;
+    abandoned = 0;
+  }
+
+let expect t ~service_id ~method_id schema =
+  Hashtbl.replace t.schemas (service_id, method_id) schema
+
+let call ?timeout ?(retries = 3) t ~service_id ~method_id ~port args k =
+  let done_flag = ref false in
+  let cont_ref = ref (-1) in
+  let cont =
+    Rpc.Continuation.alloc t.continuations (fun v ->
+        done_flag := true;
+        Hashtbl.remove t.epochs !cont_ref;
+        k v)
+  in
+  cont_ref := cont;
+  if cont >= 1 lsl cont_bits then
+    invalid_arg "Client.call: too many outstanding calls";
+  let epoch = t.next_epoch in
+  t.next_epoch <- t.next_epoch + 1;
+  Hashtbl.replace t.epochs cont epoch;
+  let frame () =
+    Traffic.request_frame
+      ~rpc_id:(rpc_id_of ~epoch ~cont)
+      ~service_id ~method_id ~port ~client:t.endpoint args
+  in
+  t.send (frame ());
+  match timeout with
+  | None -> ()
+  | Some timeout ->
+      if timeout <= 0 then invalid_arg "Client.call: non-positive timeout";
+      let rec arm attempts_left =
+        ignore
+          (Sim.Engine.schedule_after t.engine ~after:timeout (fun () ->
+               if not !done_flag then
+                 if attempts_left > 0 then begin
+                   t.retransmits <- t.retransmits + 1;
+                   t.send (frame ());
+                   arm (attempts_left - 1)
+                 end
+                 else begin
+                   t.abandoned <- t.abandoned + 1;
+                   Hashtbl.remove t.epochs cont;
+                   ignore (Rpc.Continuation.cancel t.continuations cont)
+                 end))
+      in
+      arm retries
+
+let on_reply t frame =
+  match Rpc.Wire_format.decode frame.Net.Frame.payload with
+  | Error _ -> ()
+  | Ok msg -> (
+      match msg.Rpc.Wire_format.kind with
+      | Rpc.Wire_format.Request -> ()
+      | Rpc.Wire_format.Error_reply _ ->
+          let epoch, cont = split_rpc_id msg.Rpc.Wire_format.rpc_id in
+          if Hashtbl.find_opt t.epochs cont = Some epoch then begin
+            t.errors <- t.errors + 1;
+            Hashtbl.remove t.epochs cont;
+            ignore (Rpc.Continuation.cancel t.continuations cont)
+          end
+      | Rpc.Wire_format.Response ->
+          let epoch, cont = split_rpc_id msg.Rpc.Wire_format.rpc_id in
+          if Hashtbl.find_opt t.epochs cont <> Some epoch then
+            (* A duplicate, or a late response to an abandoned (and
+               possibly recycled) id: drop it. *)
+            ()
+          else
+            let key =
+              (msg.Rpc.Wire_format.service_id, msg.Rpc.Wire_format.method_id)
+            in
+            let value =
+              match Hashtbl.find_opt t.schemas key with
+              | Some schema -> (
+                  match Rpc.Codec.decode schema msg.Rpc.Wire_format.body with
+                  | Ok v -> Some v
+                  | Error _ -> None)
+              | None -> Some (Rpc.Value.Blob msg.Rpc.Wire_format.body)
+            in
+            (match value with
+            | Some v ->
+                if Rpc.Continuation.fire t.continuations cont v then
+                  t.completed <- t.completed + 1
+            | None ->
+                t.errors <- t.errors + 1;
+                Hashtbl.remove t.epochs cont;
+                ignore (Rpc.Continuation.cancel t.continuations cont)))
+
+let outstanding t = Rpc.Continuation.live t.continuations
+let completed t = t.completed
+let errors t = t.errors
+
+let retransmits t = t.retransmits
+let abandoned t = t.abandoned

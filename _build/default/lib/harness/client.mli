@@ -1,0 +1,42 @@
+(** A simulated RPC client.
+
+    Issues requests into a server's ingress and matches response frames
+    back to per-call continuations — the client-side realisation of the
+    paper's §6 observation that replies need "a dedicated end-point"
+    created cheaply per outstanding call: the continuation id is the
+    RPC id on the wire, allocated and recycled in O(1) by
+    {!Rpc.Continuation}. *)
+
+type t
+
+val create :
+  Sim.Engine.t -> send:(Net.Frame.t -> unit) ->
+  ?endpoint:Net.Frame.endpoint -> unit -> t
+
+val call :
+  ?timeout:Sim.Units.duration -> ?retries:int -> t -> service_id:int ->
+  method_id:int -> port:int -> Rpc.Value.t -> (Rpc.Value.t -> unit) -> unit
+(** Issue a call; the continuation fires with the decoded result when
+    the response arrives. The response body is decoded as a raw blob
+    when no schema is registered — register one with {!expect} for
+    typed decoding.
+
+    With [timeout] set, the request is retransmitted (same RPC id, so
+    at-least-once with server-side idempotence left to the service) up
+    to [retries] times (default 3) before the call is abandoned. *)
+
+val retransmits : t -> int
+val abandoned : t -> int
+(** Calls given up after exhausting retries. *)
+
+val expect : t -> service_id:int -> method_id:int -> Rpc.Schema.t -> unit
+(** Register the response schema of a method (clients know the IDL). *)
+
+val on_reply : t -> Net.Frame.t -> unit
+(** Connect to the server's egress: filters and consumes responses
+    addressed to this client's ids; ignores other frames. *)
+
+val outstanding : t -> int
+val completed : t -> int
+val errors : t -> int
+(** Responses carrying an application error, or undecodable bodies. *)

@@ -1,0 +1,13 @@
+type t = {
+  name : string;
+  ingress : Net.Frame.t -> unit;
+  kernel : Osmodel.Kernel.t;
+  counters : Sim.Counter.group;
+  describe : unit -> string;
+}
+
+let make ~name ~ingress ~kernel ~counters ?describe () =
+  let describe =
+    match describe with Some f -> f | None -> fun () -> name
+  in
+  { name; ingress; kernel; counters; describe }

@@ -1,0 +1,30 @@
+let client_endpoint ?(idx = 0) () =
+  {
+    Net.Frame.mac =
+      Net.Mac_addr.of_int64 (Int64.of_int (0x02_00_00_00_00_10 + idx));
+    ip = Net.Ip_addr.of_int (Net.Ip_addr.to_int (Net.Ip_addr.of_string "10.0.1.1") + idx);
+    port = 40_000 + (idx mod 20_000);
+  }
+
+let server_endpoint ~port =
+  {
+    Net.Frame.mac = Net.Mac_addr.of_string "02:00:00:00:00:01";
+    ip = Net.Ip_addr.of_string "10.0.0.1";
+    port;
+  }
+
+let request_frame ~rpc_id ~service_id ~method_id ~port ?client args =
+  let client =
+    match client with Some c -> c | None -> client_endpoint ()
+  in
+  let msg = Rpc.Wire_format.request ~rpc_id ~service_id ~method_id args in
+  Net.Frame.make ~src:client ~dst:(server_endpoint ~port)
+    (Rpc.Wire_format.encode msg)
+
+let inject recorder (driver : Driver.t) ~rpc_id ~service_id ~method_id ~port
+    ?client args =
+  let frame =
+    request_frame ~rpc_id ~service_id ~method_id ~port ?client args
+  in
+  Recorder.note_sent recorder ~rpc_id;
+  driver.Driver.ingress frame

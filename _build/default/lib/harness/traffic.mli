@@ -1,0 +1,19 @@
+(** Frame construction for simulated clients. *)
+
+val client_endpoint : ?idx:int -> unit -> Net.Frame.endpoint
+(** A synthetic client NIC identity ([idx] varies MAC/IP/port). *)
+
+val server_endpoint : port:int -> Net.Frame.endpoint
+(** The server's identity on the given UDP service port. *)
+
+val request_frame :
+  rpc_id:int64 -> service_id:int -> method_id:int -> port:int ->
+  ?client:Net.Frame.endpoint -> Rpc.Value.t -> Net.Frame.t
+(** A complete request frame from client to server carrying the encoded
+    arguments. *)
+
+val inject :
+  Recorder.t -> Driver.t -> rpc_id:int64 -> service_id:int ->
+  method_id:int -> port:int -> ?client:Net.Frame.endpoint -> Rpc.Value.t ->
+  unit
+(** Stamp the recorder and deliver the frame to the driver's ingress. *)

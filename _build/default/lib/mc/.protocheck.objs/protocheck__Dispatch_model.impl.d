@@ -1,0 +1,1 @@
+lib/mc/dispatch_model.ml: Format Hashtbl Printf State_space

@@ -1,0 +1,1 @@
+lib/mc/dispatch_model.mli: State_space

@@ -1,0 +1,1 @@
+lib/mc/lauberhorn_model.ml: Format Hashtbl List Printf State_space String

@@ -1,0 +1,1 @@
+lib/mc/lauberhorn_model.mli: State_space

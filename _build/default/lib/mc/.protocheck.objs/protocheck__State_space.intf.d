@@ -1,0 +1,1 @@
+lib/mc/state_space.mli: Format

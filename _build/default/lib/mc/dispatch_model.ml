@@ -1,0 +1,163 @@
+type phase = Parked | Busy | Running | Blocked
+
+type state = {
+  to_arrive : int;
+  pending : int;
+  handled : int;
+  active : bool;
+  starting : bool;
+  tryagain_inflight : bool;
+  empty : int;
+  phase : phase;
+}
+
+type action =
+  | Arrive
+  | Dispatcher_activates
+  | Worker_parks
+  | Nic_delivers
+  | Nic_timeout
+  | Worker_gets_tryagain
+  | Worker_finishes
+
+let phase_name = function
+  | Parked -> "parked"
+  | Busy -> "busy"
+  | Running -> "running"
+  | Blocked -> "blocked"
+
+let pp_state ppf s =
+  Format.fprintf ppf
+    "arrive=%d pending=%d handled=%d %s%s%s%s empty=%d" s.to_arrive
+    s.pending s.handled (phase_name s.phase)
+    (if s.active then " active" else "")
+    (if s.starting then " starting" else "")
+    (if s.tryagain_inflight then " tryagain!" else "")
+    s.empty
+
+let pp_action ppf = function
+  | Arrive -> Format.pp_print_string ppf "request-arrives"
+  | Dispatcher_activates -> Format.pp_print_string ppf "dispatcher-activates"
+  | Worker_parks -> Format.pp_print_string ppf "worker-parks"
+  | Nic_delivers -> Format.pp_print_string ppf "nic-delivers"
+  | Nic_timeout -> Format.pp_print_string ppf "nic-timeout"
+  | Worker_gets_tryagain -> Format.pp_print_string ppf "worker-gets-tryagain"
+  | Worker_finishes -> Format.pp_print_string ppf "worker-finishes"
+
+let deactivate_threshold = 2
+
+let model ~packets ~guarded =
+  if packets <= 0 then invalid_arg "Dispatch_model.model: packets <= 0";
+  (module struct
+    type nonrec state = state
+    type nonrec action = action
+
+    let initial =
+      [
+        {
+          to_arrive = packets;
+          pending = 0;
+          handled = 0;
+          active = false;
+          starting = false;
+          tryagain_inflight = false;
+          empty = 0;
+          phase = Blocked;
+        };
+      ]
+
+    let actions s =
+      let acts = ref [] in
+      let add a s' = acts := (a, s') :: !acts in
+      (* A request arrives; the NIC requests an activation when no
+         worker is active and none is being started. *)
+      if s.to_arrive > 0 then begin
+        let s' = { s with to_arrive = s.to_arrive - 1;
+                          pending = s.pending + 1 } in
+        let s' =
+          if (not s'.active) && not s'.starting then
+            { s' with starting = true }
+          else s'
+        in
+        add Arrive s'
+      end;
+      (* The dispatcher kernel thread processes the activation. *)
+      if s.starting then begin
+        let s' = { s with starting = false; active = true } in
+        let s' =
+          match s'.phase with Blocked -> { s' with phase = Running } | _ -> s'
+        in
+        add Dispatcher_activates s'
+      end;
+      (* The worker loads its CONTROL line: served if something is
+         there, parked otherwise. *)
+      (match s.phase with
+      | Running ->
+          if s.pending > 0 then
+            add Worker_parks
+              { s with phase = Busy; pending = s.pending - 1; empty = 0 }
+          else add Worker_parks { s with phase = Parked }
+      | Parked | Busy | Blocked -> ());
+      (* The NIC completes a parked load with a queued request. *)
+      if s.phase = Parked && s.pending > 0 && not s.tryagain_inflight then
+        add Nic_delivers
+          { s with phase = Busy; pending = s.pending - 1; empty = 0 };
+      (* The NIC times out a parked load. *)
+      if s.phase = Parked && s.pending = 0 && not s.tryagain_inflight then
+        add Nic_timeout { s with tryagain_inflight = true };
+      (* The TRYAGAIN reaches the worker; it may deactivate. The race:
+         an Arrive can interleave between Nic_timeout and this step. *)
+      if s.tryagain_inflight && s.phase = Parked then begin
+        let s' = { s with tryagain_inflight = false;
+                          empty = s.empty + 1 } in
+        if
+          s'.empty >= deactivate_threshold && s'.active
+          && ((not guarded) || s'.pending = 0)
+        then add Worker_gets_tryagain
+            { s' with active = false; empty = 0; phase = Blocked }
+        else add Worker_gets_tryagain { s' with phase = Running }
+      end;
+      (* Handler completion. *)
+      if s.phase = Busy then
+        add Worker_finishes
+          { s with handled = s.handled + 1; phase = Running };
+      !acts
+
+    let invariant s =
+      if s.pending < 0 || s.handled > packets then Error "conservation"
+      else if s.phase = Blocked && s.active then
+        Error "blocked worker still marked active"
+      else Ok ()
+
+    let is_terminal s =
+      s.to_arrive = 0 && s.pending = 0 && s.handled = packets
+      && not s.tryagain_inflight && not s.starting
+
+    let equal = ( = )
+    let hash = Hashtbl.hash
+    let pp_state = pp_state
+    let pp_action = pp_action
+  end : State_space.MODEL
+    with type state = state
+     and type action = action)
+
+let check ?(packets = 3) ~guarded () =
+  let (module M) = model ~packets ~guarded in
+  let module C = State_space.Make (M) in
+  match C.check () with
+  | State_space.Ok_verdict s ->
+      Printf.sprintf
+        "OK: %d packets (%s), %d states, %d transitions — no stranded \
+         requests, no deadlock"
+        packets
+        (if guarded then "guarded" else "unguarded")
+        s.State_space.states s.State_space.transitions
+  | State_space.State_limit s ->
+      Printf.sprintf "INCONCLUSIVE after %d states" s.State_space.states
+  | State_space.Invariant_violation { message; trace; stats } ->
+      Format.asprintf "VIOLATION (%s) after %d states@\n%a" message
+        stats.State_space.states C.pp_trace trace
+  | State_space.Deadlock { trace; stats } ->
+      Format.asprintf
+        "DEADLOCK (stranded request) after %d states@\n%a"
+        stats.State_space.states C.pp_trace trace

@@ -1,0 +1,45 @@
+(** Finite-state model of the worker activation/retirement channel
+    (Figure 5's slow path plus §5.2's TRYAGAIN-yield down-scaling),
+    mirroring the stack's implementation.
+
+    The interesting race — one the simulator's development actually
+    hit — is between the NIC delivering a request to a worker's
+    endpoint and that worker concurrently deciding, on a TRYAGAIN it
+    received moments earlier, to deactivate. The implementation guards
+    deactivation on the endpoint being empty; {!model} with
+    [guarded:true] verifies no reachable state strands a request, and
+    [guarded:false] reproduces the bug as a deadlock with a shortest
+    interleaving. *)
+
+type phase =
+  | Parked  (** Load parked on the CONTROL line. *)
+  | Busy  (** Handling a request. *)
+  | Running  (** On CPU between protocol steps (about to load). *)
+  | Blocked  (** Deactivated; waiting for a kernel dispatch. *)
+
+type state = {
+  to_arrive : int;
+  pending : int;  (** Requests staged/queued at the endpoint. *)
+  handled : int;
+  active : bool;
+  starting : bool;  (** A kernel-dispatch activation is in flight. *)
+  tryagain_inflight : bool;
+  empty : int;  (** Consecutive empty cycles (deactivation counter). *)
+  phase : phase;
+}
+
+type action =
+  | Arrive
+  | Dispatcher_activates
+  | Worker_parks
+  | Nic_delivers
+  | Nic_timeout
+  | Worker_gets_tryagain
+  | Worker_finishes
+
+val model :
+  packets:int -> guarded:bool ->
+  (module State_space.MODEL with type state = state and type action = action)
+
+val check : ?packets:int -> guarded:bool -> unit -> string
+(** Human-readable verdict, like {!Lauberhorn_model.check}. *)

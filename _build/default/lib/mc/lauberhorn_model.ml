@@ -1,0 +1,237 @@
+type cpu_phase = Issue | Wait_fill | Handle | Respond | Yielded
+
+type line = { staged : bool; has_resp : bool }
+
+type state = {
+  to_inject : int;
+  nic_queue : int;
+  line0 : line;
+  line1 : line;
+  nic_cur : int;
+  to_collect : int list;
+  outstanding : int;
+  cpu_phase : cpu_phase;
+  cpu_cur : int;
+  parked : bool;
+  handled : int;
+  collected : int;
+  bad : string option;
+}
+
+type action =
+  | Packet_arrives
+  | Nic_deliver
+  | Cpu_load
+  | Nic_timeout
+  | Nic_kick
+  | Cpu_handle_done
+  | Cpu_store_response
+  | Cpu_resched
+
+let line s i = if i = 0 then s.line0 else s.line1
+
+let set_line s i l =
+  if i = 0 then { s with line0 = l } else { s with line1 = l }
+
+let phase_name = function
+  | Issue -> "issue"
+  | Wait_fill -> "wait"
+  | Handle -> "handle"
+  | Respond -> "respond"
+  | Yielded -> "yielded"
+
+let pp_state ppf s =
+  let pl ppf l =
+    Format.fprintf ppf "%c%c"
+      (if l.staged then 'S' else '-')
+      (if l.has_resp then 'R' else '-')
+  in
+  Format.fprintf ppf
+    "inj=%d q=%d L0=%a L1=%a nic@%d cpu@%d %s%s out=%d coll=%d done=%d%s"
+    s.to_inject s.nic_queue pl s.line0 pl s.line1 s.nic_cur s.cpu_cur
+    (phase_name s.cpu_phase)
+    (if s.parked then "(parked)" else "")
+    s.outstanding s.collected s.handled
+    (match s.bad with None -> "" | Some m -> " BAD:" ^ m)
+
+let pp_action ppf = function
+  | Packet_arrives -> Format.pp_print_string ppf "packet-arrives"
+  | Nic_deliver -> Format.pp_print_string ppf "nic-deliver"
+  | Cpu_load -> Format.pp_print_string ppf "cpu-load"
+  | Nic_timeout -> Format.pp_print_string ppf "nic-timeout(tryagain)"
+  | Nic_kick -> Format.pp_print_string ppf "nic-kick(preempt)"
+  | Cpu_handle_done -> Format.pp_print_string ppf "cpu-handle-done"
+  | Cpu_store_response -> Format.pp_print_string ppf "cpu-store-response"
+  | Cpu_resched -> Format.pp_print_string ppf "cpu-resched"
+
+(* Transition helpers; each returns the successor state. *)
+
+let deliver s =
+  (* Mirrors Endpoint.stage_now: requires a free credit; staging into a
+     dirty line is an error the invariant will catch. *)
+  let target = s.nic_cur in
+  let tl = line s target in
+  let s =
+    if tl.staged || tl.has_resp then
+      { s with bad = Some "stage over dirty line" }
+    else s
+  in
+  let s = { s with nic_queue = s.nic_queue - 1 } in
+  let s =
+    if s.parked && s.cpu_cur = target then
+      (* Completes the parked load directly. *)
+      { s with parked = false; cpu_phase = Handle }
+    else set_line s target { (line s target) with staged = true }
+  in
+  {
+    s with
+    nic_cur = 1 - target;
+    outstanding = s.outstanding + 1;
+    to_collect = s.to_collect @ [ target ];
+  }
+
+let cpu_load s =
+  let j = s.cpu_cur in
+  (* The home agent sees the load; the endpoint collects the previous
+     response if one is due (Endpoint.on_ctrl_load). *)
+  let s =
+    match s.to_collect with
+    | c :: rest when c = 1 - j ->
+        let cl = line s c in
+        if not cl.has_resp then { s with bad = Some "collect finds no data" }
+        else
+          let s = set_line s c { cl with has_resp = false } in
+          {
+            s with
+            to_collect = rest;
+            outstanding = s.outstanding - 1;
+            collected = s.collected + 1;
+          }
+    | _ -> s
+  in
+  let jl = line s j in
+  if jl.staged then
+    let s = set_line s j { jl with staged = false } in
+    { s with cpu_phase = Handle }
+  else { s with cpu_phase = Wait_fill; parked = true }
+
+let tryagain s = { s with parked = false; cpu_phase = Yielded }
+
+let model ~packets =
+  if packets <= 0 then invalid_arg "Lauberhorn_model.model: packets <= 0";
+  (module struct
+    type nonrec state = state
+    type nonrec action = action
+
+    let initial =
+      [
+        {
+          to_inject = packets;
+          nic_queue = 0;
+          line0 = { staged = false; has_resp = false };
+          line1 = { staged = false; has_resp = false };
+          nic_cur = 0;
+          to_collect = [];
+          outstanding = 0;
+          cpu_phase = Issue;
+          cpu_cur = 0;
+          parked = false;
+          handled = 0;
+          collected = 0;
+          bad = None;
+        };
+      ]
+
+    let actions s =
+      if s.bad <> None then []
+      else begin
+        let acts = ref [] in
+        let add a s' = acts := (a, s') :: !acts in
+        if s.to_inject > 0 then
+          add Packet_arrives
+            {
+              s with
+              to_inject = s.to_inject - 1;
+              nic_queue = s.nic_queue + 1;
+            };
+        if s.nic_queue > 0 && s.outstanding < 2 then
+          add Nic_deliver (deliver s);
+        (match s.cpu_phase with
+        | Issue -> add Cpu_load (cpu_load s)
+        | Wait_fill ->
+            if s.parked then begin
+              add Nic_timeout (tryagain s);
+              add Nic_kick (tryagain s)
+            end
+        | Handle -> add Cpu_handle_done { s with cpu_phase = Respond }
+        | Respond ->
+            let jl = line s s.cpu_cur in
+            add Cpu_store_response
+              (let s = set_line s s.cpu_cur { jl with has_resp = true } in
+               {
+                 s with
+                 handled = s.handled + 1;
+                 cpu_cur = 1 - s.cpu_cur;
+                 cpu_phase = Issue;
+               })
+        | Yielded -> add Cpu_resched { s with cpu_phase = Issue });
+        !acts
+      end
+
+    let invariant s =
+      if s.bad <> None then
+        Error (match s.bad with Some m -> m | None -> assert false)
+      else if s.outstanding <> List.length s.to_collect then
+        Error "outstanding / to_collect mismatch"
+      else if s.outstanding > 2 then Error "more than two in flight"
+      else if s.line0.staged && s.line0.has_resp then
+        Error "line0 both staged and holding a response"
+      else if s.line1.staged && s.line1.has_resp then
+        Error "line1 both staged and holding a response"
+      else if s.collected > s.handled then Error "collected > handled"
+      else if s.parked && s.cpu_phase <> Wait_fill then
+        Error "parked but not waiting"
+      else if s.parked && (line s s.cpu_cur).staged then
+        Error "parked over staged data"
+      else if
+        (* Quiescence implies completion: nothing pending anywhere means
+           every accepted request was answered (no lost RPCs). *)
+        s.to_inject = 0 && s.nic_queue = 0 && s.outstanding = 0
+        && s.cpu_phase = Wait_fill
+        && s.collected <> packets
+      then Error "quiescent but requests were lost"
+      else Ok ()
+
+    let is_terminal s =
+      s.bad = None && s.to_inject = 0 && s.nic_queue = 0
+      && s.outstanding = 0 && s.collected = packets
+
+    let equal = ( = )
+    let hash = Hashtbl.hash
+    let pp_state = pp_state
+    let pp_action = pp_action
+  end : State_space.MODEL
+    with type state = state
+     and type action = action)
+
+let check ?(packets = 3) ?max_states () =
+  let (module M) = model ~packets in
+  let module C = State_space.Make (M) in
+  match C.check ?max_states () with
+  | State_space.Ok_verdict s ->
+      Printf.sprintf
+        "OK: %d packets, %d states, %d transitions, depth %d — all \
+         invariants hold, no deadlock"
+        packets s.State_space.states s.State_space.transitions
+        s.State_space.depth
+  | State_space.State_limit s ->
+      Printf.sprintf "INCONCLUSIVE: state limit hit after %d states"
+        s.State_space.states
+  | State_space.Invariant_violation { message; trace; stats } ->
+      Format.asprintf "VIOLATION (%s) after %d states@\n%a" message
+        stats.State_space.states C.pp_trace trace
+  | State_space.Deadlock { trace; stats } ->
+      Format.asprintf "DEADLOCK after %d states@\n%a"
+        stats.State_space.states C.pp_trace trace
+
+let verdict_ok s = String.length s >= 2 && String.sub s 0 2 = "OK"

@@ -1,0 +1,65 @@
+(** Finite-state model of the Lauberhorn CONTROL-line protocol
+    (Figure 4), mirroring the simulator's implementation semantics:
+    double-buffered staging with a two-credit discipline, parked loads,
+    TRYAGAIN/kick, response collection on the next-line load.
+
+    Checked properties (E10):
+    - {b no over-staging}: the NIC never stages into a line whose
+      previous response is still uncollected;
+    - {b collect soundness}: when the CPU's next-line load triggers a
+      collection, the response line has actually been written;
+    - {b credit discipline}: at most two requests in flight;
+    - {b conservation}: collected ≤ handled ≤ injected, and a quiescent
+      system has collected everything it accepted (no lost RPCs);
+    - {b deadlock freedom}: every non-terminal state has a successor.
+
+    The model abstracts interconnect latency to atomic interleavings —
+    the orderings are what races are made of; durations are not. *)
+
+type cpu_phase =
+  | Issue  (** About to load the current CONTROL line. *)
+  | Wait_fill  (** Load parked at the NIC. *)
+  | Handle  (** Executing the handler. *)
+  | Respond  (** About to store the response. *)
+  | Yielded  (** In the kernel after a TRYAGAIN. *)
+
+type line = { staged : bool; has_resp : bool }
+
+type state = {
+  to_inject : int;
+  nic_queue : int;
+  line0 : line;
+  line1 : line;
+  nic_cur : int;
+  to_collect : int list;
+  outstanding : int;
+  cpu_phase : cpu_phase;
+  cpu_cur : int;
+  parked : bool;
+  handled : int;
+  collected : int;
+  bad : string option;  (** Set when a transition hits an impossible case. *)
+}
+
+type action =
+  | Packet_arrives
+  | Nic_deliver
+  | Cpu_load
+  | Nic_timeout
+  | Nic_kick
+  | Cpu_handle_done
+  | Cpu_store_response
+  | Cpu_resched
+
+val model :
+  packets:int ->
+  (module State_space.MODEL with type state = state and type action = action)
+(** The protocol model with [packets] total requests injected. State
+    spaces stay small (thousands of states for ≤ 5 packets). *)
+
+val check : ?packets:int -> ?max_states:int -> unit -> string
+(** Run the checker and render a human-readable verdict (used by the
+    example and the bench). Default 3 packets. *)
+
+val verdict_ok : string -> bool
+(** Whether a {!check} rendering reports success. *)

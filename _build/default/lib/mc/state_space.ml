@@ -1,0 +1,102 @@
+module type MODEL = sig
+  type state
+  type action
+
+  val initial : state list
+  val actions : state -> (action * state) list
+  val invariant : state -> (unit, string) result
+  val is_terminal : state -> bool
+  val equal : state -> state -> bool
+  val hash : state -> int
+  val pp_state : Format.formatter -> state -> unit
+  val pp_action : Format.formatter -> action -> unit
+end
+
+type stats = { states : int; transitions : int; depth : int }
+
+type 'a verdict =
+  | Ok_verdict of stats
+  | Invariant_violation of { message : string; trace : 'a list; stats : stats }
+  | Deadlock of { trace : 'a list; stats : stats }
+  | State_limit of stats
+
+module Make (M : MODEL) = struct
+  type step = { action : M.action option; state : M.state }
+
+  module Tbl = Hashtbl.Make (struct
+    type t = M.state
+
+    let equal = M.equal
+    let hash = M.hash
+  end)
+
+  (* Predecessor edge for counterexample reconstruction. *)
+  type edge = Root | Via of M.state * M.action
+
+  let rebuild_trace preds state =
+    let rec go state acc =
+      match Tbl.find preds state with
+      | Root -> { action = None; state } :: acc
+      | Via (parent, action) ->
+          go parent ({ action = Some action; state } :: acc)
+    in
+    go state []
+
+  let check ?(max_states = 1_000_000) () =
+    let preds = Tbl.create 4096 in
+    let queue = Queue.create () in
+    let states = ref 0 in
+    let transitions = ref 0 in
+    let depth = ref 0 in
+    let stats () =
+      { states = !states; transitions = !transitions; depth = !depth }
+    in
+    List.iter
+      (fun s ->
+        if not (Tbl.mem preds s) then begin
+          Tbl.add preds s Root;
+          incr states;
+          Queue.add (s, 0) queue
+        end)
+      M.initial;
+    let exception Stop of step verdict in
+    try
+      while not (Queue.is_empty queue) do
+        let state, d = Queue.pop queue in
+        if d > !depth then depth := d;
+        (match M.invariant state with
+        | Ok () -> ()
+        | Error message ->
+            raise
+              (Stop
+                 (Invariant_violation
+                    { message; trace = rebuild_trace preds state;
+                      stats = stats () })));
+        let succs = M.actions state in
+        if succs = [] && not (M.is_terminal state) then
+          raise
+            (Stop
+               (Deadlock { trace = rebuild_trace preds state; stats = stats () }));
+        List.iter
+          (fun (action, next) ->
+            incr transitions;
+            if not (Tbl.mem preds next) then begin
+              if !states >= max_states then raise (Stop (State_limit (stats ())));
+              Tbl.add preds next (Via (state, action));
+              incr states;
+              Queue.add (next, d + 1) queue
+            end)
+          succs
+      done;
+      Ok_verdict (stats ())
+    with Stop v -> v
+
+  let pp_trace ppf trace =
+    List.iteri
+      (fun i { action; state } ->
+        (match action with
+        | None -> Format.fprintf ppf "%2d. (initial)@\n" i
+        | Some a -> Format.fprintf ppf "%2d. %a@\n" i M.pp_action a);
+        Format.fprintf ppf "     %a@\n" M.pp_state state)
+      trace
+end

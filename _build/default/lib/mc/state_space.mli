@@ -1,0 +1,54 @@
+(** A small explicit-state model checker.
+
+    The paper (§6) notes the fine-grained CPU/NIC/kernel interaction
+    "is highly amenable to specification using TLA+, and can be
+    model-checked for correctness relatively easily". This module is
+    the OCaml stand-in: breadth-first exhaustive exploration of a
+    finite-state model, checking an invariant in every reachable state
+    and deadlock-freedom (every non-terminal state has a successor),
+    with shortest counterexample traces. *)
+
+module type MODEL = sig
+  type state
+  type action
+
+  val initial : state list
+  val actions : state -> (action * state) list
+  (** All enabled transitions from a state. *)
+
+  val invariant : state -> (unit, string) result
+  (** Checked on every reachable state. *)
+
+  val is_terminal : state -> bool
+  (** States allowed to have no successors (quiescence). *)
+
+  val equal : state -> state -> bool
+  val hash : state -> int
+  val pp_state : Format.formatter -> state -> unit
+  val pp_action : Format.formatter -> action -> unit
+end
+
+type stats = {
+  states : int;  (** Distinct states reached. *)
+  transitions : int;  (** Edges traversed. *)
+  depth : int;  (** Longest BFS level reached. *)
+}
+
+type 'a verdict =
+  | Ok_verdict of stats
+  | Invariant_violation of { message : string; trace : 'a list; stats : stats }
+  | Deadlock of { trace : 'a list; stats : stats }
+  | State_limit of stats
+      (** Exploration stopped at the state cap; no violation found so
+          far. *)
+
+module Make (M : MODEL) : sig
+  type step = { action : M.action option; state : M.state }
+  (** [action = None] only for the initial state. *)
+
+  val check : ?max_states:int -> unit -> step verdict
+  (** Explore exhaustively up to [max_states] (default 1_000_000).
+      Traces are shortest paths from an initial state. *)
+
+  val pp_trace : Format.formatter -> step list -> unit
+end

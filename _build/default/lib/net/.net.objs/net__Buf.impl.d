@@ -1,0 +1,1 @@
+lib/net/buf.ml: Bytes Char Int32 Printf String

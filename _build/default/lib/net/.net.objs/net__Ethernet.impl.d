@@ -1,0 +1,1 @@
+lib/net/ethernet.ml: Buf Format Mac_addr

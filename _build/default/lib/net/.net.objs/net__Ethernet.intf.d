@@ -1,0 +1,1 @@
+lib/net/ethernet.mli: Buf Format Mac_addr

@@ -1,0 +1,1 @@
+lib/net/frame.ml: Buf Bytes Ethernet Format Ip_addr Ipv4 Mac_addr Udp

@@ -1,0 +1,1 @@
+lib/net/ip_addr.ml: Buf Format Int List Printf String

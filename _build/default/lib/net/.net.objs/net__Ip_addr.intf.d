@@ -1,0 +1,1 @@
+lib/net/ip_addr.mli: Buf Format

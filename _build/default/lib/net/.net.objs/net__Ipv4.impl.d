@@ -1,0 +1,1 @@
+lib/net/ipv4.ml: Buf Checksum Format Ip_addr

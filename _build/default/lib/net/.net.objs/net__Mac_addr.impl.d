@@ -1,0 +1,1 @@
+lib/net/mac_addr.ml: Buf Format Int64 List Printf String

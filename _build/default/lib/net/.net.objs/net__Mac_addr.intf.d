@@ -1,0 +1,1 @@
+lib/net/mac_addr.mli: Buf Format

@@ -1,0 +1,1 @@
+lib/net/udp.ml: Buf Bytes Checksum Format Ip_addr Ipv4

@@ -1,0 +1,1 @@
+lib/net/udp.mli: Buf Format Ip_addr

@@ -1,0 +1,22 @@
+let fold_carries sum =
+  let rec go s = if s lsr 16 = 0 then s else go ((s land 0xffff) + (s lsr 16)) in
+  go sum
+
+let ones_complement_sum ?(init = 0) b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Checksum.ones_complement_sum: range out of bounds";
+  let sum = ref init in
+  let i = ref pos in
+  let stop = pos + len in
+  while !i + 1 < stop do
+    sum := !sum + Bytes.get_uint16_be b !i;
+    i := !i + 2
+  done;
+  if !i < stop then sum := !sum + (Char.code (Bytes.get b !i) lsl 8);
+  fold_carries !sum
+
+let finish sum = lnot (fold_carries sum) land 0xffff
+let compute b ~pos ~len = finish (ones_complement_sum b ~pos ~len)
+
+let verify b ~pos ~len =
+  fold_carries (ones_complement_sum b ~pos ~len) = 0xffff

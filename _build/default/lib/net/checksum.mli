@@ -1,0 +1,22 @@
+(** The Internet checksum (RFC 1071) used by IPv4 and UDP.
+
+    The checksum is the one's-complement of the one's-complement sum of
+    the data viewed as big-endian 16-bit words, with an odd trailing
+    byte padded with zero. *)
+
+val ones_complement_sum : ?init:int -> bytes -> pos:int -> len:int -> int
+(** Folded 16-bit one's-complement sum of a byte range, seeded with
+    [init] (default 0). Composable: feed the result of one range as the
+    [init] of the next (pseudo-header then payload). *)
+
+val finish : int -> int
+(** Final complement step; maps a folded sum to the wire checksum.
+    A resulting 0 is kept as 0 (IPv4 semantics); UDP's 0→0xffff rule is
+    applied by the UDP encoder. *)
+
+val compute : bytes -> pos:int -> len:int -> int
+(** [finish (ones_complement_sum b ~pos ~len)]. *)
+
+val verify : bytes -> pos:int -> len:int -> bool
+(** True when the range (with its embedded checksum field) sums to the
+    all-ones pattern, i.e. the checksum is valid. *)

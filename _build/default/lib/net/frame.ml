@@ -1,0 +1,92 @@
+type endpoint = { mac : Mac_addr.t; ip : Ip_addr.t; port : int }
+
+type t = {
+  eth : Ethernet.t;
+  ip : Ipv4.t;
+  udp : Udp.t;
+  payload : bytes;
+}
+
+let make ~src ~dst ?(ttl = 64) ?(identification = 0) payload =
+  let payload_len = Bytes.length payload in
+  {
+    eth =
+      {
+        Ethernet.dst = dst.mac;
+        src = src.mac;
+        ethertype = Ethernet.ethertype_ipv4;
+      };
+    ip =
+      {
+        Ipv4.dscp = 0;
+        identification;
+        ttl;
+        protocol = Ipv4.protocol_udp;
+        src = src.ip;
+        dst = dst.ip;
+        payload_len = Udp.header_size + payload_len;
+      };
+    udp = { Udp.src_port = src.port; dst_port = dst.port; payload_len };
+    payload;
+  }
+
+let unpadded_size t =
+  Ethernet.header_size + Ipv4.header_size + Udp.header_size
+  + Bytes.length t.payload
+
+let wire_size t = max Ethernet.min_frame_size (unpadded_size t)
+
+let encode t =
+  let w = Buf.writer (wire_size t) in
+  Ethernet.write w t.eth;
+  Ipv4.write w t.ip;
+  Udp.write w t.udp ~src_ip:t.ip.Ipv4.src ~dst_ip:t.ip.Ipv4.dst
+    ~payload:t.payload;
+  (* Pad to the Ethernet minimum: the writer buffer is pre-zeroed, so
+     just declare the padding written. *)
+  let pad = wire_size t - Buf.writer_pos w in
+  if pad > 0 then Buf.write_bytes w (Bytes.make pad '\000');
+  Buf.contents w
+
+type error =
+  | Not_ipv4 of int
+  | Not_udp of int
+  | Ip_error of Ipv4.error
+  | Udp_error of Udp.error
+
+let parse b =
+  let r = Buf.reader b in
+  let eth = Ethernet.read r in
+  if eth.Ethernet.ethertype <> Ethernet.ethertype_ipv4 then
+    Error (Not_ipv4 eth.Ethernet.ethertype)
+  else
+    match Ipv4.read r with
+    | Error e -> Error (Ip_error e)
+    | Ok ip ->
+        if ip.Ipv4.protocol <> Ipv4.protocol_udp then
+          Error (Not_udp ip.Ipv4.protocol)
+        else
+          (* Restrict the view to the IP payload so Ethernet padding is
+             not mistaken for UDP data. *)
+          let sub =
+            Buf.sub_reader b ~pos:(Buf.reader_pos r) ~len:ip.Ipv4.payload_len
+          in
+          (match Udp.read sub ~src_ip:ip.Ipv4.src ~dst_ip:ip.Ipv4.dst with
+          | Error e -> Error (Udp_error e)
+          | Ok (udp, payload) -> Ok { eth; ip; udp; payload })
+
+let src_endpoint t =
+  { mac = t.eth.Ethernet.src; ip = t.ip.Ipv4.src; port = t.udp.Udp.src_port }
+
+let dst_endpoint t =
+  { mac = t.eth.Ethernet.dst; ip = t.ip.Ipv4.dst; port = t.udp.Udp.dst_port }
+
+let pp ppf t =
+  Format.fprintf ppf "%a | %a | %a | %d payload bytes" Ethernet.pp t.eth
+    Ipv4.pp t.ip Udp.pp t.udp (Bytes.length t.payload)
+
+let pp_error ppf = function
+  | Not_ipv4 et -> Format.fprintf ppf "not IPv4 (ethertype 0x%04x)" et
+  | Not_udp p -> Format.fprintf ppf "not UDP (protocol %d)" p
+  | Ip_error e -> Ipv4.pp_error ppf e
+  | Udp_error e -> Udp.pp_error ppf e

@@ -1,0 +1,44 @@
+(** Whole Ethernet/IPv4/UDP frames: the unit the simulated wire and the
+    NIC models exchange. *)
+
+type endpoint = {
+  mac : Mac_addr.t;
+  ip : Ip_addr.t;
+  port : int;
+}
+(** One side of a UDP flow. *)
+
+type t = {
+  eth : Ethernet.t;
+  ip : Ipv4.t;
+  udp : Udp.t;
+  payload : bytes;
+}
+
+val make :
+  src:endpoint -> dst:endpoint -> ?ttl:int -> ?identification:int ->
+  bytes -> t
+(** A frame carrying the given UDP payload. *)
+
+val encode : t -> bytes
+(** Serialize to wire bytes, padding to the Ethernet minimum frame size. *)
+
+val wire_size : t -> int
+(** Bytes occupying the wire once encoded (after minimum-size padding,
+    excluding preamble/FCS/IPG — those are accounted by {!Wire}). *)
+
+type error =
+  | Not_ipv4 of int
+  | Not_udp of int
+  | Ip_error of Ipv4.error
+  | Udp_error of Udp.error
+
+val parse : bytes -> (t, error) result
+(** Parse and validate wire bytes back into a frame. Ethernet minimum-
+    size padding is tolerated and stripped (the IP total length is
+    authoritative). *)
+
+val src_endpoint : t -> endpoint
+val dst_endpoint : t -> endpoint
+val pp : Format.formatter -> t -> unit
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,49 @@
+type t = int64
+
+let of_int64 v =
+  if Int64.shift_right_logical v 48 <> 0L then
+    invalid_arg "Mac_addr.of_int64: more than 48 bits";
+  v
+
+let to_int64 t = t
+
+let of_string s =
+  let parts = String.split_on_char ':' s in
+  if List.length parts <> 6 then
+    invalid_arg ("Mac_addr.of_string: " ^ s);
+  let octet p =
+    if String.length p <> 2 then invalid_arg ("Mac_addr.of_string: " ^ s);
+    match int_of_string_opt ("0x" ^ p) with
+    | Some v when v >= 0 && v <= 0xff -> v
+    | Some _ | None -> invalid_arg ("Mac_addr.of_string: " ^ s)
+  in
+  List.fold_left
+    (fun acc p -> Int64.logor (Int64.shift_left acc 8) (Int64.of_int (octet p)))
+    0L parts
+
+let octet_at t i =
+  Int64.to_int (Int64.logand (Int64.shift_right_logical t (8 * (5 - i))) 0xffL)
+
+let to_string t =
+  String.concat ":"
+    (List.init 6 (fun i -> Printf.sprintf "%02x" (octet_at t i)))
+
+let broadcast = 0xffff_ffff_ffffL
+let is_broadcast t = t = broadcast
+let is_multicast t = octet_at t 0 land 1 = 1
+
+let write w t =
+  for i = 0 to 5 do
+    Buf.write_u8 w (octet_at t i)
+  done
+
+let read r =
+  let rec go acc i =
+    if i = 6 then acc
+    else go (Int64.logor (Int64.shift_left acc 8) (Int64.of_int (Buf.read_u8 r))) (i + 1)
+  in
+  go 0L 0
+
+let equal = Int64.equal
+let compare = Int64.compare
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,78 @@
+type t = { src_port : int; dst_port : int; payload_len : int }
+
+let header_size = 8
+
+type error = Truncated | Bad_length of int | Bad_checksum
+
+let pseudo_header_sum ~src_ip ~dst_ip ~udp_len =
+  let s = Ip_addr.to_int src_ip and d = Ip_addr.to_int dst_ip in
+  (s lsr 16) + (s land 0xffff) + (d lsr 16) + (d land 0xffff)
+  + Ipv4.protocol_udp + udp_len
+
+let segment_checksum ~src_ip ~dst_ip segment =
+  let udp_len = Bytes.length segment in
+  let init = pseudo_header_sum ~src_ip ~dst_ip ~udp_len in
+  let sum = Checksum.ones_complement_sum ~init segment ~pos:0 ~len:udp_len in
+  Checksum.finish sum
+
+let write w t ~src_ip ~dst_ip ~payload =
+  if Bytes.length payload <> t.payload_len then
+    invalid_arg "Udp.write: payload length mismatch";
+  let udp_len = header_size + t.payload_len in
+  let seg = Buf.writer udp_len in
+  Buf.write_u16 seg t.src_port;
+  Buf.write_u16 seg t.dst_port;
+  Buf.write_u16 seg udp_len;
+  Buf.write_u16 seg 0;
+  Buf.write_bytes seg payload;
+  let seg_bytes = Buf.contents seg in
+  let csum =
+    match segment_checksum ~src_ip ~dst_ip seg_bytes with
+    | 0 -> 0xffff (* RFC 768: transmitted 0 means "no checksum" *)
+    | c -> c
+  in
+  Bytes.set_uint16_be seg_bytes 6 csum;
+  Buf.write_bytes w seg_bytes
+
+let read r ~src_ip ~dst_ip =
+  if Buf.remaining r < header_size then Error Truncated
+  else begin
+    let src_port = Buf.read_u16 r in
+    let dst_port = Buf.read_u16 r in
+    let udp_len = Buf.read_u16 r in
+    let wire_csum = Buf.read_u16 r in
+    if udp_len < header_size || udp_len - header_size > Buf.remaining r then
+      Error (Bad_length udp_len)
+    else begin
+      let payload_len = udp_len - header_size in
+      let payload = Buf.read_bytes r ~len:payload_len in
+      if wire_csum = 0 then
+        Ok ({ src_port; dst_port; payload_len }, payload)
+      else begin
+        (* Re-run the sum over the exact wire bytes of the segment. *)
+        let seg = Buf.writer udp_len in
+        Buf.write_u16 seg src_port;
+        Buf.write_u16 seg dst_port;
+        Buf.write_u16 seg udp_len;
+        Buf.write_u16 seg wire_csum;
+        Buf.write_bytes seg payload;
+        let seg_bytes = Buf.contents seg in
+        let init = pseudo_header_sum ~src_ip ~dst_ip ~udp_len in
+        let sum =
+          Checksum.ones_complement_sum ~init seg_bytes ~pos:0 ~len:udp_len
+        in
+        if sum land 0xffff = 0xffff then
+          Ok ({ src_port; dst_port; payload_len }, payload)
+        else Error Bad_checksum
+      end
+    end
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "udp %d -> %d len=%d" t.src_port t.dst_port
+    t.payload_len
+
+let pp_error ppf = function
+  | Truncated -> Format.pp_print_string ppf "truncated UDP header"
+  | Bad_length l -> Format.fprintf ppf "bad UDP length %d" l
+  | Bad_checksum -> Format.pp_print_string ppf "bad UDP checksum"

@@ -1,0 +1,24 @@
+(** UDP headers with pseudo-header checksum. *)
+
+type t = { src_port : int; dst_port : int; payload_len : int }
+
+val header_size : int
+(** 8 bytes. *)
+
+val write :
+  Buf.writer -> t -> src_ip:Ip_addr.t -> dst_ip:Ip_addr.t -> payload:bytes ->
+  unit
+(** Emits header then payload, with the checksum computed over the IPv4
+    pseudo-header, the UDP header, and the payload. A computed checksum
+    of 0 is transmitted as 0xffff per RFC 768. *)
+
+type error = Truncated | Bad_length of int | Bad_checksum
+
+val read :
+  Buf.reader -> src_ip:Ip_addr.t -> dst_ip:Ip_addr.t ->
+  (t * bytes, error) result
+(** Parses header and payload and verifies the checksum (a zero wire
+    checksum means "not computed" and is accepted). *)
+
+val pp : Format.formatter -> t -> unit
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,40 @@
+(** Point-to-point Ethernet link model.
+
+    Serialization delay is wire bytes (plus preamble, FCS, and
+    inter-packet gap) over the configured rate; frames queue FIFO when
+    the transmitter is busy; propagation delay is added per frame. *)
+
+type t
+
+val create :
+  Sim.Engine.t -> gbps:float -> propagation:Sim.Units.duration ->
+  ?loss:float -> ?corruption:float -> ?seed:int ->
+  deliver:(Frame.t -> unit) -> unit -> t
+(** A unidirectional link delivering frames to [deliver].
+
+    [loss] (default 0) drops each frame independently with the given
+    probability. [corruption] (default 0) flips one random wire byte
+    with the given probability; frames whose corrupted bytes no longer
+    parse (almost all — the IPv4/UDP checksums catch them) are dropped
+    and counted, the rare survivors are delivered corrupted, exactly as
+    a real link would. [seed] makes the impairments reproducible. *)
+
+val overhead_bytes : int
+(** Per-frame preamble + SFD + FCS + inter-packet gap (24 bytes). *)
+
+val serialization_delay : gbps:float -> bytes:int -> Sim.Units.duration
+(** Time for [bytes + overhead_bytes] at the given rate. *)
+
+val transmit : t -> Frame.t -> unit
+(** Enqueue a frame for transmission now. *)
+
+val frames_sent : t -> int
+val bytes_sent : t -> int
+(** Cumulative wire bytes, including per-frame overhead. *)
+
+val busy_until : t -> Sim.Units.time
+(** Time at which the transmitter becomes free. *)
+
+val frames_lost : t -> int
+val frames_corrupted : t -> int
+(** Corrupted frames that failed to parse and were dropped. *)

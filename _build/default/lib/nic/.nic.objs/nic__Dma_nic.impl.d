@@ -1,0 +1,1 @@
+lib/nic/dma_nic.ml: Array Coherence Iommu Mac Msix Net Printf Ring Rss Sim

@@ -1,0 +1,1 @@
+lib/nic/dma_nic.mli: Coherence Iommu Net Ring Sim

@@ -1,0 +1,1 @@
+lib/nic/iommu.ml: Hashtbl List Printf Sim

@@ -1,0 +1,1 @@
+lib/nic/iommu.mli: Sim

@@ -1,0 +1,1 @@
+lib/nic/mac.ml: Net Sim

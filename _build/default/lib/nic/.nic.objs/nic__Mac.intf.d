@@ -1,0 +1,1 @@
+lib/nic/mac.mli: Net Sim

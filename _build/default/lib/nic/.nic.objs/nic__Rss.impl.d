@@ -1,0 +1,1 @@
+lib/nic/rss.ml: Array Bytes Char Int64 Net String

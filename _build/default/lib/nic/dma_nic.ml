@@ -1,0 +1,142 @@
+type config = {
+  nqueues : int;
+  ring_size : int;
+  coalesce_interval : Sim.Units.duration;
+  use_iommu : bool;
+  mac_pipeline : Sim.Units.duration;
+  descriptor_write : Sim.Units.duration;
+}
+
+let default_config =
+  {
+    nqueues = 4;
+    ring_size = 512;
+    coalesce_interval = Sim.Units.us 20;
+    use_iommu = true;
+    mac_pipeline = 300;
+    descriptor_write = 150;
+  }
+
+type queue = {
+  ring : Net.Frame.t Ring.t;
+  msix : Msix.t;
+  buf_base : int;  (* synthetic IOVA region for this queue's buffers *)
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  prof : Coherence.Interconnect.profile;
+  cfg : config;
+  rss : Rss.t;
+  queues : queue array;
+  iommu : Iommu.t option;
+  mac : Mac.t;
+  mutable delivered : int;
+  mutable steering : (Net.Frame.t -> int) option;
+}
+
+let buffer_bytes = 2048
+
+let queue t q =
+  if q < 0 || q >= Array.length t.queues then
+    invalid_arg (Printf.sprintf "Dma_nic: no queue %d" q);
+  t.queues.(q)
+
+(* Receive-path hardware steps for one frame. *)
+let rx_frame t frame =
+  let qi =
+    match t.steering with
+    | Some f -> f frame mod Array.length t.queues
+    | None -> Rss.queue_of_frame t.rss frame
+  in
+  let q = queue t qi in
+  let translate_cost =
+    match t.iommu with
+    | Some mmu ->
+        let slot = Ring.produced q.ring land (t.cfg.ring_size - 1) in
+        Iommu.translate mmu ~iova:(q.buf_base + (slot * buffer_bytes))
+    | None -> 0
+  in
+  let payload_dma =
+    Coherence.Interconnect.dma_transfer t.prof
+      ~bytes:(Net.Frame.wire_size frame)
+  in
+  let total = translate_cost + payload_dma + t.cfg.descriptor_write in
+  ignore
+    (Sim.Engine.schedule_after t.engine ~after:total (fun () ->
+         if Ring.produce q.ring frame then begin
+           t.delivered <- t.delivered + 1;
+           Msix.raise_event q.msix
+         end))
+
+let create engine prof ?(config = default_config) ~on_rx_interrupt () =
+  if config.nqueues <= 0 then invalid_arg "Dma_nic.create: nqueues <= 0";
+  let iommu = if config.use_iommu then Some (Iommu.create ()) else None in
+  let queues =
+    Array.init config.nqueues (fun q ->
+        let buf_base = (q + 1) * 0x1000_0000 in
+        (match iommu with
+        | Some mmu ->
+            Iommu.map mmu ~iova:buf_base
+              ~len:(config.ring_size * buffer_bytes)
+        | None -> ());
+        {
+          ring = Ring.create ~size:config.ring_size;
+          msix =
+            Msix.create engine ~min_interval:config.coalesce_interval
+              ~fire:(fun () -> on_rx_interrupt ~queue:q)
+              ();
+          buf_base;
+        })
+  in
+  (* The MAC's sink needs [t], which needs the MAC: tie the knot. *)
+  let sink_ref = ref (fun (_ : Net.Frame.t) -> ()) in
+  let mac =
+    Mac.create engine ~pipeline_delay:config.mac_pipeline
+      ~sink:(fun f -> !sink_ref f)
+      ()
+  in
+  let t =
+    {
+      engine;
+      prof;
+      cfg = config;
+      rss = Rss.create ~queues:config.nqueues ();
+      queues;
+      iommu;
+      mac;
+      delivered = 0;
+      steering = None;
+    }
+  in
+  sink_ref := (fun f -> rx_frame t f);
+  t
+
+let rx_from_wire t frame = Mac.rx t.mac frame
+
+let set_steering t f = t.steering <- Some f
+let rx_ring t ~queue:q = (queue t q).ring
+let mask_irq t ~queue:q = Msix.mask (queue t q).msix
+let unmask_irq t ~queue:q = Msix.unmask (queue t q).msix
+
+let transmit t frame ~via =
+  (* Descriptor fetch, then payload DMA read, then the wire. *)
+  let cost =
+    t.prof.Coherence.Interconnect.dma_read
+    + Coherence.Interconnect.dma_transfer t.prof
+        ~bytes:(Net.Frame.wire_size frame)
+  in
+  ignore (Sim.Engine.schedule_after t.engine ~after:cost (fun () -> via frame))
+
+let rx_delivered t = t.delivered
+
+let rx_dropped t =
+  Array.fold_left (fun acc q -> acc + Ring.drops q.ring) 0 t.queues
+
+let interrupts_fired t =
+  Array.fold_left (fun acc q -> acc + Msix.fired q.msix) 0 t.queues
+
+let interrupts_suppressed t =
+  Array.fold_left (fun acc q -> acc + Msix.suppressed q.msix) 0 t.queues
+
+let iommu t = t.iommu

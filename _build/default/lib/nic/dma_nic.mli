@@ -1,0 +1,57 @@
+(** The traditional descriptor-DMA NIC — Figure 1 of the paper.
+
+    Receive path: MAC → RSS queue selection → IOMMU translation of the
+    posted buffer → DMA of the payload into host memory → descriptor
+    write-back → (moderated) MSI-X interrupt. Everything after the
+    interrupt — protocol processing, demultiplexing to a socket, waking
+    a thread — is software and belongs to the stack built on top
+    ({!Baseline.Linux_stack}), or is polled directly from the rings by
+    a kernel-bypass stack. *)
+
+type config = {
+  nqueues : int;
+  ring_size : int;
+  coalesce_interval : Sim.Units.duration;
+      (** MSI-X moderation window; 0 disables moderation. *)
+  use_iommu : bool;
+  mac_pipeline : Sim.Units.duration;
+  descriptor_write : Sim.Units.duration;
+      (** Descriptor write-back DMA (small, latency-dominated). *)
+}
+
+val default_config : config
+(** 4 queues, 512-entry rings, 20 µs moderation, IOMMU on. *)
+
+type t
+
+val create :
+  Sim.Engine.t -> Coherence.Interconnect.profile -> ?config:config ->
+  on_rx_interrupt:(queue:int -> unit) -> unit -> t
+(** [on_rx_interrupt] is the driver's ISR entry (typically bridges into
+    {!Osmodel.Kernel.run_irq}). *)
+
+val rx_from_wire : t -> Net.Frame.t -> unit
+(** Connect as the wire's deliver callback. *)
+
+val set_steering : t -> (Net.Frame.t -> int) -> unit
+(** Replace RSS with an explicit flow-director function (kernel-bypass
+    stacks steer each service's port to its dedicated queue). The
+    result is taken modulo the queue count. *)
+
+val rx_ring : t -> queue:int -> Net.Frame.t Ring.t
+(** Completed receive descriptors for the driver/poller to consume. *)
+
+val mask_irq : t -> queue:int -> unit
+val unmask_irq : t -> queue:int -> unit
+(** NAPI-style: mask while polling the ring, unmask when drained. *)
+
+val transmit : t -> Net.Frame.t -> via:(Net.Frame.t -> unit) -> unit
+(** NIC-side transmit: descriptor fetch + payload DMA read, then hand
+    to the wire ([via]). The CPU-side doorbell cost is charged by the
+    calling stack. *)
+
+val rx_delivered : t -> int
+val rx_dropped : t -> int
+val interrupts_fired : t -> int
+val interrupts_suppressed : t -> int
+val iommu : t -> Iommu.t option

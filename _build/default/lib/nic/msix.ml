@@ -1,0 +1,72 @@
+type t = {
+  engine : Sim.Engine.t;
+  min_interval : Sim.Units.duration;
+  fire : unit -> unit;
+  mutable masked : bool;
+  mutable pending : bool;  (* latched while masked or throttled *)
+  mutable last_fire : Sim.Units.time;
+  mutable timer_armed : bool;
+  mutable fired : int;
+  mutable suppressed : int;
+}
+
+let create engine ?(min_interval = Sim.Units.us 20) ~fire () =
+  if min_interval < 0 then invalid_arg "Msix.create: negative interval";
+  {
+    engine;
+    min_interval;
+    fire;
+    masked = false;
+    pending = false;
+    last_fire = min_int / 2;
+    timer_armed = false;
+    fired = 0;
+    suppressed = 0;
+  }
+
+let deliver t =
+  t.pending <- false;
+  t.last_fire <- Sim.Engine.now t.engine;
+  t.fired <- t.fired + 1;
+  t.fire ()
+
+let rec arm_timer t ~after =
+  t.timer_armed <- true;
+  ignore
+    (Sim.Engine.schedule_after t.engine ~after (fun () ->
+         t.timer_armed <- false;
+         if t.pending && not t.masked then
+           let now = Sim.Engine.now t.engine in
+           let elapsed = now - t.last_fire in
+           if elapsed >= t.min_interval then deliver t
+           else arm_timer t ~after:(t.min_interval - elapsed)))
+
+let raise_event t =
+  if t.masked then begin
+    t.pending <- true;
+    t.suppressed <- t.suppressed + 1
+  end
+  else begin
+    let now = Sim.Engine.now t.engine in
+    if now - t.last_fire >= t.min_interval then deliver t
+    else begin
+      t.suppressed <- t.suppressed + 1;
+      t.pending <- true;
+      if not t.timer_armed then
+        arm_timer t ~after:(t.min_interval - (now - t.last_fire))
+    end
+  end
+
+let mask t = t.masked <- true
+
+let unmask t =
+  t.masked <- false;
+  if t.pending then begin
+    let now = Sim.Engine.now t.engine in
+    if now - t.last_fire >= t.min_interval then deliver t
+    else if not t.timer_armed then
+      arm_timer t ~after:(t.min_interval - (now - t.last_fire))
+  end
+
+let fired t = t.fired
+let suppressed t = t.suppressed

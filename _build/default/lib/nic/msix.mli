@@ -1,0 +1,29 @@
+(** MSI-X interrupt generation with moderation (coalescing).
+
+    Real NICs throttle interrupts to one per [min_interval] (interrupt
+    moderation, e.g. Intel ITR): the first event after a quiet period
+    fires immediately; subsequent events within the window are absorbed
+    into one trailing interrupt. Masking models NAPI: the driver masks
+    the vector while polling and unmasks when done; events during the
+    masked window set a pending latch serviced on unmask. *)
+
+type t
+
+val create :
+  Sim.Engine.t -> ?min_interval:Sim.Units.duration ->
+  fire:(unit -> unit) -> unit -> t
+(** [min_interval] defaults to 20 µs (a typical adaptive-ITR value
+    under moderate load). [fire] is invoked for each delivered
+    interrupt. *)
+
+val raise_event : t -> unit
+(** Hardware signals a completion. May fire now, coalesce into an
+    already-armed timer, or latch while masked. *)
+
+val mask : t -> unit
+val unmask : t -> unit
+(** Delivers a pending latched interrupt, if any. *)
+
+val fired : t -> int
+val suppressed : t -> int
+(** Events absorbed by moderation or masking. *)

@@ -1,0 +1,61 @@
+type 'a t = {
+  slots : 'a option array;
+  mask : int;
+  mutable head : int;  (* next produce position *)
+  mutable tail : int;  (* next consume position *)
+  mutable drops : int;
+  mutable produced : int;
+  mutable consumed : int;
+  mutable notify : (unit -> unit) option;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ~size =
+  if not (is_power_of_two size) then
+    invalid_arg "Ring.create: size must be a positive power of two";
+  {
+    slots = Array.make size None;
+    mask = size - 1;
+    head = 0;
+    tail = 0;
+    drops = 0;
+    produced = 0;
+    consumed = 0;
+    notify = None;
+  }
+
+let size t = Array.length t.slots
+let occupancy t = t.head - t.tail
+let is_empty t = t.head = t.tail
+let is_full t = occupancy t = size t
+
+let produce t v =
+  if is_full t then begin
+    t.drops <- t.drops + 1;
+    false
+  end
+  else begin
+    t.slots.(t.head land t.mask) <- Some v;
+    t.head <- t.head + 1;
+    t.produced <- t.produced + 1;
+    (match t.notify with Some f -> f () | None -> ());
+    true
+  end
+
+let consume t =
+  if is_empty t then None
+  else begin
+    let i = t.tail land t.mask in
+    let v = t.slots.(i) in
+    t.slots.(i) <- None;
+    t.tail <- t.tail + 1;
+    t.consumed <- t.consumed + 1;
+    v
+  end
+
+let peek t = if is_empty t then None else t.slots.(t.tail land t.mask)
+let drops t = t.drops
+let produced t = t.produced
+let consumed t = t.consumed
+let on_produce t f = t.notify <- Some f

@@ -1,0 +1,31 @@
+(** Receive-Side Scaling: Toeplitz flow hashing to spread flows across
+    receive queues without OS involvement (§3 of the paper uses RSS as
+    the canonical "offload that bypasses the OS entirely").
+
+    This is a real Toeplitz implementation over the IPv4 5-tuple (minus
+    protocol, as in Microsoft's RSS spec for UDP: src/dst address and
+    src/dst port), with the standard 40-byte default key. *)
+
+type t
+
+val create : ?key:string -> queues:int -> unit -> t
+(** @raise Invalid_argument if [queues <= 0] or the key is shorter than
+    40 bytes. *)
+
+val default_key : string
+(** The de-facto standard Microsoft RSS key. *)
+
+val toeplitz_hash : key:string -> bytes -> int
+(** Raw 32-bit Toeplitz hash of the input bytes under the key. *)
+
+val hash_flow :
+  t -> src_ip:Net.Ip_addr.t -> dst_ip:Net.Ip_addr.t -> src_port:int ->
+  dst_port:int -> int
+(** 32-bit flow hash. *)
+
+val queue_for :
+  t -> src_ip:Net.Ip_addr.t -> dst_ip:Net.Ip_addr.t -> src_port:int ->
+  dst_port:int -> int
+(** Indirection-table lookup: hash → queue index in [0, queues). *)
+
+val queue_of_frame : t -> Net.Frame.t -> int

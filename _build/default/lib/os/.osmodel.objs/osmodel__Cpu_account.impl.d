@@ -1,0 +1,1 @@
+lib/os/cpu_account.ml: Format List Sim

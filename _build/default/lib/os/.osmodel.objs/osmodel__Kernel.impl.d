@@ -1,0 +1,1 @@
+lib/os/kernel.ml: Array Cpu_account List Printf Proc Runqueue Sim

@@ -1,0 +1,1 @@
+lib/os/kernel.mli: Cpu_account Proc Sim

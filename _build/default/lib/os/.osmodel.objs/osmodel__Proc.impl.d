@@ -1,0 +1,1 @@
+lib/os/proc.ml: Format Printf Sim

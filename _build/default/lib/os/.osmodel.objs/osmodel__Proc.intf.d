@@ -1,0 +1,1 @@
+lib/os/proc.mli: Format Sim

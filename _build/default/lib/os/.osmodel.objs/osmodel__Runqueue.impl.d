@@ -1,0 +1,1 @@
+lib/os/runqueue.ml: Hashtbl Printf Proc Queue

@@ -1,0 +1,1 @@
+lib/os/socket.ml: Cpu_account Kernel Proc Queue

@@ -1,0 +1,1 @@
+lib/os/socket.mli: Kernel Proc

@@ -1,0 +1,46 @@
+type thread_state = Ready | Running of int | Blocked | Exited
+
+type process = { pid : int; pname : string; mutable thread_count : int }
+
+type thread = {
+  tid : int;
+  tname : string;
+  proc : process;
+  mutable state : thread_state;
+  mutable resume : (unit -> unit) option;
+  mutable affinity : int option;
+  mutable last_core : int option;
+  mutable kernel_thread : bool;
+  mutable quantum_start : Sim.Units.time;
+}
+
+let make_process ~pid ~name = { pid; pname = name; thread_count = 0 }
+
+let make_thread ~tid ~name ~proc ?affinity ?(kernel_thread = false) () =
+  proc.thread_count <- proc.thread_count + 1;
+  {
+    tid;
+    tname = name;
+    proc;
+    state = Blocked;
+    resume = None;
+    affinity;
+    last_core = None;
+    kernel_thread;
+    quantum_start = 0;
+  }
+
+let is_runnable t =
+  match t.state with
+  | Ready | Running _ -> true
+  | Blocked | Exited -> false
+
+let state_name = function
+  | Ready -> "ready"
+  | Running c -> Printf.sprintf "running@%d" c
+  | Blocked -> "blocked"
+  | Exited -> "exited"
+
+let pp_thread ppf t =
+  Format.fprintf ppf "%s/%s(tid=%d,%s)" t.proc.pname t.tname t.tid
+    (state_name t.state)

@@ -1,0 +1,1 @@
+lib/rpc/codec.ml: Bytes Format Int64 List Net Schema String Value

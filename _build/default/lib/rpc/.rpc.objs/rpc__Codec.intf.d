@@ -1,0 +1,1 @@
+lib/rpc/codec.mli: Format Net Schema Value

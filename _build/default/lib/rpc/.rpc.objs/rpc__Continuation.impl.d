@@ -1,0 +1,1 @@
+lib/rpc/continuation.ml: Array

@@ -1,0 +1,1 @@
+lib/rpc/deser_cost.mli: Sim Value

@@ -1,0 +1,1 @@
+lib/rpc/interface.ml: Bytes Hashtbl Int Int64 List Schema Sim Value

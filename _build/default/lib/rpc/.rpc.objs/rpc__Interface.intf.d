@@ -1,0 +1,1 @@
+lib/rpc/interface.mli: Schema Sim Value

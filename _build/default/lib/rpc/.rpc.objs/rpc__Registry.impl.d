@@ -1,0 +1,1 @@
+lib/rpc/registry.ml: Hashtbl Int Interface List Printf

@@ -1,0 +1,1 @@
+lib/rpc/registry.mli: Interface

@@ -1,0 +1,1 @@
+lib/rpc/schema.ml: Bytes Char Format List Sim String Value

@@ -1,0 +1,1 @@
+lib/rpc/schema.mli: Format Sim Value

@@ -1,0 +1,1 @@
+lib/rpc/value.ml: Bytes Format Int64 List String

@@ -1,0 +1,1 @@
+lib/rpc/value.mli: Format

@@ -1,0 +1,1 @@
+lib/rpc/wire_format.ml: Bytes Codec Format Net

@@ -1,0 +1,1 @@
+lib/rpc/wire_format.mli: Format Value

@@ -1,0 +1,121 @@
+type error = Truncated | Trailing_bytes of int | Overlong_varint
+
+exception Decode_error of error
+
+let zigzag v = Int64.logxor (Int64.shift_left v 1) (Int64.shift_right v 63)
+
+let unzigzag v =
+  Int64.logxor
+    (Int64.shift_right_logical v 1)
+    (Int64.neg (Int64.logand v 1L))
+
+let write_varint w v =
+  let rec go v =
+    let low = Int64.to_int (Int64.logand v 0x7fL) in
+    let rest = Int64.shift_right_logical v 7 in
+    if rest = 0L then Net.Buf.write_u8 w low
+    else begin
+      Net.Buf.write_u8 w (low lor 0x80);
+      go rest
+    end
+  in
+  go v
+
+let read_varint r =
+  let rec go acc shift count =
+    if count > 10 then raise (Decode_error Overlong_varint);
+    let b = Net.Buf.read_u8 r in
+    let acc =
+      Int64.logor acc (Int64.shift_left (Int64.of_int (b land 0x7f)) shift)
+    in
+    if b land 0x80 = 0 then acc else go acc (shift + 7) (count + 1)
+  in
+  go 0L 0 1
+
+let varint_size v =
+  let rec go v n =
+    let rest = Int64.shift_right_logical v 7 in
+    if rest = 0L then n else go rest (n + 1)
+  in
+  go v 1
+
+let rec encoded_size (v : Value.t) =
+  match v with
+  | Value.Unit -> 0
+  | Value.Bool _ -> 1
+  | Value.Int i -> varint_size (zigzag i)
+  | Value.Float _ -> 8
+  | Value.Str s ->
+      let n = String.length s in
+      varint_size (Int64.of_int n) + n
+  | Value.Blob b ->
+      let n = Bytes.length b in
+      varint_size (Int64.of_int n) + n
+  | Value.List vs ->
+      List.fold_left
+        (fun acc v -> acc + encoded_size v)
+        (varint_size (Int64.of_int (List.length vs)))
+        vs
+  | Value.Tuple vs -> List.fold_left (fun acc v -> acc + encoded_size v) 0 vs
+
+let rec write_value w (v : Value.t) =
+  match v with
+  | Value.Unit -> ()
+  | Value.Bool b -> Net.Buf.write_u8 w (if b then 1 else 0)
+  | Value.Int i -> write_varint w (zigzag i)
+  | Value.Float f -> Net.Buf.write_u64 w (Int64.bits_of_float f)
+  | Value.Str s ->
+      write_varint w (Int64.of_int (String.length s));
+      Net.Buf.write_string w s
+  | Value.Blob b ->
+      write_varint w (Int64.of_int (Bytes.length b));
+      Net.Buf.write_bytes w b
+  | Value.List vs ->
+      write_varint w (Int64.of_int (List.length vs));
+      List.iter (write_value w) vs
+  | Value.Tuple vs -> List.iter (write_value w) vs
+
+let encode v =
+  let w = Net.Buf.writer (encoded_size v) in
+  write_value w v;
+  Net.Buf.contents w
+
+let rec read_value (s : Schema.t) r : Value.t =
+  match s with
+  | Schema.Unit -> Value.Unit
+  | Schema.Bool -> Value.Bool (Net.Buf.read_u8 r <> 0)
+  | Schema.Int -> Value.Int (unzigzag (read_varint r))
+  | Schema.Float -> Value.Float (Int64.float_of_bits (Net.Buf.read_u64 r))
+  | Schema.Str ->
+      let n = Int64.to_int (read_varint r) in
+      Value.Str (Bytes.to_string (Net.Buf.read_bytes r ~len:n))
+  | Schema.Blob ->
+      let n = Int64.to_int (read_varint r) in
+      Value.Blob (Net.Buf.read_bytes r ~len:n)
+  | Schema.List elt ->
+      let n = Int64.to_int (read_varint r) in
+      (* Elements may be zero-width (unit), so the remaining byte count
+         cannot bound [n]; cap it to keep hostile lengths from
+         allocating unbounded lists before the inevitable failure. *)
+      if n < 0 || n > 16_777_216 then raise (Decode_error Truncated);
+      Value.List (List.init n (fun _ -> read_value elt r))
+  | Schema.Tuple ss -> Value.Tuple (List.map (fun s -> read_value s r) ss)
+
+let decode_partial s r =
+  match read_value s r with
+  | v -> Ok v
+  | exception Decode_error e -> Error e
+  | exception Net.Buf.Out_of_bounds _ -> Error Truncated
+
+let decode s b =
+  let r = Net.Buf.reader b in
+  match decode_partial s r with
+  | Error _ as e -> e
+  | Ok v ->
+      let rest = Net.Buf.remaining r in
+      if rest = 0 then Ok v else Error (Trailing_bytes rest)
+
+let pp_error ppf = function
+  | Truncated -> Format.pp_print_string ppf "truncated value"
+  | Trailing_bytes n -> Format.fprintf ppf "%d trailing bytes" n
+  | Overlong_varint -> Format.pp_print_string ppf "overlong varint"

@@ -1,0 +1,62 @@
+type 'a slot = Free of int (* next free index, -1 = none *) | Busy of ('a -> unit)
+
+type 'a t = {
+  mutable slots : 'a slot array;
+  mutable free_head : int;
+  mutable live : int;
+}
+
+let create ?(initial_capacity = 16) () =
+  if initial_capacity <= 0 then
+    invalid_arg "Continuation.create: non-positive capacity";
+  let slots =
+    Array.init initial_capacity (fun i ->
+        Free (if i + 1 < initial_capacity then i + 1 else -1))
+  in
+  { slots; free_head = 0; live = 0 }
+
+let grow t =
+  let n = Array.length t.slots in
+  let slots =
+    Array.init (2 * n) (fun i ->
+        if i < n then t.slots.(i)
+        else Free (if i + 1 < 2 * n then i + 1 else -1))
+  in
+  t.slots <- slots;
+  t.free_head <- n
+
+let alloc t f =
+  if t.free_head = -1 then grow t;
+  let id = t.free_head in
+  (match t.slots.(id) with
+  | Free next -> t.free_head <- next
+  | Busy _ -> assert false);
+  t.slots.(id) <- Busy f;
+  t.live <- t.live + 1;
+  id
+
+let release t id =
+  t.slots.(id) <- Free t.free_head;
+  t.free_head <- id;
+  t.live <- t.live - 1
+
+let fire t id v =
+  if id < 0 || id >= Array.length t.slots then false
+  else
+    match t.slots.(id) with
+    | Free _ -> false
+    | Busy f ->
+        release t id;
+        f v;
+        true
+
+let cancel t id =
+  if id < 0 || id >= Array.length t.slots then false
+  else
+    match t.slots.(id) with
+    | Free _ -> false
+    | Busy _ ->
+        release t id;
+        true
+
+let live t = t.live

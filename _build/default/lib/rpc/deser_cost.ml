@@ -1,0 +1,20 @@
+type profile = {
+  per_message_ns : int;
+  per_field_ns : int;
+  per_byte_ns : float;
+}
+
+let software = { per_message_ns = 100; per_field_ns = 20; per_byte_ns = 0.2 }
+
+let software_marshal =
+  { per_message_ns = 60; per_field_ns = 12; per_byte_ns = 0.15 }
+
+let nic_pipeline = { per_message_ns = 40; per_field_ns = 2; per_byte_ns = 0.08 }
+
+let cost p ~fields ~bytes =
+  if fields < 0 || bytes < 0 then invalid_arg "Deser_cost.cost: negative shape";
+  p.per_message_ns + (p.per_field_ns * fields)
+  + int_of_float (Float.round (p.per_byte_ns *. float_of_int bytes))
+
+let cost_of_value p v =
+  cost p ~fields:(Value.field_count v) ~bytes:(Codec.encoded_size v)

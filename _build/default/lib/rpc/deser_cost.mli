@@ -1,0 +1,33 @@
+(** Cost model for (de)serialization.
+
+    The paper integrates "existing techniques for accelerating
+    deserialization" (Optimus Prime, Cerebros, ProtoAcc) into the NIC,
+    making the software unmarshal cost vanish on the fast path. This
+    module prices both worlds: a software profile (per-message fixed
+    cost, per-field and per-byte work on a CPU core) and a hardware
+    profile (pipeline ns on the NIC, off the critical CPU path). *)
+
+type profile = {
+  per_message_ns : int;  (** Fixed entry/dispatch cost. *)
+  per_field_ns : int;  (** Branchy per-field decode work. *)
+  per_byte_ns : float;  (** Copy/scan cost per payload byte. *)
+}
+
+val software : profile
+(** Calibrated to published protobuf-style CPU deserialization numbers:
+    ~100 ns fixed + ~20 ns/field + ~0.2 ns/byte on a server core. *)
+
+val software_marshal : profile
+(** Serialization is cheaper than deserialization (no branch
+    mispredicts on tag decoding). *)
+
+val nic_pipeline : profile
+(** Streaming hardware transform: ~40 ns pipeline fill + per-byte at
+    line rate. Charged to the NIC, not a CPU core. *)
+
+val cost : profile -> fields:int -> bytes:int -> Sim.Units.duration
+(** Price a message with the given shape. *)
+
+val cost_of_value : profile -> Value.t -> Sim.Units.duration
+(** Price a concrete value via {!Value.field_count} and
+    {!Codec.encoded_size}. *)

@@ -1,0 +1,41 @@
+type t = {
+  by_port : (int, Interface.service_def) Hashtbl.t;
+  by_service : (int, Interface.service_def) Hashtbl.t;
+  mutable gen : int;
+}
+
+let create () =
+  { by_port = Hashtbl.create 32; by_service = Hashtbl.create 32; gen = 0 }
+
+let register t ~port (svc : Interface.service_def) =
+  if Hashtbl.mem t.by_port port then
+    invalid_arg (Printf.sprintf "Registry.register: port %d taken" port);
+  if Hashtbl.mem t.by_service svc.Interface.service_id then
+    invalid_arg
+      (Printf.sprintf "Registry.register: service id %d taken"
+         svc.Interface.service_id);
+  Hashtbl.add t.by_port port svc;
+  Hashtbl.add t.by_service svc.Interface.service_id svc;
+  t.gen <- t.gen + 1
+
+let unregister t ~port =
+  match Hashtbl.find_opt t.by_port port with
+  | None -> ()
+  | Some svc ->
+      Hashtbl.remove t.by_port port;
+      Hashtbl.remove t.by_service svc.Interface.service_id;
+      t.gen <- t.gen + 1
+
+let lookup_port t ~port = Hashtbl.find_opt t.by_port port
+let lookup_service t ~service_id = Hashtbl.find_opt t.by_service service_id
+
+let lookup_method t ~service_id ~method_id =
+  match lookup_service t ~service_id with
+  | None -> None
+  | Some svc -> Interface.find_method svc method_id
+
+let services t =
+  Hashtbl.fold (fun port svc acc -> (port, svc) :: acc) t.by_port []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let generation t = t.gen

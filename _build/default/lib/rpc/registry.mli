@@ -1,0 +1,27 @@
+(** The service registry: what the OS knows about local RPC services.
+
+    Maps service ids to definitions and UDP ports to services — the
+    state the kernel pushes to the NIC so it can demultiplex and
+    dispatch without software involvement. *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> port:int -> Interface.service_def -> unit
+(** Bind a service to a UDP port.
+    @raise Invalid_argument if the port or the service id is taken. *)
+
+val unregister : t -> port:int -> unit
+val lookup_port : t -> port:int -> Interface.service_def option
+val lookup_service : t -> service_id:int -> Interface.service_def option
+
+val lookup_method :
+  t -> service_id:int -> method_id:int -> Interface.method_def option
+
+val services : t -> (int * Interface.service_def) list
+(** All registered [(port, service)] bindings, sorted by port. *)
+
+val generation : t -> int
+(** Bumped on every mutation; the NIC mirrors compare generations to
+    know when to refresh. *)

@@ -1,0 +1,98 @@
+type kind = Request | Response | Error_reply of int
+
+type t = {
+  rpc_id : int64;
+  service_id : int;
+  method_id : int;
+  kind : kind;
+  body : bytes;
+}
+
+let magic = 0x4c42 (* "LB" *)
+let version = 1
+let header_size = 20
+
+let kind_tag = function Request -> 0 | Response -> 1 | Error_reply _ -> 2
+let err_code = function Error_reply c -> c | Request | Response -> 0
+
+let encode t =
+  let w = Net.Buf.writer (header_size + Bytes.length t.body) in
+  Net.Buf.write_u16 w magic;
+  Net.Buf.write_u8 w version;
+  Net.Buf.write_u8 w (kind_tag t.kind);
+  Net.Buf.write_u16 w (err_code t.kind);
+  Net.Buf.write_u16 w t.method_id;
+  Net.Buf.write_u32 w t.service_id;
+  Net.Buf.write_u64 w t.rpc_id;
+  Net.Buf.write_bytes w t.body;
+  Net.Buf.contents w
+
+type error =
+  | Truncated
+  | Bad_magic of int
+  | Bad_version of int
+  | Bad_kind of int
+  | Bad_body_length of int
+
+let decode b =
+  if Bytes.length b < header_size then Error Truncated
+  else begin
+    let r = Net.Buf.reader b in
+    let m = Net.Buf.read_u16 r in
+    if m <> magic then Error (Bad_magic m)
+    else begin
+      let v = Net.Buf.read_u8 r in
+      if v <> version then Error (Bad_version v)
+      else begin
+        let tag = Net.Buf.read_u8 r in
+        let code = Net.Buf.read_u16 r in
+        let method_id = Net.Buf.read_u16 r in
+        let service_id = Net.Buf.read_u32 r in
+        let rpc_id = Net.Buf.read_u64 r in
+        let body_len = Net.Buf.remaining r in
+        let kind =
+          match tag with
+          | 0 -> Some Request
+          | 1 -> Some Response
+          | 2 -> Some (Error_reply code)
+          | _ -> None
+        in
+        match kind with
+        | None -> Error (Bad_kind tag)
+        | Some kind ->
+            if body_len < 0 then Error (Bad_body_length body_len)
+            else
+              let body = Net.Buf.read_bytes r ~len:body_len in
+              Ok { rpc_id; service_id; method_id; kind; body }
+      end
+    end
+  end
+
+let request ~rpc_id ~service_id ~method_id v =
+  { rpc_id; service_id; method_id; kind = Request; body = Codec.encode v }
+
+let response ~of_ v =
+  {
+    rpc_id = of_.rpc_id;
+    service_id = of_.service_id;
+    method_id = of_.method_id;
+    kind = Response;
+    body = Codec.encode v;
+  }
+
+let pp_kind ppf = function
+  | Request -> Format.pp_print_string ppf "request"
+  | Response -> Format.pp_print_string ppf "response"
+  | Error_reply c -> Format.fprintf ppf "error(%d)" c
+
+let pp ppf t =
+  Format.fprintf ppf "rpc %s id=%Ld svc=%d mth=%d body=%dB"
+    (Format.asprintf "%a" pp_kind t.kind)
+    t.rpc_id t.service_id t.method_id (Bytes.length t.body)
+
+let pp_error ppf = function
+  | Truncated -> Format.pp_print_string ppf "truncated RPC header"
+  | Bad_magic m -> Format.fprintf ppf "bad magic 0x%04x" m
+  | Bad_version v -> Format.fprintf ppf "bad version %d" v
+  | Bad_kind k -> Format.fprintf ppf "bad kind tag %d" k
+  | Bad_body_length l -> Format.fprintf ppf "bad body length %d" l

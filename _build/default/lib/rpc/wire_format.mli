@@ -1,0 +1,41 @@
+(** The RPC-over-UDP wire header.
+
+    Every UDP payload in the simulation is one RPC message:
+    a 20-byte header (magic, version, kind, service, method, id, body
+    length) followed by the {!Codec}-encoded body. *)
+
+type kind =
+  | Request
+  | Response
+  | Error_reply of int  (** Carries an application error code. *)
+
+type t = {
+  rpc_id : int64;  (** Matches a response to its request. *)
+  service_id : int;
+  method_id : int;
+  kind : kind;
+  body : bytes;  (** {!Codec}-encoded arguments or results. *)
+}
+
+val header_size : int
+
+val encode : t -> bytes
+
+type error =
+  | Truncated
+  | Bad_magic of int
+  | Bad_version of int
+  | Bad_kind of int
+  | Bad_body_length of int
+
+val decode : bytes -> (t, error) result
+
+val request :
+  rpc_id:int64 -> service_id:int -> method_id:int -> Value.t -> t
+(** Build a request carrying the encoded value. *)
+
+val response : of_:t -> Value.t -> t
+(** Build the response to a request, preserving ids. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_error : Format.formatter -> error -> unit

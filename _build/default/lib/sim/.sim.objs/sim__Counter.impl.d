@@ -1,0 +1,1 @@
+lib/sim/counter.ml: Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/sim/units.mli: Format

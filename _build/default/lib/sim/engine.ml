@@ -1,0 +1,53 @@
+type t = {
+  mutable clock : Units.time;
+  queue : (unit -> unit) Event_heap.t;
+  mutable fired : int;
+}
+
+type handle = Event_heap.handle
+
+let create () = { clock = 0; queue = Event_heap.create (); fired = 0 }
+let now t = t.clock
+
+let schedule_at t ~at f =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %d is before now (%d)" at
+         t.clock);
+  Event_heap.push t.queue ~time:at f
+
+let schedule_after t ~after f =
+  if after < 0 then invalid_arg "Engine.schedule_after: negative delay";
+  Event_heap.push t.queue ~time:(t.clock + after) f
+
+let cancel t h = Event_heap.cancel t.queue h
+let pending t = Event_heap.live_count t.queue
+
+let step t =
+  match Event_heap.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- time;
+      t.fired <- t.fired + 1;
+      f ();
+      true
+
+let run ?until t =
+  let continue () =
+    match until with
+    | None -> true
+    | Some limit -> (
+        match Event_heap.peek_time t.queue with
+        | None -> false
+        | Some next -> next <= limit)
+  in
+  while continue () && step t do
+    ()
+  done;
+  (* Advance the clock to the horizon so that rate computations over
+     [0, until] are well defined even if the queue drained early. *)
+  match until with
+  | Some limit when t.clock < limit -> t.clock <- limit
+  | Some _ | None -> ()
+
+let events_processed t = t.fired

@@ -1,0 +1,100 @@
+type handle = { mutable cancelled : bool }
+
+type 'a entry = {
+  time : Units.time;
+  seq : int;
+  payload : 'a;
+  cell : handle;
+}
+
+type 'a t = {
+  mutable arr : 'a entry option array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable live : int;
+}
+
+let create () = { arr = Array.make 64 None; size = 0; next_seq = 0; live = 0 }
+let is_empty t = t.live = 0
+let live_count t = t.live
+
+let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let get t i =
+  match t.arr.(i) with
+  | Some e -> e
+  | None -> assert false
+
+let swap t i j =
+  let tmp = t.arr.(i) in
+  t.arr.(i) <- t.arr.(j);
+  t.arr.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt (get t i) (get t parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && entry_lt (get t l) (get t !smallest) then smallest := l;
+  if r < t.size && entry_lt (get t r) (get t !smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let arr = Array.make (2 * Array.length t.arr) None in
+  Array.blit t.arr 0 arr 0 t.size;
+  t.arr <- arr
+
+let push t ~time payload =
+  if t.size = Array.length t.arr then grow t;
+  let cell = { cancelled = false } in
+  t.arr.(t.size) <- Some { time; seq = t.next_seq; payload; cell };
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  t.live <- t.live + 1;
+  sift_up t (t.size - 1);
+  cell
+
+let cancel t h =
+  if not h.cancelled then begin
+    h.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let pop_root t =
+  let e = get t 0 in
+  t.size <- t.size - 1;
+  t.arr.(0) <- t.arr.(t.size);
+  t.arr.(t.size) <- None;
+  if t.size > 0 then sift_down t 0;
+  e
+
+(* Discard cancelled entries as they surface; only live pops touch [live]. *)
+let rec pop t =
+  if t.size = 0 then None
+  else
+    let e = pop_root t in
+    if e.cell.cancelled then pop t
+    else begin
+      t.live <- t.live - 1;
+      Some (e.time, e.payload)
+    end
+
+let rec peek_time t =
+  if t.size = 0 then None
+  else
+    let e = get t 0 in
+    if e.cell.cancelled then begin
+      ignore (pop_root t);
+      peek_time t
+    end
+    else Some e.time

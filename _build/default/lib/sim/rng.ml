@@ -1,0 +1,51 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = bits64 t }
+
+let float t =
+  (* 53 uniform bits into [0, 1). *)
+  let x = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float x *. 0x1.0p-53
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits so the value fits OCaml's 63-bit int; modulo bias is
+     negligible for bounds far below 2^62, which all simulator uses
+     are. *)
+  let x = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  x mod bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t ~mean =
+  if mean <= 0. then invalid_arg "Rng.exponential: mean must be positive";
+  let u = 1. -. float t in
+  -.mean *. log u
+
+let gaussian t ~mu ~sigma =
+  let u1 = 1. -. float t and u2 = float t in
+  let r = sqrt (-2. *. log u1) in
+  mu +. (sigma *. r *. cos (2. *. Float.pi *. u2))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t ~bound:(i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

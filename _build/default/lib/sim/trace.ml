@@ -1,0 +1,48 @@
+type entry = { time : Units.time; cat : string; msg : string }
+
+type t = {
+  capacity : int;
+  ring : entry option array;
+  mutable next : int;
+  mutable count : int;
+  mutable enabled : bool;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  {
+    capacity;
+    ring = Array.make capacity None;
+    next = 0;
+    count = 0;
+    enabled = false;
+  }
+
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let is_enabled t = t.enabled
+
+let emit t ~time ~cat f =
+  if t.enabled then begin
+    t.ring.(t.next) <- Some { time; cat; msg = f () };
+    t.next <- (t.next + 1) mod t.capacity;
+    if t.count < t.capacity then t.count <- t.count + 1
+  end
+
+let entries t =
+  let start = (t.next - t.count + t.capacity) mod t.capacity in
+  List.init t.count (fun i ->
+      match t.ring.((start + i) mod t.capacity) with
+      | Some e -> (e.time, e.cat, e.msg)
+      | None -> assert false)
+
+let dump ppf t =
+  List.iter
+    (fun (time, cat, msg) ->
+      Format.fprintf ppf "[%a] %-12s %s@\n" Units.pp_time time cat msg)
+    (entries t)
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.next <- 0;
+  t.count <- 0

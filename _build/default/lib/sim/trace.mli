@@ -1,0 +1,27 @@
+(** Lightweight event tracing.
+
+    A trace is a bounded ring of timestamped, categorised strings. It is
+    disabled by default, in which case [emit] is a few comparisons — the
+    render closures are only forced when tracing is on. Used by examples
+    and by debugging sessions; benchmarks keep it off. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring with room for [capacity] (default 4096) most-recent entries. *)
+
+val enable : t -> unit
+val disable : t -> unit
+val is_enabled : t -> bool
+
+val emit : t -> time:Units.time -> cat:string -> (unit -> string) -> unit
+(** Record an entry if tracing is enabled. The thunk is not forced when
+    disabled. *)
+
+val entries : t -> (Units.time * string * string) list
+(** Oldest-first list of retained entries, as [(time, cat, message)]. *)
+
+val dump : Format.formatter -> t -> unit
+(** Render retained entries, one per line. *)
+
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/workload/arrivals.ml: Dist Float Sim

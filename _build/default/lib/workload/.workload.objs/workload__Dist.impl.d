@@ -1,0 +1,1 @@
+lib/workload/dist.ml: Array Float Format Hashtbl Sim

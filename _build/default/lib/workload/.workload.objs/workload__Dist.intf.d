@@ -1,0 +1,1 @@
+lib/workload/dist.mli: Format Sim

@@ -1,0 +1,1 @@
+lib/workload/rpc_mix.ml: Dist Rpc Sim

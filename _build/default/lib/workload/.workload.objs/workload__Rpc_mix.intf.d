@@ -1,0 +1,1 @@
+lib/workload/rpc_mix.mli: Dist Rpc Sim

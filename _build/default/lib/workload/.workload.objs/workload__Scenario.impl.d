@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Array List Printf Rpc Sim

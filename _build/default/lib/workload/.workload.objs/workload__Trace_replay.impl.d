@@ -1,0 +1,1 @@
+lib/workload/trace_replay.ml: Buffer Dist In_channel Int List Out_channel Printf Rpc_mix Sim String

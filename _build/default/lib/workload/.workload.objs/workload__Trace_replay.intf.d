@@ -1,0 +1,1 @@
+lib/workload/trace_replay.mli: Dist Sim

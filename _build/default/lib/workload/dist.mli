@@ -1,0 +1,27 @@
+(** Sampling distributions for workload generation. *)
+
+type t =
+  | Constant of float
+  | Uniform of float * float  (** inclusive low, exclusive high *)
+  | Exponential of float  (** mean *)
+  | Lognormal of float * float  (** mu, sigma of the underlying normal *)
+  | Pareto of float * float  (** scale (minimum), shape alpha *)
+  | Bimodal of float * t * t  (** probability of first branch *)
+
+val sample : t -> Sim.Rng.t -> float
+val sample_int : t -> Sim.Rng.t -> int
+(** [max 0 (round (sample ...))]. *)
+
+val mean : t -> float
+(** Analytic mean (Pareto with alpha ≤ 1 returns [infinity]). *)
+
+val validate : t -> (unit, string) result
+(** Check parameter sanity (positive means, low < high, ...). *)
+
+val zipf : Sim.Rng.t -> n:int -> s:float -> int
+(** Zipf-distributed rank in [0, n): popularity skew for service
+    selection. [s] is the exponent (1.0 ≈ classic web skew). Uses
+    inverse-CDF over precomputed weights — O(log n) per sample after an
+    O(n) setup cached per (n, s). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Baseline Bytes Coherence Harness Int64 List Nic Osmodel Rpc Sim

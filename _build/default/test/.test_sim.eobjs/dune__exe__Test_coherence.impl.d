@@ -1,0 +1,1 @@
+test/test_coherence.ml: Alcotest Bytes Coherence Float List QCheck QCheck_alcotest Sim

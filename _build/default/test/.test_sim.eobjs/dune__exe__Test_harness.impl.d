@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Bytes Harness Lauberhorn Net Osmodel Rpc Sim

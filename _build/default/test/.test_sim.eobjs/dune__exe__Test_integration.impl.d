@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Baseline Bytes Coherence Harness Int64 Lauberhorn List Osmodel Printf Rpc Sim Workload

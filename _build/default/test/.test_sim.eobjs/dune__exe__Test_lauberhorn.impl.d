@@ -1,0 +1,1 @@
+test/test_lauberhorn.ml: Alcotest Array Bytes Coherence Gen Harness Int64 Lauberhorn List Net Option Osmodel QCheck QCheck_alcotest Rpc Sim String Workload

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Bytes Char Gen Int64 List Net Printf QCheck QCheck_alcotest Sim

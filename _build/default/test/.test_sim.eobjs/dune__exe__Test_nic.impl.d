@@ -1,0 +1,1 @@
+test/test_nic.ml: Alcotest Bytes Coherence Hashtbl List Net Nic QCheck QCheck_alcotest Queue Sim String

@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest List Option Osmodel Sim

@@ -1,0 +1,1 @@
+test/test_protocheck.ml: Alcotest Format Hashtbl Int List Printf Protocheck String

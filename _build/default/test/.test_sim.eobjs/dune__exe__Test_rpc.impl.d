@@ -1,0 +1,1 @@
+test/test_rpc.ml: Alcotest Bytes Float Hashtbl Int Int64 List Net Option QCheck QCheck_alcotest Rpc Sim

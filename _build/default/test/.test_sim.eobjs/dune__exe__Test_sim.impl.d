@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Format Gen Int64 List QCheck QCheck_alcotest Sim

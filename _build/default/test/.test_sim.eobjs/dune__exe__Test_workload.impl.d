@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float Format List Rpc Sim String Workload

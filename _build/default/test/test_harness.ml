@@ -1,0 +1,176 @@
+(* Tests for the experiment harness: recorder matching and traffic
+   construction. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let test_traffic_frames_parse_back () =
+  let frame =
+    Harness.Traffic.request_frame ~rpc_id:5L ~service_id:2 ~method_id:1
+      ~port:8080 (Rpc.Value.str "payload")
+  in
+  checki "dst port" 8080 frame.Net.Frame.udp.Net.Udp.dst_port;
+  (* The full frame survives a byte-level encode/parse round trip. *)
+  (match Net.Frame.parse (Net.Frame.encode frame) with
+  | Ok f -> (
+      match Rpc.Wire_format.decode f.Net.Frame.payload with
+      | Ok w ->
+          Alcotest.check Alcotest.int64 "rpc id" 5L w.Rpc.Wire_format.rpc_id;
+          checki "service" 2 w.Rpc.Wire_format.service_id;
+          checkb "is request" true
+            (w.Rpc.Wire_format.kind = Rpc.Wire_format.Request)
+      | Error e -> Alcotest.failf "rpc: %a" Rpc.Wire_format.pp_error e)
+  | Error e -> Alcotest.failf "frame: %a" Net.Frame.pp_error e);
+  (* Distinct client indices give distinct endpoints. *)
+  let c0 = Harness.Traffic.client_endpoint ~idx:0 () in
+  let c1 = Harness.Traffic.client_endpoint ~idx:1 () in
+  checkb "distinct clients" false
+    (Net.Ip_addr.equal c0.Net.Frame.ip c1.Net.Frame.ip)
+
+let response_frame ~rpc_id =
+  let reply =
+    {
+      Rpc.Wire_format.rpc_id;
+      service_id = 1;
+      method_id = 0;
+      kind = Rpc.Wire_format.Response;
+      body = Bytes.empty;
+    }
+  in
+  Net.Frame.make
+    ~src:(Harness.Traffic.server_endpoint ~port:7000)
+    ~dst:(Harness.Traffic.client_endpoint ())
+    (Rpc.Wire_format.encode reply)
+
+let test_recorder_latency_measurement () =
+  let e = Sim.Engine.create () in
+  let r = Harness.Recorder.create e in
+  Harness.Recorder.note_sent r ~rpc_id:1L;
+  ignore
+    (Sim.Engine.schedule_after e ~after:(Sim.Units.us 7) (fun () ->
+         Harness.Recorder.egress r (response_frame ~rpc_id:1L)));
+  Sim.Engine.run e;
+  checki "completed" 1 (Harness.Recorder.completed r);
+  checki "latency" (Sim.Units.us 7)
+    (Sim.Histogram.max_value (Harness.Recorder.latencies r));
+  checki "outstanding" 0 (Harness.Recorder.outstanding r)
+
+let test_recorder_unmatched_and_duplicates () =
+  let e = Sim.Engine.create () in
+  let r = Harness.Recorder.create e in
+  Harness.Recorder.note_sent r ~rpc_id:1L;
+  Harness.Recorder.egress r (response_frame ~rpc_id:99L) (* unknown id *);
+  Harness.Recorder.egress r (response_frame ~rpc_id:1L);
+  Harness.Recorder.egress r (response_frame ~rpc_id:1L) (* duplicate *);
+  checki "completed once" 1 (Harness.Recorder.completed r);
+  checki "unmatched counted" 2 (Harness.Recorder.unmatched r)
+
+let test_recorder_observer () =
+  let e = Sim.Engine.create () in
+  let r = Harness.Recorder.create e in
+  let seen = ref [] in
+  Harness.Recorder.on_complete r (fun ~rpc_id ~latency ->
+      seen := (rpc_id, latency) :: !seen);
+  Harness.Recorder.note_sent r ~rpc_id:3L;
+  Harness.Recorder.complete_by_id r ~rpc_id:3L;
+  checkb "observer fired" true (!seen = [ (3L, 0) ])
+
+let test_client_retransmission_over_lossy_link () =
+  (* End-to-end robustness: a client with retransmission behind a 20%%-
+     lossy wire in both directions still completes every call. *)
+  let engine = Sim.Engine.create () in
+  let client = ref None in
+  let to_client =
+    Net.Wire.create engine ~gbps:100. ~propagation:(Sim.Units.ns 500)
+      ~loss:0.2 ~seed:11
+      ~deliver:(fun f ->
+        match !client with Some c -> Harness.Client.on_reply c f | None -> ())
+      ()
+  in
+  let stack =
+    Lauberhorn.Stack.create engine ~cfg:Lauberhorn.Config.enzian ~ncores:4
+      ~services:
+        [ Lauberhorn.Stack.spec ~port:7000 (Rpc.Interface.echo_service ~id:1) ]
+      ~egress:(fun f -> Net.Wire.transmit to_client f)
+      ()
+  in
+  let to_server =
+    Net.Wire.create engine ~gbps:100. ~propagation:(Sim.Units.ns 500)
+      ~loss:0.2 ~seed:12
+      ~deliver:(fun f -> Lauberhorn.Stack.ingress stack f)
+      ()
+  in
+  let c =
+    Harness.Client.create engine
+      ~send:(fun f -> Net.Wire.transmit to_server f)
+      ()
+  in
+  client := Some c;
+  let done_count = ref 0 in
+  for i = 1 to 200 do
+    ignore
+      (Sim.Engine.schedule_at engine
+         ~at:(i * Sim.Units.us 20)
+         (fun () ->
+           Harness.Client.call c ~timeout:(Sim.Units.us 200) ~retries:10
+             ~service_id:1 ~method_id:0 ~port:7000
+             (Rpc.Value.Blob (Bytes.make 32 'l'))
+             (fun _ -> incr done_count)))
+  done;
+  Sim.Engine.run engine ~until:(Sim.Units.ms 50);
+  checki "all complete despite loss" 200 !done_count;
+  checki "nothing abandoned" 0 (Harness.Client.abandoned c);
+  checkb "retransmissions happened" true (Harness.Client.retransmits c > 20);
+  checkb "wire dropped frames" true (Net.Wire.frames_lost to_server > 20)
+
+let test_client_abandons_when_server_unreachable () =
+  let engine = Sim.Engine.create () in
+  let c = Harness.Client.create engine ~send:(fun _ -> ()) () in
+  let got_reply = ref false in
+  Harness.Client.call c ~timeout:(Sim.Units.us 100) ~retries:2 ~service_id:1
+    ~method_id:0 ~port:7000 Rpc.Value.Unit (fun _ -> got_reply := true);
+  Sim.Engine.run engine ~until:(Sim.Units.ms 10);
+  checkb "no reply" false !got_reply;
+  checki "abandoned" 1 (Harness.Client.abandoned c);
+  checki "retried twice" 2 (Harness.Client.retransmits c);
+  checki "slot released" 0 (Harness.Client.outstanding c)
+
+let test_driver_describe () =
+  let e = Sim.Engine.create () in
+  let k = Osmodel.Kernel.create e ~ncores:1 () in
+  let d =
+    Harness.Driver.make ~name:"x"
+      ~ingress:(fun _ -> ())
+      ~kernel:k
+      ~counters:(Sim.Counter.group "x")
+      ()
+  in
+  Alcotest.check Alcotest.string "default describe" "x"
+    (d.Harness.Driver.describe ())
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "traffic",
+        [
+          Alcotest.test_case "frames parse back" `Quick
+            test_traffic_frames_parse_back;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "latency measurement" `Quick
+            test_recorder_latency_measurement;
+          Alcotest.test_case "unmatched and duplicates" `Quick
+            test_recorder_unmatched_and_duplicates;
+          Alcotest.test_case "observer" `Quick test_recorder_observer;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "retransmission over lossy link" `Quick
+            test_client_retransmission_over_lossy_link;
+          Alcotest.test_case "abandons unreachable server" `Quick
+            test_client_abandons_when_server_unreachable;
+        ] );
+      ( "driver",
+        [ Alcotest.test_case "describe" `Quick test_driver_describe ] );
+    ]

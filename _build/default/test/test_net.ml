@@ -1,0 +1,358 @@
+(* Tests for the packet substrate: buffers, addresses, checksums,
+   header codecs, full frames, and the wire model. *)
+
+let check = Alcotest.check
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let checks = Alcotest.check Alcotest.string
+
+let raises_oob f =
+  try
+    f ();
+    false
+  with Net.Buf.Out_of_bounds _ -> true
+
+(* ---------- Buf ---------- *)
+
+let test_buf_roundtrip () =
+  let w = Net.Buf.writer 32 in
+  Net.Buf.write_u8 w 0xab;
+  Net.Buf.write_u16 w 0xbeef;
+  Net.Buf.write_u32 w 0xdead_beef;
+  Net.Buf.write_u64 w 0x0123_4567_89ab_cdefL;
+  Net.Buf.write_string w "hey";
+  let b = Net.Buf.contents w in
+  checki "length" 18 (Bytes.length b);
+  let r = Net.Buf.reader b in
+  checki "u8" 0xab (Net.Buf.read_u8 r);
+  checki "u16" 0xbeef (Net.Buf.read_u16 r);
+  checki "u32" 0xdead_beef (Net.Buf.read_u32 r);
+  check Alcotest.int64 "u64" 0x0123_4567_89ab_cdefL (Net.Buf.read_u64 r);
+  checks "string" "hey" (Bytes.to_string (Net.Buf.read_bytes r ~len:3));
+  Net.Buf.expect_end r
+
+let test_buf_bounds () =
+  let w = Net.Buf.writer 2 in
+  Net.Buf.write_u8 w 1;
+  checkb "write over capacity" true (raises_oob (fun () ->
+      Net.Buf.write_u32 w 5));
+  let r = Net.Buf.reader (Bytes.make 1 'x') in
+  checkb "read past end" true (raises_oob (fun () ->
+      ignore (Net.Buf.read_u16 r)));
+  checkb "trailing bytes" true (raises_oob (fun () ->
+      Net.Buf.expect_end (Net.Buf.reader (Bytes.make 2 'x'))))
+
+let test_buf_value_ranges () =
+  let w = Net.Buf.writer 8 in
+  checkb "u8 range" true
+    (try Net.Buf.write_u8 w 256; false with Invalid_argument _ -> true);
+  checkb "u16 range" true
+    (try Net.Buf.write_u16 w (-1); false with Invalid_argument _ -> true);
+  checkb "u32 range" true
+    (try Net.Buf.write_u32 w 0x1_0000_0000; false
+     with Invalid_argument _ -> true)
+
+let test_buf_patch_and_sub () =
+  let w = Net.Buf.writer 8 in
+  Net.Buf.write_u16 w 0;
+  Net.Buf.write_u16 w 42;
+  Net.Buf.patch_u16 w ~pos:0 7;
+  let b = Net.Buf.contents w in
+  let r = Net.Buf.sub_reader b ~pos:0 ~len:2 in
+  checki "patched" 7 (Net.Buf.read_u16 r);
+  checki "sub limit" 0 (Net.Buf.remaining r);
+  checkb "patch unwritten" true (raises_oob (fun () ->
+      Net.Buf.patch_u16 w ~pos:6 1))
+
+(* ---------- Addresses ---------- *)
+
+let test_mac_roundtrip () =
+  let m = Net.Mac_addr.of_string "02:aa:bb:cc:dd:ee" in
+  checks "to_string" "02:aa:bb:cc:dd:ee" (Net.Mac_addr.to_string m);
+  let w = Net.Buf.writer 6 in
+  Net.Mac_addr.write w m;
+  let m' = Net.Mac_addr.read (Net.Buf.reader (Net.Buf.contents w)) in
+  checkb "wire roundtrip" true (Net.Mac_addr.equal m m')
+
+let test_mac_classification () =
+  checkb "broadcast" true (Net.Mac_addr.is_broadcast Net.Mac_addr.broadcast);
+  checkb "multicast bit" true
+    (Net.Mac_addr.is_multicast (Net.Mac_addr.of_string "01:00:5e:00:00:01"));
+  checkb "unicast" false
+    (Net.Mac_addr.is_multicast (Net.Mac_addr.of_string "02:00:00:00:00:01"));
+  checkb "bad syntax" true
+    (try ignore (Net.Mac_addr.of_string "zz:00"); false
+     with Invalid_argument _ -> true)
+
+let test_ip_roundtrip () =
+  let ip = Net.Ip_addr.of_string "192.168.3.7" in
+  checks "to_string" "192.168.3.7" (Net.Ip_addr.to_string ip);
+  checki "to_int" 0xc0a80307 (Net.Ip_addr.to_int ip);
+  checkb "bad" true
+    (try ignore (Net.Ip_addr.of_string "1.2.3.256"); false
+     with Invalid_argument _ -> true)
+
+let test_ip_subnet () =
+  let net = Net.Ip_addr.of_string "10.1.0.0" in
+  checkb "inside" true
+    (Net.Ip_addr.in_subnet (Net.Ip_addr.of_string "10.1.200.3")
+       ~network:net ~prefix_len:16);
+  checkb "outside" false
+    (Net.Ip_addr.in_subnet (Net.Ip_addr.of_string "10.2.0.1")
+       ~network:net ~prefix_len:16);
+  checkb "prefix 0 matches all" true
+    (Net.Ip_addr.in_subnet (Net.Ip_addr.of_string "8.8.8.8")
+       ~network:net ~prefix_len:0)
+
+(* ---------- Checksum ---------- *)
+
+let test_checksum_rfc1071_example () =
+  (* Classic example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d. *)
+  let b = Bytes.create 8 in
+  List.iteri (fun i v -> Bytes.set_uint16_be b (2 * i) v)
+    [ 0x0001; 0xf203; 0xf4f5; 0xf6f7 ];
+  checki "rfc1071" 0x220d (Net.Checksum.compute b ~pos:0 ~len:8)
+
+let test_checksum_odd_length () =
+  let b = Bytes.of_string "\x01\x02\x03" in
+  (* 0x0102 + 0x0300 = 0x0402 -> complement 0xfbfd *)
+  checki "odd" 0xfbfd (Net.Checksum.compute b ~pos:0 ~len:3)
+
+let test_checksum_composable () =
+  let b = Bytes.of_string "\x01\x02\x03\x04\x05\x06" in
+  let whole = Net.Checksum.ones_complement_sum b ~pos:0 ~len:6 in
+  let part1 = Net.Checksum.ones_complement_sum b ~pos:0 ~len:2 in
+  let part2 = Net.Checksum.ones_complement_sum ~init:part1 b ~pos:2 ~len:4 in
+  checki "composable" whole part2
+
+let checksum_verifies_after_embedding =
+  QCheck.Test.make
+    ~name:"data + embedded checksum verifies to all-ones" ~count:300
+    QCheck.(list_of_size (Gen.int_range 2 64) (int_bound 255))
+    (fun data ->
+      (* Reserve two bytes at the front for the checksum field. *)
+      let b = Bytes.make (2 + List.length data) '\000' in
+      List.iteri (fun i v -> Bytes.set b (2 + i) (Char.chr v)) data;
+      let c = Net.Checksum.compute b ~pos:0 ~len:(Bytes.length b) in
+      Bytes.set_uint16_be b 0 c;
+      (* A checksum of 0 means the complement was 0xffff: data already
+         sums to all-ones; skip (IPv4 never emits it this way). *)
+      c = 0 || Net.Checksum.verify b ~pos:0 ~len:(Bytes.length b))
+
+(* ---------- IPv4 / UDP / Frame ---------- *)
+
+let sample_ipv4 =
+  {
+    Net.Ipv4.dscp = 0;
+    identification = 0x1234;
+    ttl = 64;
+    protocol = Net.Ipv4.protocol_udp;
+    src = Net.Ip_addr.of_string "10.0.0.1";
+    dst = Net.Ip_addr.of_string "10.0.0.2";
+    payload_len = 12;
+  }
+
+let test_ipv4_roundtrip () =
+  let w = Net.Buf.writer 64 in
+  Net.Ipv4.write w sample_ipv4;
+  Net.Buf.write_bytes w (Bytes.make 12 'p');
+  let r = Net.Buf.reader (Net.Buf.contents w) in
+  match Net.Ipv4.read r with
+  | Error e -> Alcotest.failf "parse: %a" Net.Ipv4.pp_error e
+  | Ok h ->
+      checki "ttl" 64 h.Net.Ipv4.ttl;
+      checki "payload_len" 12 h.Net.Ipv4.payload_len;
+      checkb "src" true (Net.Ip_addr.equal sample_ipv4.Net.Ipv4.src h.Net.Ipv4.src)
+
+let test_ipv4_detects_corruption () =
+  let w = Net.Buf.writer 64 in
+  Net.Ipv4.write w sample_ipv4;
+  let b = Net.Buf.contents w in
+  Bytes.set b 8 '\x00' (* flip TTL byte: checksum must fail *);
+  (match Net.Ipv4.read (Net.Buf.reader b) with
+  | Error Net.Ipv4.Bad_checksum -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Net.Ipv4.pp_error e
+  | Ok _ -> Alcotest.fail "corruption not detected");
+  (* Truncation. *)
+  match Net.Ipv4.read (Net.Buf.reader (Bytes.sub b 0 10)) with
+  | Error Net.Ipv4.Truncated -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Net.Ipv4.pp_error e
+  | Ok _ -> Alcotest.fail "truncation not detected"
+
+let test_udp_roundtrip_and_checksum () =
+  let src_ip = Net.Ip_addr.of_string "10.0.0.1" in
+  let dst_ip = Net.Ip_addr.of_string "10.0.0.2" in
+  let payload = Bytes.of_string "hello-udp" in
+  let w = Net.Buf.writer 64 in
+  Net.Udp.write w
+    { Net.Udp.src_port = 111; dst_port = 222;
+      payload_len = Bytes.length payload }
+    ~src_ip ~dst_ip ~payload;
+  let seg = Net.Buf.contents w in
+  (match Net.Udp.read (Net.Buf.reader seg) ~src_ip ~dst_ip with
+  | Error e -> Alcotest.failf "parse: %a" Net.Udp.pp_error e
+  | Ok (h, p) ->
+      checki "src port" 111 h.Net.Udp.src_port;
+      checks "payload" "hello-udp" (Bytes.to_string p));
+  (* Corrupt one payload byte: checksum must fail. *)
+  Bytes.set seg (Bytes.length seg - 1) '!';
+  match Net.Udp.read (Net.Buf.reader seg) ~src_ip ~dst_ip with
+  | Error Net.Udp.Bad_checksum -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Net.Udp.pp_error e
+  | Ok _ -> Alcotest.fail "corruption not detected"
+
+let ep ?(port = 1234) ?(last = 1) () =
+  {
+    Net.Frame.mac = Net.Mac_addr.of_int64 (Int64.of_int (0x020000000000 + last));
+    ip = Net.Ip_addr.of_string (Printf.sprintf "10.0.0.%d" last);
+    port;
+  }
+
+let test_frame_roundtrip () =
+  let src = ep ~port:5555 ~last:1 () and dst = ep ~port:80 ~last:2 () in
+  let f = Net.Frame.make ~src ~dst (Bytes.of_string "payload!") in
+  let b = Net.Frame.encode f in
+  checkb "min size padding" true (Bytes.length b >= Net.Ethernet.min_frame_size);
+  match Net.Frame.parse b with
+  | Error e -> Alcotest.failf "parse: %a" Net.Frame.pp_error e
+  | Ok f' ->
+      checks "payload survives" "payload!"
+        (Bytes.to_string f'.Net.Frame.payload);
+      checki "src port" 5555 (Net.Frame.src_endpoint f').Net.Frame.port;
+      checki "dst port" 80 (Net.Frame.dst_endpoint f').Net.Frame.port
+
+let frame_roundtrip_any_payload =
+  QCheck.Test.make ~name:"frame encode/parse is identity on payload"
+    ~count:200
+    QCheck.(string_of_size (Gen.int_range 0 1600))
+    (fun s ->
+      let f =
+        Net.Frame.make ~src:(ep ~last:1 ()) ~dst:(ep ~last:2 ())
+          (Bytes.of_string s)
+      in
+      match Net.Frame.parse (Net.Frame.encode f) with
+      | Ok f' -> Bytes.to_string f'.Net.Frame.payload = s
+      | Error _ -> false)
+
+let test_frame_rejects_non_ipv4 () =
+  let f = Net.Frame.make ~src:(ep ()) ~dst:(ep ~last:2 ()) (Bytes.create 4) in
+  let b = Net.Frame.encode f in
+  Bytes.set_uint16_be b 12 0x0806 (* ARP ethertype *);
+  match Net.Frame.parse b with
+  | Error (Net.Frame.Not_ipv4 0x0806) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Net.Frame.pp_error e
+  | Ok _ -> Alcotest.fail "accepted ARP"
+
+(* ---------- Wire ---------- *)
+
+let test_wire_serialization_delay () =
+  (* 1500B + 24B overhead at 100 Gb/s = 1524*8/100 = 121.92 -> 122ns *)
+  checki "delay" 122 (Net.Wire.serialization_delay ~gbps:100. ~bytes:1500)
+
+let test_wire_loss_and_corruption () =
+  let e = Sim.Engine.create () in
+  let delivered = ref 0 in
+  let lossy =
+    Net.Wire.create e ~gbps:100. ~propagation:10 ~loss:0.5 ~seed:7
+      ~deliver:(fun _ -> incr delivered)
+      ()
+  in
+  let frame = Net.Frame.make ~src:(ep ()) ~dst:(ep ~last:2 ()) (Bytes.make 32 'x') in
+  for _ = 1 to 1000 do
+    Net.Wire.transmit lossy frame
+  done;
+  Sim.Engine.run e;
+  checki "loss accounting" 1000 (!delivered + Net.Wire.frames_lost lossy);
+  checkb "roughly half lost" true
+    (Net.Wire.frames_lost lossy > 400 && Net.Wire.frames_lost lossy < 600);
+  (* Corruption: the checksums catch essentially all single-byte flips
+     inside the headers; flips in padding can survive. *)
+  let delivered2 = ref 0 in
+  let noisy =
+    Net.Wire.create e ~gbps:100. ~propagation:10 ~corruption:1.0 ~seed:8
+      ~deliver:(fun _ -> incr delivered2)
+      ()
+  in
+  for _ = 1 to 200 do
+    Net.Wire.transmit noisy frame
+  done;
+  Sim.Engine.run e;
+  checki "all accounted" 200 (!delivered2 + Net.Wire.frames_corrupted noisy);
+  checkb "most flips detected and dropped" true
+    (Net.Wire.frames_corrupted noisy > 100)
+
+let test_wire_delivery_and_queueing () =
+  let e = Sim.Engine.create () in
+  let arrivals = ref [] in
+  let w =
+    Net.Wire.create e ~gbps:100. ~propagation:500
+      ~deliver:(fun f ->
+        arrivals := (Sim.Engine.now e, Bytes.length f.Net.Frame.payload)
+                    :: !arrivals)
+      ()
+  in
+  let frame n = Net.Frame.make ~src:(ep ()) ~dst:(ep ~last:2 ()) (Bytes.make n 'x') in
+  Net.Wire.transmit w (frame 100);
+  Net.Wire.transmit w (frame 100);
+  Sim.Engine.run e;
+  checki "both arrived" 2 (List.length !arrivals);
+  (match List.rev !arrivals with
+  | [ (t1, _); (t2, _) ] ->
+      checkb "first after serialization+prop" true (t1 > 500);
+      checkb "second queued behind first" true (t2 > t1)
+  | _ -> Alcotest.fail "arrivals");
+  checki "frames counted" 2 (Net.Wire.frames_sent w)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "buf",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_buf_roundtrip;
+          Alcotest.test_case "bounds" `Quick test_buf_bounds;
+          Alcotest.test_case "value ranges" `Quick test_buf_value_ranges;
+          Alcotest.test_case "patch and sub" `Quick test_buf_patch_and_sub;
+        ] );
+      ( "addresses",
+        [
+          Alcotest.test_case "mac roundtrip" `Quick test_mac_roundtrip;
+          Alcotest.test_case "mac classification" `Quick
+            test_mac_classification;
+          Alcotest.test_case "ip roundtrip" `Quick test_ip_roundtrip;
+          Alcotest.test_case "ip subnet" `Quick test_ip_subnet;
+        ] );
+      ( "checksum",
+        [
+          Alcotest.test_case "rfc1071 example" `Quick
+            test_checksum_rfc1071_example;
+          Alcotest.test_case "odd length" `Quick test_checksum_odd_length;
+          Alcotest.test_case "composable" `Quick test_checksum_composable;
+        ]
+        @ qsuite [ checksum_verifies_after_embedding ] );
+      ( "headers",
+        [
+          Alcotest.test_case "ipv4 roundtrip" `Quick test_ipv4_roundtrip;
+          Alcotest.test_case "ipv4 detects corruption" `Quick
+            test_ipv4_detects_corruption;
+          Alcotest.test_case "udp roundtrip + checksum" `Quick
+            test_udp_roundtrip_and_checksum;
+        ] );
+      ( "frame",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "rejects non-ipv4" `Quick
+            test_frame_rejects_non_ipv4;
+        ]
+        @ qsuite [ frame_roundtrip_any_payload ] );
+      ( "wire",
+        [
+          Alcotest.test_case "serialization delay" `Quick
+            test_wire_serialization_delay;
+          Alcotest.test_case "delivery and queueing" `Quick
+            test_wire_delivery_and_queueing;
+          Alcotest.test_case "loss and corruption" `Quick
+            test_wire_loss_and_corruption;
+        ] );
+    ]

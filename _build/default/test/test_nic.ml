@@ -1,0 +1,292 @@
+(* Tests for the traditional-NIC substrate: rings, IOMMU, RSS, MSI-X
+   moderation, and the DMA NIC receive path. *)
+
+let check = Alcotest.check
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+(* ---------- Ring ---------- *)
+
+let test_ring_fifo () =
+  let r = Nic.Ring.create ~size:4 in
+  checkb "produce" true (Nic.Ring.produce r 1);
+  checkb "produce" true (Nic.Ring.produce r 2);
+  check (Alcotest.option Alcotest.int) "peek" (Some 1) (Nic.Ring.peek r);
+  check (Alcotest.option Alcotest.int) "consume" (Some 1) (Nic.Ring.consume r);
+  check (Alcotest.option Alcotest.int) "consume" (Some 2) (Nic.Ring.consume r);
+  check (Alcotest.option Alcotest.int) "empty" None (Nic.Ring.consume r)
+
+let test_ring_full_drops () =
+  let r = Nic.Ring.create ~size:2 in
+  ignore (Nic.Ring.produce r 1);
+  ignore (Nic.Ring.produce r 2);
+  checkb "full rejects" false (Nic.Ring.produce r 3);
+  checki "drop counted" 1 (Nic.Ring.drops r);
+  ignore (Nic.Ring.consume r);
+  checkb "space again" true (Nic.Ring.produce r 3)
+
+let test_ring_size_validation () =
+  checkb "non power of two" true
+    (try
+       ignore (Nic.Ring.create ~size:3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_ring_notify () =
+  let r = Nic.Ring.create ~size:4 in
+  let fired = ref 0 in
+  Nic.Ring.on_produce r (fun () -> incr fired);
+  ignore (Nic.Ring.produce r 1);
+  ignore (Nic.Ring.produce r 2);
+  checki "notified per produce" 2 !fired
+
+let ring_fifo_property =
+  QCheck.Test.make ~name:"ring is FIFO under interleaved produce/consume"
+    ~count:200
+    QCheck.(list (option (int_bound 100)))
+    (fun ops ->
+      (* Some v = produce v; None = consume. *)
+      let r = Nic.Ring.create ~size:8 in
+      let model = Queue.create () in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some v ->
+              let accepted = Nic.Ring.produce r v in
+              if accepted then Queue.add v model;
+              accepted = (Queue.length model <= 8)
+              || (Queue.length model <= 8)
+          | None -> (
+              match Nic.Ring.consume r, Queue.take_opt model with
+              | Some a, Some b -> a = b
+              | None, None -> true
+              | _ -> false))
+        ops)
+
+(* ---------- IOMMU ---------- *)
+
+let test_iommu_hit_miss_fault () =
+  let mmu = Nic.Iommu.create ~iotlb_entries:2 ~hit_cost:10 ~walk_cost:100 () in
+  Nic.Iommu.map mmu ~iova:0x1000 ~len:4096;
+  checki "first access walks" 110 (Nic.Iommu.translate mmu ~iova:0x1000);
+  checki "second hits" 10 (Nic.Iommu.translate mmu ~iova:0x1fff);
+  checki "hits" 1 (Nic.Iommu.hits mmu);
+  checki "misses" 1 (Nic.Iommu.misses mmu);
+  checkb "fault on unmapped" true
+    (Nic.Iommu.translate_opt mmu ~iova:0x9999_0000 = None);
+  checki "fault counted" 1 (Nic.Iommu.faults mmu);
+  checkb "translate raises on fault" true
+    (try
+       ignore (Nic.Iommu.translate mmu ~iova:0x9999_0000);
+       false
+     with Invalid_argument _ -> true)
+
+let test_iommu_lru_eviction () =
+  let mmu = Nic.Iommu.create ~iotlb_entries:2 ~hit_cost:10 ~walk_cost:100 () in
+  List.iter (fun i -> Nic.Iommu.map mmu ~iova:(i * 4096) ~len:4096) [ 1; 2; 3 ];
+  ignore (Nic.Iommu.translate mmu ~iova:4096);
+  ignore (Nic.Iommu.translate mmu ~iova:8192);
+  ignore (Nic.Iommu.translate mmu ~iova:12288) (* evicts page 1 (LRU) *);
+  checki "page 1 misses again" 110 (Nic.Iommu.translate mmu ~iova:4096)
+
+let test_iommu_unmap () =
+  let mmu = Nic.Iommu.create () in
+  Nic.Iommu.map mmu ~iova:0 ~len:8192;
+  ignore (Nic.Iommu.translate mmu ~iova:0);
+  Nic.Iommu.unmap mmu ~iova:0 ~len:4096;
+  checkb "unmapped page faults" true
+    (Nic.Iommu.translate_opt mmu ~iova:0 = None);
+  checkb "other page survives" true
+    (Nic.Iommu.translate_opt mmu ~iova:4096 <> None)
+
+(* ---------- RSS ---------- *)
+
+let flow i =
+  ( Net.Ip_addr.of_int (0x0a000001 + i),
+    Net.Ip_addr.of_int 0x0a000002,
+    1000 + i,
+    53 )
+
+let test_rss_deterministic () =
+  let rss = Nic.Rss.create ~queues:4 () in
+  let src_ip, dst_ip, src_port, dst_port = flow 1 in
+  let q1 = Nic.Rss.queue_for rss ~src_ip ~dst_ip ~src_port ~dst_port in
+  let q2 = Nic.Rss.queue_for rss ~src_ip ~dst_ip ~src_port ~dst_port in
+  checki "same flow same queue" q1 q2;
+  checkb "in range" true (q1 >= 0 && q1 < 4)
+
+let test_rss_spreads_flows () =
+  let rss = Nic.Rss.create ~queues:4 () in
+  let seen = Hashtbl.create 8 in
+  for i = 0 to 255 do
+    let src_ip, dst_ip, src_port, dst_port = flow i in
+    Hashtbl.replace seen
+      (Nic.Rss.queue_for rss ~src_ip ~dst_ip ~src_port ~dst_port)
+      ()
+  done;
+  checki "all queues used" 4 (Hashtbl.length seen)
+
+let test_rss_key_dependence () =
+  let a = Nic.Rss.create ~queues:64 () in
+  let b = Nic.Rss.create ~key:(String.make 40 '\x55') ~queues:64 () in
+  let src_ip, dst_ip, src_port, dst_port = flow 3 in
+  let ha = Nic.Rss.hash_flow a ~src_ip ~dst_ip ~src_port ~dst_port in
+  let hb = Nic.Rss.hash_flow b ~src_ip ~dst_ip ~src_port ~dst_port in
+  checkb "different keys differ" true (ha <> hb)
+
+let test_toeplitz_zero_input () =
+  checki "zero input hashes to 0" 0
+    (Nic.Rss.toeplitz_hash ~key:Nic.Rss.default_key (Bytes.make 12 '\000'))
+
+(* ---------- MSI-X ---------- *)
+
+let test_msix_immediate_then_moderated () =
+  let e = Sim.Engine.create () in
+  let fired = ref [] in
+  let m =
+    Nic.Msix.create e ~min_interval:(Sim.Units.us 10)
+      ~fire:(fun () -> fired := Sim.Engine.now e :: !fired)
+      ()
+  in
+  Nic.Msix.raise_event m (* t=0: immediate *);
+  ignore
+    (Sim.Engine.schedule_after e ~after:(Sim.Units.us 2) (fun () ->
+         Nic.Msix.raise_event m (* absorbed *)));
+  ignore
+    (Sim.Engine.schedule_after e ~after:(Sim.Units.us 3) (fun () ->
+         Nic.Msix.raise_event m (* absorbed *)));
+  Sim.Engine.run e;
+  check
+    (Alcotest.list Alcotest.int)
+    "one immediate + one trailing"
+    [ 0; Sim.Units.us 10 ]
+    (List.rev !fired);
+  checki "suppressed" 2 (Nic.Msix.suppressed m)
+
+let test_msix_mask_latches () =
+  let e = Sim.Engine.create () in
+  let fired = ref 0 in
+  let m =
+    Nic.Msix.create e ~min_interval:0 ~fire:(fun () -> incr fired) ()
+  in
+  Nic.Msix.mask m;
+  Nic.Msix.raise_event m;
+  Nic.Msix.raise_event m;
+  Sim.Engine.run e;
+  checki "masked: nothing" 0 !fired;
+  Nic.Msix.unmask m;
+  Sim.Engine.run e;
+  checki "pending delivered once" 1 !fired
+
+(* ---------- DMA NIC ---------- *)
+
+let sample_frame ?(dst_port = 53) () =
+  let src =
+    {
+      Net.Frame.mac = Net.Mac_addr.of_string "02:00:00:00:00:0a";
+      ip = Net.Ip_addr.of_string "10.0.0.10";
+      port = 5555;
+    }
+  in
+  let dst =
+    {
+      Net.Frame.mac = Net.Mac_addr.of_string "02:00:00:00:00:01";
+      ip = Net.Ip_addr.of_string "10.0.0.1";
+      port = dst_port;
+    }
+  in
+  Net.Frame.make ~src ~dst (Bytes.make 64 'x')
+
+let test_dma_nic_rx_to_ring_and_interrupt () =
+  let e = Sim.Engine.create () in
+  let irqs = ref [] in
+  let nic =
+    Nic.Dma_nic.create e Coherence.Interconnect.pcie_modern
+      ~config:{ Nic.Dma_nic.default_config with Nic.Dma_nic.coalesce_interval = 0 }
+      ~on_rx_interrupt:(fun ~queue -> irqs := queue :: !irqs)
+      ()
+  in
+  Nic.Dma_nic.rx_from_wire nic (sample_frame ());
+  Sim.Engine.run e;
+  checki "one interrupt" 1 (List.length !irqs);
+  let q = List.hd !irqs in
+  let ring = Nic.Dma_nic.rx_ring nic ~queue:q in
+  (match Nic.Ring.consume ring with
+  | Some f -> checki "payload survives" 64 (Bytes.length f.Net.Frame.payload)
+  | None -> Alcotest.fail "ring empty");
+  checki "delivered" 1 (Nic.Dma_nic.rx_delivered nic);
+  checkb "dma delay nonzero" true (Sim.Engine.now e > 0)
+
+let test_dma_nic_steering_override () =
+  let e = Sim.Engine.create () in
+  let nic =
+    Nic.Dma_nic.create e Coherence.Interconnect.pcie_modern
+      ~config:{ Nic.Dma_nic.default_config with Nic.Dma_nic.coalesce_interval = 0 }
+      ~on_rx_interrupt:(fun ~queue:_ -> ())
+      ()
+  in
+  Nic.Dma_nic.set_steering nic (fun f -> f.Net.Frame.udp.Net.Udp.dst_port);
+  Nic.Dma_nic.rx_from_wire nic (sample_frame ~dst_port:2 ());
+  Sim.Engine.run e;
+  checki "steered to queue 2" 1
+    (Nic.Ring.occupancy (Nic.Dma_nic.rx_ring nic ~queue:2))
+
+let test_dma_nic_transmit_delay () =
+  let e = Sim.Engine.create () in
+  let nic =
+    Nic.Dma_nic.create e Coherence.Interconnect.pcie_modern
+      ~on_rx_interrupt:(fun ~queue:_ -> ())
+      ()
+  in
+  let sent_at = ref (-1) in
+  Nic.Dma_nic.transmit nic (sample_frame ()) ~via:(fun _ ->
+      sent_at := Sim.Engine.now e);
+  Sim.Engine.run e;
+  checkb "tx has dma latency" true
+    (!sent_at
+    >= Coherence.Interconnect.pcie_modern.Coherence.Interconnect.dma_read)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "nic"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "fifo" `Quick test_ring_fifo;
+          Alcotest.test_case "full drops" `Quick test_ring_full_drops;
+          Alcotest.test_case "size validation" `Quick
+            test_ring_size_validation;
+          Alcotest.test_case "notify" `Quick test_ring_notify;
+        ]
+        @ qsuite [ ring_fifo_property ] );
+      ( "iommu",
+        [
+          Alcotest.test_case "hit/miss/fault" `Quick test_iommu_hit_miss_fault;
+          Alcotest.test_case "lru eviction" `Quick test_iommu_lru_eviction;
+          Alcotest.test_case "unmap" `Quick test_iommu_unmap;
+        ] );
+      ( "rss",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rss_deterministic;
+          Alcotest.test_case "spreads flows" `Quick test_rss_spreads_flows;
+          Alcotest.test_case "key dependence" `Quick test_rss_key_dependence;
+          Alcotest.test_case "toeplitz zero input" `Quick
+            test_toeplitz_zero_input;
+        ] );
+      ( "msix",
+        [
+          Alcotest.test_case "moderation" `Quick
+            test_msix_immediate_then_moderated;
+          Alcotest.test_case "mask latches" `Quick test_msix_mask_latches;
+        ] );
+      ( "dma_nic",
+        [
+          Alcotest.test_case "rx to ring + interrupt" `Quick
+            test_dma_nic_rx_to_ring_and_interrupt;
+          Alcotest.test_case "steering override" `Quick
+            test_dma_nic_steering_override;
+          Alcotest.test_case "transmit delay" `Quick
+            test_dma_nic_transmit_delay;
+        ] );
+    ]

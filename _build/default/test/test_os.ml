@@ -1,0 +1,490 @@
+(* Tests for the OS kernel model: accounting, run queues, scheduling,
+   blocking/waking, stalls, IRQs/IPIs, and sockets. *)
+
+let check = Alcotest.check
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let make ?(ncores = 2) ?costs () =
+  let e = Sim.Engine.create () in
+  let k =
+    match costs with
+    | Some costs -> Osmodel.Kernel.create e ~ncores ~costs ()
+    | None -> Osmodel.Kernel.create e ~ncores ()
+  in
+  (e, k)
+
+(* Kernel costs with zeroed overheads: timing assertions become exact. *)
+let zero_costs =
+  {
+    Osmodel.Kernel.ctx_switch_process = 0;
+    ctx_switch_thread = 0;
+    syscall = 0;
+    wake = 0;
+    ipi_latency = 0;
+    ipi_handler = 0;
+    irq_latency = 0;
+    timer_tick_period = Sim.Units.s 1000;
+    timer_tick_cost = 0;
+    quantum = Sim.Units.s 1000;
+  }
+
+(* ---------- Cpu_account ---------- *)
+
+let test_account_basics () =
+  let a = Osmodel.Cpu_account.create () in
+  Osmodel.Cpu_account.charge a Osmodel.Cpu_account.User 100;
+  Osmodel.Cpu_account.charge a Osmodel.Cpu_account.Spin 300;
+  checki "user" 100 (Osmodel.Cpu_account.charged a Osmodel.Cpu_account.User);
+  checki "busy" 400 (Osmodel.Cpu_account.busy a);
+  checki "idle" 600 (Osmodel.Cpu_account.idle a ~window:1000);
+  check (Alcotest.float 1e-9) "util" 0.4
+    (Osmodel.Cpu_account.utilization a ~window:1000);
+  check (Alcotest.float 1e-9) "useful" 0.25
+    (Osmodel.Cpu_account.useful_fraction a);
+  let merged = Osmodel.Cpu_account.merge [ a; a ] in
+  checki "merged" 800 (Osmodel.Cpu_account.busy merged);
+  Osmodel.Cpu_account.reset a;
+  checki "reset" 0 (Osmodel.Cpu_account.busy a)
+
+(* ---------- Runqueue ---------- *)
+
+let test_runqueue_fifo_and_stale () =
+  let proc = Osmodel.Proc.make_process ~pid:1 ~name:"p" in
+  let th i = Osmodel.Proc.make_thread ~tid:i ~name:"t" ~proc () in
+  let a = th 1 and b = th 2 in
+  a.Osmodel.Proc.state <- Osmodel.Proc.Ready;
+  b.Osmodel.Proc.state <- Osmodel.Proc.Ready;
+  let q = Osmodel.Runqueue.create () in
+  Osmodel.Runqueue.enqueue q a;
+  Osmodel.Runqueue.enqueue q b;
+  checkb "double enqueue rejected" true
+    (try
+       Osmodel.Runqueue.enqueue q a;
+       false
+     with Invalid_argument _ -> true);
+  (* a goes stale (e.g. exited) and must be skipped. *)
+  a.Osmodel.Proc.state <- Osmodel.Proc.Exited;
+  (match Osmodel.Runqueue.pop q with
+  | Some th -> checki "stale skipped" 2 th.Osmodel.Proc.tid
+  | None -> Alcotest.fail "empty");
+  checkb "drained" true (Osmodel.Runqueue.pop q = None)
+
+(* ---------- Kernel scheduling ---------- *)
+
+let test_spawn_wake_runs_body () =
+  let e, k = make () in
+  let ran_at = ref (-1) in
+  let proc = Osmodel.Kernel.new_process k ~name:"app" in
+  let th_ref = ref None in
+  let th =
+    Osmodel.Kernel.spawn k proc ~name:"t" (fun () ->
+        ran_at := Sim.Engine.now e;
+        Osmodel.Kernel.exit_thread k (Option.get !th_ref))
+  in
+  th_ref := Some th;
+  Osmodel.Kernel.wake k th;
+  Sim.Engine.run e ~until:(Sim.Units.us 100);
+  checkb "body ran" true (!ran_at >= 0);
+  checkb "core freed" true (Osmodel.Kernel.core_is_idle k ~core:0);
+  checkb "exited" true (th.Osmodel.Proc.state = Osmodel.Proc.Exited)
+
+let test_run_for_charges_and_advances () =
+  let e, k = make ~costs:zero_costs () in
+  let proc = Osmodel.Kernel.new_process k ~name:"app" in
+  let done_at = ref (-1) in
+  let th_ref = ref None in
+  let th =
+    Osmodel.Kernel.spawn k proc ~name:"t" (fun () ->
+        let th = Option.get !th_ref in
+        Osmodel.Kernel.run_for k th ~kind:Osmodel.Cpu_account.User 500
+          (fun () ->
+            done_at := Sim.Engine.now e;
+            Osmodel.Kernel.exit_thread k th))
+  in
+  th_ref := Some th;
+  Osmodel.Kernel.wake k th;
+  Sim.Engine.run e ~until:(Sim.Units.ms 100);
+  checki "took 500ns" 500 !done_at;
+  checki "charged user" 500
+    (Osmodel.Cpu_account.charged
+       (Osmodel.Kernel.account k ~core:0)
+       Osmodel.Cpu_account.User)
+
+let test_block_wake_roundtrip () =
+  let e, k = make ~costs:zero_costs () in
+  let proc = Osmodel.Kernel.new_process k ~name:"app" in
+  let resumed_at = ref (-1) in
+  let th_ref = ref None in
+  let th =
+    Osmodel.Kernel.spawn k proc ~name:"t" (fun () ->
+        let th = Option.get !th_ref in
+        Osmodel.Kernel.block k th (fun () ->
+            resumed_at := Sim.Engine.now e;
+            Osmodel.Kernel.exit_thread k th))
+  in
+  th_ref := Some th;
+  Osmodel.Kernel.wake k th;
+  ignore
+    (Sim.Engine.schedule_after e ~after:(Sim.Units.us 50) (fun () ->
+         Osmodel.Kernel.wake k th));
+  Sim.Engine.run e ~until:(Sim.Units.ms 100);
+  checki "resumed at wake" (Sim.Units.us 50) !resumed_at
+
+let test_sleep () =
+  let e, k = make ~costs:zero_costs () in
+  let proc = Osmodel.Kernel.new_process k ~name:"app" in
+  let woke = ref (-1) in
+  let th_ref = ref None in
+  let th =
+    Osmodel.Kernel.spawn k proc ~name:"t" (fun () ->
+        let th = Option.get !th_ref in
+        Osmodel.Kernel.sleep k th (Sim.Units.us 25) (fun () ->
+            woke := Sim.Engine.now e;
+            Osmodel.Kernel.exit_thread k th))
+  in
+  th_ref := Some th;
+  Osmodel.Kernel.wake k th;
+  Sim.Engine.run e ~until:(Sim.Units.ms 100);
+  checki "slept" (Sim.Units.us 25) !woke
+
+let test_two_threads_share_two_cores () =
+  let e, k = make ~ncores:2 ~costs:zero_costs () in
+  let proc = Osmodel.Kernel.new_process k ~name:"app" in
+  let cores = ref [] in
+  let spawn_busy name =
+    let th_ref = ref None in
+    let th =
+      Osmodel.Kernel.spawn k proc ~name (fun () ->
+          let th = Option.get !th_ref in
+          (match th.Osmodel.Proc.state with
+          | Osmodel.Proc.Running c -> cores := c :: !cores
+          | _ -> ());
+          Osmodel.Kernel.run_for k th ~kind:Osmodel.Cpu_account.User 1000
+            (fun () -> Osmodel.Kernel.exit_thread k th))
+    in
+    th_ref := Some th;
+    Osmodel.Kernel.wake k th
+  in
+  spawn_busy "a";
+  spawn_busy "b";
+  Sim.Engine.run e ~until:(Sim.Units.ms 100);
+  check
+    (Alcotest.list Alcotest.int)
+    "both cores used" [ 0; 1 ]
+    (List.sort compare !cores)
+
+let test_affinity_pins () =
+  let e, k = make ~ncores:4 ~costs:zero_costs () in
+  let proc = Osmodel.Kernel.new_process k ~name:"app" in
+  let core = ref (-1) in
+  let th_ref = ref None in
+  let th =
+    Osmodel.Kernel.spawn k proc ~name:"pinned" ~affinity:3 (fun () ->
+        let th = Option.get !th_ref in
+        (match th.Osmodel.Proc.state with
+        | Osmodel.Proc.Running c -> core := c
+        | _ -> ());
+        Osmodel.Kernel.exit_thread k th)
+  in
+  th_ref := Some th;
+  Osmodel.Kernel.wake k th;
+  Sim.Engine.run e ~until:(Sim.Units.ms 100);
+  checki "ran on pinned core" 3 !core
+
+let test_queueing_when_core_busy () =
+  let e, k = make ~ncores:1 ~costs:zero_costs () in
+  let proc = Osmodel.Kernel.new_process k ~name:"app" in
+  let order = ref [] in
+  let spawn_tagged tag work =
+    let th_ref = ref None in
+    let th =
+      Osmodel.Kernel.spawn k proc ~name:tag (fun () ->
+          let th = Option.get !th_ref in
+          Osmodel.Kernel.run_for k th ~kind:Osmodel.Cpu_account.User work
+            (fun () ->
+              order := tag :: !order;
+              Osmodel.Kernel.exit_thread k th))
+    in
+    th_ref := Some th;
+    Osmodel.Kernel.wake k th
+  in
+  spawn_tagged "first" 1000;
+  spawn_tagged "second" 10;
+  checki "one waiting" 1 (Osmodel.Kernel.total_runnable_waiting k);
+  Sim.Engine.run e ~until:(Sim.Units.ms 100);
+  check
+    (Alcotest.list Alcotest.string)
+    "fifo completion" [ "first"; "second" ] (List.rev !order)
+
+let test_yield_requeues_behind () =
+  let e, k = make ~ncores:1 ~costs:zero_costs () in
+  let proc = Osmodel.Kernel.new_process k ~name:"app" in
+  let order = ref [] in
+  let a_ref = ref None and b_ref = ref None in
+  let a =
+    Osmodel.Kernel.spawn k proc ~name:"a" (fun () ->
+        let a = Option.get !a_ref in
+        order := "a1" :: !order;
+        Osmodel.Kernel.yield k a (fun () ->
+            order := "a2" :: !order;
+            Osmodel.Kernel.exit_thread k a))
+  in
+  a_ref := Some a;
+  let b =
+    Osmodel.Kernel.spawn k proc ~name:"b" (fun () ->
+        let b = Option.get !b_ref in
+        order := "b" :: !order;
+        Osmodel.Kernel.exit_thread k b)
+  in
+  b_ref := Some b;
+  Osmodel.Kernel.wake k a;
+  Osmodel.Kernel.wake k b;
+  Sim.Engine.run e ~until:(Sim.Units.ms 100);
+  check
+    (Alcotest.list Alcotest.string)
+    "yield lets b in" [ "a1"; "b"; "a2" ] (List.rev !order)
+
+let test_quantum_preemption () =
+  let costs =
+    {
+      zero_costs with
+      Osmodel.Kernel.timer_tick_period = Sim.Units.us 10;
+      quantum = Sim.Units.us 20;
+    }
+  in
+  let e, k = make ~ncores:1 ~costs () in
+  let proc = Osmodel.Kernel.new_process k ~name:"app" in
+  let order = ref [] in
+  (* A long thread running in many short segments; a second thread
+     queued behind it should preempt at a segment boundary after the
+     quantum expires. *)
+  let a_ref = ref None and b_ref = ref None in
+  let rec segments th n k' =
+    if n = 0 then k' ()
+    else
+      Osmodel.Kernel.run_for k th ~kind:Osmodel.Cpu_account.User
+        (Sim.Units.us 5) (fun () -> segments th (n - 1) k')
+  in
+  let a =
+    Osmodel.Kernel.spawn k proc ~name:"hog" (fun () ->
+        let a = Option.get !a_ref in
+        segments a 20 (fun () ->
+            order := "hog-done" :: !order;
+            Osmodel.Kernel.exit_thread k a))
+  in
+  a_ref := Some a;
+  let b =
+    Osmodel.Kernel.spawn k proc ~name:"latecomer" (fun () ->
+        let b = Option.get !b_ref in
+        order := "latecomer" :: !order;
+        Osmodel.Kernel.exit_thread k b)
+  in
+  b_ref := Some b;
+  Osmodel.Kernel.wake k a;
+  ignore
+    (Sim.Engine.schedule_after e ~after:(Sim.Units.us 1) (fun () ->
+         Osmodel.Kernel.wake k b));
+  Sim.Engine.run e ~until:(Sim.Units.ms 100);
+  check
+    (Alcotest.list Alcotest.string)
+    "preempted before hog finished"
+    [ "latecomer"; "hog-done" ] (List.rev !order)
+
+let test_work_stealing () =
+  let e, k = make ~ncores:2 ~costs:zero_costs () in
+  let proc = Osmodel.Kernel.new_process k ~name:"app" in
+  (* Three threads woken "simultaneously": one core would serialize,
+     stealing should spread them. Thread 3 lands on a queue while both
+     cores are busy; when core 1 finishes early it steals. *)
+  let finish_times = ref [] in
+  let spawn_work name work =
+    let th_ref = ref None in
+    let th =
+      Osmodel.Kernel.spawn k proc ~name (fun () ->
+          let th = Option.get !th_ref in
+          Osmodel.Kernel.run_for k th ~kind:Osmodel.Cpu_account.User work
+            (fun () ->
+              finish_times := (name, Sim.Engine.now e) :: !finish_times;
+              Osmodel.Kernel.exit_thread k th))
+    in
+    th_ref := Some th;
+    Osmodel.Kernel.wake k th
+  in
+  spawn_work "long" 1000;
+  spawn_work "short" 10;
+  spawn_work "queued" 10;
+  Sim.Engine.run e ~until:(Sim.Units.ms 100);
+  let t name = List.assoc name !finish_times in
+  checkb "queued stolen before long finished" true (t "queued" < t "long")
+
+(* ---------- Stall accounting ---------- *)
+
+let test_stall_accounting () =
+  let e, k = make ~ncores:1 ~costs:zero_costs () in
+  let proc = Osmodel.Kernel.new_process k ~name:"app" in
+  let th_ref = ref None in
+  let th =
+    Osmodel.Kernel.spawn k proc ~name:"t" (fun () ->
+        let th = Option.get !th_ref in
+        Osmodel.Kernel.stall_begin k th;
+        ignore
+          (Sim.Engine.schedule_after e ~after:750 (fun () ->
+               Osmodel.Kernel.stall_end k th;
+               Osmodel.Kernel.exit_thread k th)))
+  in
+  th_ref := Some th;
+  Osmodel.Kernel.wake k th;
+  Sim.Engine.run e ~until:(Sim.Units.ms 100);
+  checki "stall charged" 750
+    (Osmodel.Cpu_account.charged
+       (Osmodel.Kernel.account k ~core:0)
+       Osmodel.Cpu_account.Stall)
+
+(* ---------- IRQ / IPI ---------- *)
+
+let test_irq_prefers_idle_core_and_charges () =
+  let e, k = make ~ncores:2 () in
+  let handled_on = ref (-1) in
+  Osmodel.Kernel.run_irq k ~cost:400 (fun ~core -> handled_on := core);
+  Sim.Engine.run e ~until:(Sim.Units.ms 100);
+  checkb "some core" true (!handled_on >= 0);
+  checki "kernel charged" 400
+    (Osmodel.Cpu_account.charged
+       (Osmodel.Kernel.account k ~core:!handled_on)
+       Osmodel.Cpu_account.Kernel)
+
+let test_ipi_delivery () =
+  let e, k = make ~ncores:2 () in
+  let at = ref (-1) in
+  Osmodel.Kernel.send_ipi k ~core:1 (fun () -> at := Sim.Engine.now e);
+  Sim.Engine.run e ~until:(Sim.Units.ms 100);
+  checki "ipi latency"
+    (Osmodel.Kernel.costs k).Osmodel.Kernel.ipi_latency !at
+
+(* ---------- Context-switch hooks ---------- *)
+
+let test_context_switch_hook_sees_transitions () =
+  let e, k = make ~ncores:1 ~costs:zero_costs () in
+  let proc = Osmodel.Kernel.new_process k ~name:"app" in
+  let events = ref [] in
+  Osmodel.Kernel.on_context_switch k (fun ~core ~prev ~next ->
+      let name = function
+        | None -> "-"
+        | Some th -> th.Osmodel.Proc.tname
+      in
+      events := (core, name prev, name next) :: !events);
+  let th_ref = ref None in
+  let th =
+    Osmodel.Kernel.spawn k proc ~name:"t" (fun () ->
+        Osmodel.Kernel.exit_thread k (Option.get !th_ref))
+  in
+  th_ref := Some th;
+  Osmodel.Kernel.wake k th;
+  Sim.Engine.run e ~until:(Sim.Units.ms 100);
+  check
+    (Alcotest.list (Alcotest.triple Alcotest.int Alcotest.string Alcotest.string))
+    "on then off"
+    [ (0, "-", "t"); (0, "t", "-") ]
+    (List.rev !events)
+
+(* ---------- Socket ---------- *)
+
+let test_socket_blocking_recv () =
+  let e, k = make ~ncores:1 ~costs:zero_costs () in
+  let proc = Osmodel.Kernel.new_process k ~name:"app" in
+  let sock : string Osmodel.Socket.t = Osmodel.Socket.create k () in
+  let got = ref [] in
+  let th_ref = ref None in
+  let rec loop th () =
+    Osmodel.Socket.recv sock th (fun v ->
+        got := v :: !got;
+        if List.length !got < 2 then loop th ()
+        else Osmodel.Kernel.exit_thread k th)
+  in
+  let th =
+    Osmodel.Kernel.spawn k proc ~name:"rx" (fun () ->
+        loop (Option.get !th_ref) ())
+  in
+  th_ref := Some th;
+  Osmodel.Kernel.wake k th;
+  ignore
+    (Sim.Engine.schedule_after e ~after:100 (fun () ->
+         Osmodel.Socket.enqueue sock "one"));
+  ignore
+    (Sim.Engine.schedule_after e ~after:200 (fun () ->
+         Osmodel.Socket.enqueue sock "two"));
+  Sim.Engine.run e ~until:(Sim.Units.ms 100);
+  check (Alcotest.list Alcotest.string) "both received in order"
+    [ "one"; "two" ] (List.rev !got);
+  checki "enqueued total" 2 (Osmodel.Socket.enqueued sock)
+
+let test_socket_immediate_recv () =
+  let e, k = make ~ncores:1 ~costs:zero_costs () in
+  let proc = Osmodel.Kernel.new_process k ~name:"app" in
+  let sock : int Osmodel.Socket.t = Osmodel.Socket.create k () in
+  Osmodel.Socket.enqueue sock 7;
+  checki "depth" 1 (Osmodel.Socket.depth sock);
+  let got = ref 0 in
+  let th_ref = ref None in
+  let th =
+    Osmodel.Kernel.spawn k proc ~name:"rx" (fun () ->
+        let th = Option.get !th_ref in
+        Osmodel.Socket.recv sock th (fun v ->
+            got := v;
+            Osmodel.Kernel.exit_thread k th))
+  in
+  th_ref := Some th;
+  Osmodel.Kernel.wake k th;
+  Sim.Engine.run e ~until:(Sim.Units.ms 100);
+  checki "got it" 7 !got
+
+let () =
+  Alcotest.run "os"
+    [
+      ( "accounting",
+        [ Alcotest.test_case "cpu_account" `Quick test_account_basics ] );
+      ( "runqueue",
+        [
+          Alcotest.test_case "fifo and stale entries" `Quick
+            test_runqueue_fifo_and_stale;
+        ] );
+      ( "scheduling",
+        [
+          Alcotest.test_case "spawn+wake runs body" `Quick
+            test_spawn_wake_runs_body;
+          Alcotest.test_case "run_for charges" `Quick
+            test_run_for_charges_and_advances;
+          Alcotest.test_case "block/wake" `Quick test_block_wake_roundtrip;
+          Alcotest.test_case "sleep" `Quick test_sleep;
+          Alcotest.test_case "two threads two cores" `Quick
+            test_two_threads_share_two_cores;
+          Alcotest.test_case "affinity" `Quick test_affinity_pins;
+          Alcotest.test_case "fifo queueing" `Quick
+            test_queueing_when_core_busy;
+          Alcotest.test_case "yield requeues" `Quick test_yield_requeues_behind;
+          Alcotest.test_case "quantum preemption" `Quick
+            test_quantum_preemption;
+          Alcotest.test_case "work stealing" `Quick test_work_stealing;
+        ] );
+      ( "stall",
+        [ Alcotest.test_case "stall accounting" `Quick test_stall_accounting ]
+      );
+      ( "interrupts",
+        [
+          Alcotest.test_case "irq picks idle core" `Quick
+            test_irq_prefers_idle_core_and_charges;
+          Alcotest.test_case "ipi delivery" `Quick test_ipi_delivery;
+        ] );
+      ( "hooks",
+        [
+          Alcotest.test_case "context-switch transitions" `Quick
+            test_context_switch_hook_sees_transitions;
+        ] );
+      ( "socket",
+        [
+          Alcotest.test_case "blocking recv" `Quick test_socket_blocking_recv;
+          Alcotest.test_case "immediate recv" `Quick
+            test_socket_immediate_recv;
+        ] );
+    ]
