@@ -5,7 +5,45 @@
      dune exec bench/main.exe            # run every experiment
      dune exec bench/main.exe -- fig2 e7 # run selected sections
 
-   Section ids follow DESIGN.md's experiment index. *)
+   Section ids follow DESIGN.md's experiment index.
+
+   When the [micro] section runs, its rows are also written to
+   BENCH_1.json in the invocation directory — a machine-readable
+   record (name, ns/run, r²) so hot-path regressions can be diffed
+   across commits without parsing the pretty table. *)
+
+let bench_json_file = "BENCH_1.json"
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f = if Float.is_nan f then "null" else Printf.sprintf "%.4f" f
+
+let write_bench_json rows =
+  let oc = open_out bench_json_file in
+  output_string oc "{\n  \"schema\": \"lauberhorn-microbench-v1\",\n";
+  output_string oc "  \"unit\": \"ns/run\",\n  \"rows\": [\n";
+  List.iteri
+    (fun i (name, ns, r2) ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}%s\n"
+        (json_escape name) (json_float ns) (json_float r2)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Format.printf "wrote %s (%d rows)@." bench_json_file (List.length rows)
 
 let sections =
   [
@@ -40,4 +78,7 @@ let () =
           Format.printf "unknown section %S; known: %s@." id
             (String.concat ", " (List.map fst sections)))
     requested;
+  (match !Micro.json_rows with
+  | [] -> ()
+  | rows -> write_bench_json rows);
   Format.printf "@.all requested sections finished.@."

@@ -114,7 +114,9 @@ let () =
            code_ptr = 0x4000_2000L;
            data_ptr = 0x7000_0000L;
            total_args = Bytes.length body;
-           inline_args = Bytes.sub body 0 (min inline_cap (Bytes.length body));
+           inline_args =
+             Net.Slice.make body ~off:0
+               ~len:(min inline_cap (Bytes.length body));
            aux_count = 0;
            via_dma = false;
          })

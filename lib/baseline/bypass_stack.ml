@@ -40,8 +40,7 @@ let charge_user t p cost =
    poller thread owns its core outright, so we charge its ledger
    directly and sequence work with engine delays. *)
 let rec poll_loop t p () =
-  let ring = Nic.Dma_nic.rx_ring (nic t) ~queue:p.pidx in
-  match Nic.Ring.consume ring with
+  match Nic.Dma_nic.consume (nic t) ~queue:p.pidx Net.Frame.of_view with
   | Some frame ->
       let rx = t.sw.Costs.poll_rx_per_packet + t.sw.Costs.bypass_demux in
       charge_user t p rx;

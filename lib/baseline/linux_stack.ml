@@ -36,23 +36,28 @@ let ctr t name = Sim.Counter.counter t.counters name
 let napi_budget = 64
 
 (* NAPI poll in softirq context on [core]: drain the ring with a
-   budget, charging kernel time per packet; unmask when empty. *)
+   budget, charging kernel time per packet; unmask when empty. The
+   descriptor's bytes are parsed in place and its pooled buffer is
+   recycled before the softirq delay elapses, so only frames with a
+   registered consumer are copied out of the ring. *)
 let rec napi t ~core ~queue ~budget () =
-  let ring = Nic.Dma_nic.rx_ring (nic t) ~queue in
-  match Nic.Ring.consume ring with
+  match
+    Nic.Dma_nic.consume (nic t) ~queue (fun v ->
+        match Hashtbl.find_opt t.by_port v.Net.Frame.udp.Net.Udp.dst_port with
+        | None -> None
+        | Some rt -> Some (rt, Net.Frame.of_view v))
+  with
   | None -> Nic.Dma_nic.unmask_irq (nic t) ~queue
-  | Some frame ->
+  | Some delivery ->
       let cost = t.sw.Costs.softirq_per_packet + t.sw.Costs.socket_demux in
       Osmodel.Cpu_account.charge
         (Osmodel.Kernel.account t.kern ~core)
         Osmodel.Cpu_account.Kernel cost;
       ignore
         (Sim.Engine.schedule_after t.engine ~after:cost (fun () ->
-             (match
-                Hashtbl.find_opt t.by_port frame.Net.Frame.udp.Net.Udp.dst_port
-              with
+             (match delivery with
              | None -> Sim.Counter.incr (ctr t "rx_no_service")
-             | Some rt -> Osmodel.Socket.enqueue rt.socket frame);
+             | Some (rt, frame) -> Osmodel.Socket.enqueue rt.socket frame);
              if budget > 1 then napi t ~core ~queue ~budget:(budget - 1) ()
              else begin
                (* Budget exhausted: ksoftirqd would take over; model as

@@ -42,7 +42,7 @@ let extra_request_delay t (msg : Message.request) =
   else 0
 
 let extra_response_delay t (resp : Message.response) =
-  let inline = Bytes.length resp.Message.inline_body in
+  let inline = Net.Slice.length resp.Message.inline_body in
   let rest = resp.Message.total_len - inline in
   if rest <= 0 then 0
   else if resp.Message.total_len > t.cfg.Config.dma_threshold then

@@ -5,7 +5,7 @@ type request = {
   code_ptr : int64;
   data_ptr : int64;
   total_args : int;
-  inline_args : bytes;
+  inline_args : Net.Slice.t;
   aux_count : int;
   via_dma : bool;
 }
@@ -14,7 +14,7 @@ type response = {
   resp_rpc_id : int64;
   status : int;
   total_len : int;
-  inline_body : bytes;
+  inline_body : Net.Slice.t;
   resp_aux_count : int;
 }
 
@@ -40,32 +40,33 @@ let flag_via_dma = 0x01
 
 let encode_request_body ~line_bytes ~tag (r : request) =
   let cap = request_inline_capacity ~line_bytes in
-  if Bytes.length r.inline_args > cap then
+  if Net.Slice.length r.inline_args > cap then
     invalid_arg
       (Printf.sprintf "Message.encode: %d inline bytes > capacity %d"
-         (Bytes.length r.inline_args) cap);
+         (Net.Slice.length r.inline_args) cap);
   let w = Net.Buf.writer line_bytes in
   Net.Buf.write_u8 w tag;
   Net.Buf.write_u8 w (if r.via_dma then flag_via_dma else 0);
   Net.Buf.write_u16 w r.aux_count;
   Net.Buf.write_u32 w r.service_id;
   Net.Buf.write_u16 w r.method_id;
-  Net.Buf.write_u16 w (Bytes.length r.inline_args);
+  Net.Buf.write_u16 w (Net.Slice.length r.inline_args);
   Net.Buf.write_u32 w r.total_args;
   Net.Buf.write_u64 w r.rpc_id;
   Net.Buf.write_u64 w r.code_ptr;
   Net.Buf.write_u64 w r.data_ptr;
-  Net.Buf.write_bytes w r.inline_args;
-  (* Pad the line image to full size (writer is pre-zeroed). *)
-  let pad = line_bytes - Net.Buf.writer_pos w in
-  if pad > 0 then Net.Buf.write_bytes w (Bytes.make pad '\000');
-  Net.Buf.contents w
+  Net.Buf.write_slice w r.inline_args;
+  (* Pad the line image to full size without a scratch buffer, then
+     hand back the writer's own buffer — the image is exactly one
+     allocation. *)
+  Net.Buf.write_zeros w (line_bytes - Net.Buf.writer_pos w);
+  Net.Buf.filled w
 
 let single_tag_line ~line_bytes tag =
   let w = Net.Buf.writer line_bytes in
   Net.Buf.write_u8 w tag;
-  Net.Buf.write_bytes w (Bytes.make (line_bytes - 1) '\000');
-  Net.Buf.contents w
+  Net.Buf.write_zeros w (line_bytes - 1);
+  Net.Buf.filled w
 
 let encode ~line_bytes t =
   if line_bytes < request_header_bytes then
@@ -79,23 +80,22 @@ let encode ~line_bytes t =
 
 let encode_response ~line_bytes (r : response) =
   let cap = response_inline_capacity ~line_bytes in
-  if Bytes.length r.inline_body > cap then
+  if Net.Slice.length r.inline_body > cap then
     invalid_arg
       (Printf.sprintf
          "Message.encode_response: %d inline bytes > capacity %d"
-         (Bytes.length r.inline_body) cap);
+         (Net.Slice.length r.inline_body) cap);
   let w = Net.Buf.writer line_bytes in
   Net.Buf.write_u8 w tag_response;
   Net.Buf.write_u8 w 0;
   Net.Buf.write_u16 w r.status;
-  Net.Buf.write_u16 w (Bytes.length r.inline_body);
+  Net.Buf.write_u16 w (Net.Slice.length r.inline_body);
   Net.Buf.write_u16 w r.resp_aux_count;
   Net.Buf.write_u32 w r.total_len;
   Net.Buf.write_u64 w r.resp_rpc_id;
-  Net.Buf.write_bytes w r.inline_body;
-  let pad = line_bytes - Net.Buf.writer_pos w in
-  if pad > 0 then Net.Buf.write_bytes w (Bytes.make pad '\000');
-  Net.Buf.contents w
+  Net.Buf.write_slice w r.inline_body;
+  Net.Buf.write_zeros w (line_bytes - Net.Buf.writer_pos w);
+  Net.Buf.filled w
 
 let decode_request_body r =
   let flags = Net.Buf.read_u8 r in
@@ -107,7 +107,7 @@ let decode_request_body r =
   let rpc_id = Net.Buf.read_u64 r in
   let code_ptr = Net.Buf.read_u64 r in
   let data_ptr = Net.Buf.read_u64 r in
-  let inline_args = Net.Buf.read_bytes r ~len:inline_len in
+  let inline_args = Net.Buf.read_slice r ~len:inline_len in
   {
     rpc_id;
     service_id;
@@ -147,19 +147,39 @@ let decode_response b =
       let resp_aux_count = Net.Buf.read_u16 r in
       let total_len = Net.Buf.read_u32 r in
       let resp_rpc_id = Net.Buf.read_u64 r in
-      let inline_body = Net.Buf.read_bytes r ~len:inline_len in
+      let inline_body = Net.Buf.read_slice r ~len:inline_len in
       Ok { resp_rpc_id; status; total_len; inline_body; resp_aux_count }
     end
   with
   | result -> result
   | exception Net.Buf.Out_of_bounds msg -> Error ("truncated line: " ^ msg)
 
+let equal_request (a : request) (b : request) =
+  a.rpc_id = b.rpc_id && a.service_id = b.service_id
+  && a.method_id = b.method_id && a.code_ptr = b.code_ptr
+  && a.data_ptr = b.data_ptr && a.total_args = b.total_args
+  && Net.Slice.equal a.inline_args b.inline_args
+  && a.aux_count = b.aux_count && a.via_dma = b.via_dma
+
+let equal_response (a : response) (b : response) =
+  a.resp_rpc_id = b.resp_rpc_id && a.status = b.status
+  && a.total_len = b.total_len
+  && Net.Slice.equal a.inline_body b.inline_body
+  && a.resp_aux_count = b.resp_aux_count
+
+let equal a b =
+  match (a, b) with
+  | Request x, Request y | Kernel_dispatch x, Kernel_dispatch y ->
+      equal_request x y
+  | Tryagain, Tryagain | Retire, Retire -> true
+  | (Request _ | Kernel_dispatch _ | Tryagain | Retire), _ -> false
+
 let pp ppf = function
   | Request r ->
       Format.fprintf ppf
         "request id=%Ld svc=%d mth=%d code=0x%Lx args=%d/%d aux=%d%s"
         r.rpc_id r.service_id r.method_id r.code_ptr
-        (Bytes.length r.inline_args)
+        (Net.Slice.length r.inline_args)
         r.total_args r.aux_count
         (if r.via_dma then " via-dma" else "")
   | Kernel_dispatch r ->

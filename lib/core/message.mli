@@ -19,7 +19,7 @@ type request = {
   code_ptr : int64;  (** VA of the handler's first instruction. *)
   data_ptr : int64;  (** VA of the endpoint's data area. *)
   total_args : int;  (** Unmarshaled argument bytes in total. *)
-  inline_args : bytes;  (** The prefix carried in this line. *)
+  inline_args : Net.Slice.t;  (** The prefix carried in this line. *)
   aux_count : int;  (** Auxiliary lines holding the rest. *)
   via_dma : bool;  (** Large payload: body delivered by DMA. *)
 }
@@ -28,7 +28,7 @@ type response = {
   resp_rpc_id : int64;
   status : int;  (** 0 = success; else application error code. *)
   total_len : int;
-  inline_body : bytes;
+  inline_body : Net.Slice.t;
   resp_aux_count : int;
 }
 
@@ -57,9 +57,19 @@ val encode : line_bytes:int -> t -> bytes
 val encode_response : line_bytes:int -> response -> bytes
 
 val decode : bytes -> (t, string) result
-(** Decode a line the CPU just loaded. *)
+(** Decode a line the CPU just loaded. The inline bytes of the result
+    are a zero-copy view into [b]; they stay valid only while the line
+    image is not overwritten. *)
 
 val decode_response : bytes -> (response, string) result
-(** Decode a line the NIC just fetched back. *)
+(** Decode a line the NIC just fetched back. Same aliasing rule as
+    {!decode}. *)
+
+val equal : t -> t -> bool
+(** Content equality: inline slices are compared by contents, not by
+    backing buffer identity. *)
+
+val equal_request : request -> request -> bool
+val equal_response : response -> response -> bool
 
 val pp : Format.formatter -> t -> unit

@@ -134,7 +134,7 @@ let respond_line t w ~rpc_id ~status ~body =
       Message.resp_rpc_id = rpc_id;
       status;
       total_len = Bytes.length body;
-      inline_body = Bytes.sub body 0 inline_len;
+      inline_body = Net.Slice.make body ~off:0 ~len:inline_len;
       resp_aux_count;
     }
   in
@@ -270,7 +270,7 @@ and on_tx_line t image =
           tx_emit t ~cont ~service_id:r.Message.service_id
             ~method_id:r.Message.method_id
             ~dst:{ (self_address t) with Net.Frame.port }
-            r.Message.inline_args)
+            (Net.Slice.to_bytes r.Message.inline_args))
   | Ok (Message.Kernel_dispatch _ | Message.Tryagain | Message.Retire)
   | Error _ ->
       Sim.Counter.incr (ctr t "tx_bad_line")
@@ -317,7 +317,7 @@ and nested_call t w ~service_id ~method_id v k =
                    code_ptr = 0L;
                    data_ptr = 0L;
                    total_args = Bytes.length body;
-                   inline_args = body;
+                   inline_args = Net.Slice.of_bytes body;
                    aux_count = 0;
                    via_dma = false;
                  })
@@ -375,7 +375,7 @@ and park_dispatcher t d idx =
                         Message.resp_rpc_id = r.Message.rpc_id;
                         status = 0;
                         total_len = 0;
-                        inline_body = Bytes.empty;
+                        inline_body = Net.Slice.empty;
                         resp_aux_count = 0;
                       }
                   in
@@ -427,7 +427,7 @@ let request_worker_activation t sv w =
             code_ptr = 0L;
             data_ptr = 0L;
             total_args = 0;
-            inline_args = Bytes.empty;
+            inline_args = Net.Slice.empty;
             aux_count = 0;
             via_dma = false;
           }
@@ -512,7 +512,7 @@ let dispatch_request t (entry : Demux.entry) frame
           Demux.code_ptr entry ~method_id:mdef.Rpc.Interface.method_id;
         data_ptr = entry.Demux.data_ptr;
         total_args = arg_bytes;
-        inline_args = Bytes.sub body 0 inline_len;
+        inline_args = Net.Slice.make body ~off:0 ~len:inline_len;
         aux_count;
         via_dma;
       }
@@ -684,10 +684,8 @@ let on_endpoint_response t (resp : Message.response) =
         Nic_sched.on_complete t.sched ~service:service_id;
       (* Fidelity check: the inline prefix collected from the cache
          line must match the response body the handler produced. *)
-      let inline = resp.Message.inline_body in
       let prefix_ok =
-        Bytes.length app.full_body >= Bytes.length inline
-        && Bytes.equal inline (Bytes.sub app.full_body 0 (Bytes.length inline))
+        Net.Slice.is_prefix_of resp.Message.inline_body app.full_body
       in
       if not prefix_ok then Sim.Counter.incr (ctr t "response_corrupt");
       if service_id >= 0 then

@@ -53,7 +53,7 @@ let respond_line t w ~rpc_id ~body =
          Message.resp_rpc_id = rpc_id;
          status = 0;
          total_len = Bytes.length body;
-         inline_body = Bytes.sub body 0 inline_len;
+         inline_body = Net.Slice.make body ~off:0 ~len:inline_len;
          resp_aux_count;
        })
 
@@ -194,7 +194,7 @@ and dispatch t (entry : Demux.entry) frame (wire : Rpc.Wire_format.t) mdef
           Demux.code_ptr entry ~method_id:mdef.Rpc.Interface.method_id;
         data_ptr = entry.Demux.data_ptr;
         total_args = arg_bytes;
-        inline_args = Bytes.sub body 0 inline_len;
+        inline_args = Net.Slice.make body ~off:0 ~len:inline_len;
         aux_count;
         via_dma;
       }

@@ -11,7 +11,10 @@ let writer n =
   if n < 0 then invalid_arg "Buf.writer: negative capacity";
   { wbuf = Bytes.make n '\000'; wpos = 0 }
 
+let writer_over b = { wbuf = b; wpos = 0 }
+
 let writer_pos w = w.wpos
+let writer_bytes w = w.wbuf
 
 let check_write w n =
   if w.wpos + n > Bytes.length w.wbuf then
@@ -54,6 +57,18 @@ let write_string w s =
   Bytes.blit_string s 0 w.wbuf w.wpos n;
   w.wpos <- w.wpos + n
 
+let write_slice w s =
+  let n = Slice.length s in
+  check_write w n;
+  Slice.blit s w.wbuf ~dst_off:w.wpos;
+  w.wpos <- w.wpos + n
+
+let write_zeros w n =
+  if n < 0 then invalid_arg "Buf.write_zeros: negative length";
+  check_write w n;
+  Bytes.fill w.wbuf w.wpos n '\000';
+  w.wpos <- w.wpos + n
+
 let patch_u16 w ~pos v =
   if v < 0 || v > 0xffff then invalid_arg "Buf.patch_u16: value out of range";
   if pos < 0 || pos + 2 > w.wpos then
@@ -62,9 +77,24 @@ let patch_u16 w ~pos v =
 
 let contents w = Bytes.sub w.wbuf 0 w.wpos
 
+let filled w =
+  if w.wpos <> Bytes.length w.wbuf then
+    fail "filled: %d bytes written of %d capacity" w.wpos
+      (Bytes.length w.wbuf);
+  w.wbuf
+
+let written_slice w = Slice.make w.wbuf ~off:0 ~len:w.wpos
+
 (* Reading *)
 
 let reader b = { rbuf = b; rlimit = Bytes.length b; rpos = 0 }
+
+let reader_of_slice s =
+  {
+    rbuf = s.Slice.base;
+    rlimit = s.Slice.off + s.Slice.len;
+    rpos = s.Slice.off;
+  }
 
 let sub_reader b ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length b then
@@ -73,7 +103,16 @@ let sub_reader b ~pos ~len =
   { rbuf = b; rlimit = pos + len; rpos = pos }
 
 let reader_pos r = r.rpos
+let reader_bytes r = r.rbuf
 let remaining r = r.rlimit - r.rpos
+
+let narrow r ~len =
+  if len < 0 || r.rpos + len > r.rlimit then
+    fail "narrow of %d bytes at %d exceeds limit %d" len r.rpos r.rlimit;
+  { rbuf = r.rbuf; rlimit = r.rpos + len; rpos = r.rpos }
+
+let remaining_slice r =
+  Slice.make r.rbuf ~off:r.rpos ~len:(r.rlimit - r.rpos)
 
 let check_read r n =
   if r.rpos + n > r.rlimit then
@@ -109,6 +148,13 @@ let read_bytes r ~len =
   let b = Bytes.sub r.rbuf r.rpos len in
   r.rpos <- r.rpos + len;
   b
+
+let read_slice r ~len =
+  if len < 0 then invalid_arg "Buf.read_slice: negative length";
+  check_read r len;
+  let s = Slice.make r.rbuf ~off:r.rpos ~len in
+  r.rpos <- r.rpos + len;
+  s
 
 let skip r ~len =
   if len < 0 then invalid_arg "Buf.skip: negative length";

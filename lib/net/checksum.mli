@@ -7,7 +7,16 @@
 val ones_complement_sum : ?init:int -> bytes -> pos:int -> len:int -> int
 (** Folded 16-bit one's-complement sum of a byte range, seeded with
     [init] (default 0). Composable: feed the result of one range as the
-    [init] of the next (pseudo-header then payload). *)
+    [init] of the next (pseudo-header then payload). Processes 8 bytes
+    per iteration as four unchecked native-endian 16-bit lane loads
+    (RFC 1071's byte-order invariance), allocation-free; the sub-word
+    tail uses the checked byte loop. *)
+
+val ones_complement_sum_bytewise :
+  ?init:int -> bytes -> pos:int -> len:int -> int
+(** The straightforward 2-bytes-per-iteration sum. Same result as
+    {!ones_complement_sum}; kept as the reference implementation the
+    word-wide path is property-tested against. *)
 
 val finish : int -> int
 (** Final complement step; maps a folded sum to the wire checksum.

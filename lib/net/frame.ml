@@ -1,5 +1,14 @@
 type endpoint = { mac : Mac_addr.t; ip : Ip_addr.t; port : int }
 
+type view = {
+  eth : Ethernet.t;
+  ip : Ipv4.t;
+  udp : Udp.t;
+  payload : Slice.t;
+}
+
+(* Defined after [view] so unannotated field accesses default to the
+   owning frame type. *)
 type t = {
   eth : Ethernet.t;
   ip : Ipv4.t;
@@ -7,7 +16,7 @@ type t = {
   payload : bytes;
 }
 
-let make ~src ~dst ?(ttl = 64) ?(identification = 0) payload =
+let make ~src ~dst ?(ttl = 64) ?(identification = 0) payload : t =
   let payload_len = Bytes.length payload in
   {
     eth =
@@ -30,23 +39,33 @@ let make ~src ~dst ?(ttl = 64) ?(identification = 0) payload =
     payload;
   }
 
-let unpadded_size t =
+let unpadded_size (t : t) =
   Ethernet.header_size + Ipv4.header_size + Udp.header_size
   + Bytes.length t.payload
 
 let wire_size t = max Ethernet.min_frame_size (unpadded_size t)
 
-let encode t =
-  let w = Buf.writer (wire_size t) in
+(* Serialize into a caller-owned (typically pooled) buffer. The buffer
+   may be larger than the frame and its contents are arbitrary — the
+   minimum-size padding is therefore written explicitly rather than
+   assumed pre-zeroed. *)
+let encode_into (t : t) buf =
+  let size = wire_size t in
+  if Bytes.length buf < size then
+    invalid_arg "Frame.encode_into: buffer smaller than wire size";
+  let w = Buf.writer_over buf in
   Ethernet.write w t.eth;
   Ipv4.write w t.ip;
-  Udp.write w t.udp ~src_ip:t.ip.Ipv4.src ~dst_ip:t.ip.Ipv4.dst
-    ~payload:t.payload;
-  (* Pad to the Ethernet minimum: the writer buffer is pre-zeroed, so
-     just declare the padding written. *)
-  let pad = wire_size t - Buf.writer_pos w in
-  if pad > 0 then Buf.write_bytes w (Bytes.make pad '\000');
-  Buf.contents w
+  Udp.write_slice w t.udp ~src_ip:t.ip.Ipv4.src ~dst_ip:t.ip.Ipv4.dst
+    ~payload:(Slice.of_bytes t.payload);
+  let pad = size - Buf.writer_pos w in
+  if pad > 0 then Buf.write_zeros w pad;
+  Buf.written_slice w
+
+let encode t =
+  let buf = Bytes.create (wire_size t) in
+  let (_ : Slice.t) = encode_into t buf in
+  buf
 
 type error =
   | Not_ipv4 of int
@@ -54,8 +73,8 @@ type error =
   | Ip_error of Ipv4.error
   | Udp_error of Udp.error
 
-let parse b =
-  let r = Buf.reader b in
+let parse_slice s =
+  let r = Buf.reader_of_slice s in
   let eth = Ethernet.read r in
   if eth.Ethernet.ethertype <> Ethernet.ethertype_ipv4 then
     Error (Not_ipv4 eth.Ethernet.ethertype)
@@ -68,20 +87,34 @@ let parse b =
         else
           (* Restrict the view to the IP payload so Ethernet padding is
              not mistaken for UDP data. *)
-          let sub =
-            Buf.sub_reader b ~pos:(Buf.reader_pos r) ~len:ip.Ipv4.payload_len
-          in
-          (match Udp.read sub ~src_ip:ip.Ipv4.src ~dst_ip:ip.Ipv4.dst with
+          let sub = Buf.narrow r ~len:ip.Ipv4.payload_len in
+          (match
+             Udp.read_slice sub ~src_ip:ip.Ipv4.src ~dst_ip:ip.Ipv4.dst
+           with
           | Error e -> Error (Udp_error e)
-          | Ok (udp, payload) -> Ok { eth; ip; udp; payload })
+          | Ok (udp, payload) -> Ok ({ eth; ip; udp; payload } : view))
 
-let src_endpoint t =
+let of_view (v : view) : t =
+  { eth = v.eth; ip = v.ip; udp = v.udp; payload = Slice.to_bytes v.payload }
+
+let parse b =
+  match parse_slice (Slice.of_bytes b) with
+  | Error _ as e -> e
+  | Ok v -> Ok (of_view v)
+
+let src_endpoint (t : t) =
   { mac = t.eth.Ethernet.src; ip = t.ip.Ipv4.src; port = t.udp.Udp.src_port }
 
-let dst_endpoint t =
+let dst_endpoint (t : t) =
   { mac = t.eth.Ethernet.dst; ip = t.ip.Ipv4.dst; port = t.udp.Udp.dst_port }
 
-let pp ppf t =
+let view_src_endpoint (v : view) =
+  { mac = v.eth.Ethernet.src; ip = v.ip.Ipv4.src; port = v.udp.Udp.src_port }
+
+let view_dst_endpoint (v : view) =
+  { mac = v.eth.Ethernet.dst; ip = v.ip.Ipv4.dst; port = v.udp.Udp.dst_port }
+
+let pp ppf (t : t) =
   Format.fprintf ppf "%a | %a | %a | %d payload bytes" Ethernet.pp t.eth
     Ipv4.pp t.ip Udp.pp t.udp (Bytes.length t.payload)
 

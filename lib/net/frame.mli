@@ -8,24 +8,43 @@ type endpoint = {
 }
 (** One side of a UDP flow. *)
 
+type view = {
+  eth : Ethernet.t;
+  ip : Ipv4.t;
+  udp : Udp.t;
+  payload : Slice.t;
+}
+(** A parsed frame whose payload is a zero-copy window into the wire
+    bytes it was parsed from. Valid only as long as the backing buffer
+    is (a pooled buffer's view dies at [Pool.release]). *)
+
 type t = {
   eth : Ethernet.t;
   ip : Ipv4.t;
   udp : Udp.t;
   payload : bytes;
 }
+(** An owning frame. Defined after {!view} so unannotated field
+    accesses default here. *)
 
 val make :
   src:endpoint -> dst:endpoint -> ?ttl:int -> ?identification:int ->
   bytes -> t
 (** A frame carrying the given UDP payload. *)
 
-val encode : t -> bytes
-(** Serialize to wire bytes, padding to the Ethernet minimum frame size. *)
-
 val wire_size : t -> int
 (** Bytes occupying the wire once encoded (after minimum-size padding,
     excluding preamble/FCS/IPG — those are accounted by {!Wire}). *)
+
+val encode_into : t -> bytes -> Slice.t
+(** Serialize into a caller-owned (typically {!Pool}) buffer, padding
+    to the Ethernet minimum frame size, and return the written window.
+    The buffer may be larger than {!wire_size}; its prior contents are
+    irrelevant (padding is written explicitly).
+    @raise Invalid_argument if the buffer is smaller than [wire_size]. *)
+
+val encode : t -> bytes
+(** [encode_into] a fresh exactly-sized buffer. *)
 
 type error =
   | Not_ipv4 of int
@@ -33,12 +52,21 @@ type error =
   | Ip_error of Ipv4.error
   | Udp_error of Udp.error
 
+val parse_slice : Slice.t -> (view, error) result
+(** Parse and validate wire bytes without copying the payload: headers
+    are verified in place and the view's payload aliases the input.
+    Ethernet minimum-size padding is tolerated and stripped (the IP
+    total length is authoritative). *)
+
 val parse : bytes -> (t, error) result
-(** Parse and validate wire bytes back into a frame. Ethernet minimum-
-    size padding is tolerated and stripped (the IP total length is
-    authoritative). *)
+(** [parse_slice] + {!of_view}: parse into an owning frame. *)
+
+val of_view : view -> t
+(** Detach a view from its backing buffer by copying the payload. *)
 
 val src_endpoint : t -> endpoint
 val dst_endpoint : t -> endpoint
+val view_src_endpoint : view -> endpoint
+val view_dst_endpoint : view -> endpoint
 val pp : Format.formatter -> t -> unit
 val pp_error : Format.formatter -> error -> unit

@@ -32,32 +32,34 @@ let write w t =
   Buf.write_u16 w 0;
   Ip_addr.write w t.src;
   Ip_addr.write w t.dst;
-  let header = Buf.contents w in
-  let csum = Checksum.compute header ~pos:start ~len:header_size in
+  let csum =
+    Checksum.compute (Buf.writer_bytes w) ~pos:start ~len:header_size
+  in
   Buf.patch_u16 w ~pos:checksum_pos csum
 
 let read r =
   if Buf.remaining r < header_size then Error Truncated
   else begin
-    (* Validate the checksum on the raw header bytes before decoding. *)
-    let header = Buf.read_bytes r ~len:header_size in
-    let hr = Buf.reader header in
-    let vi = Buf.read_u8 hr in
+    (* Validate the checksum in place on the raw header bytes before
+       decoding — no header copy. *)
+    let base = Buf.reader_bytes r in
+    let start = Buf.reader_pos r in
+    let vi = Buf.read_u8 r in
     let version = vi lsr 4 and ihl = vi land 0xf in
     if version <> 4 then Error (Bad_version version)
     else if ihl <> 5 then Error (Options_unsupported ihl)
-    else if not (Checksum.verify header ~pos:0 ~len:header_size) then
+    else if not (Checksum.verify base ~pos:start ~len:header_size) then
       Error Bad_checksum
     else begin
-      let dscp = Buf.read_u8 hr lsr 2 in
-      let total_len = Buf.read_u16 hr in
-      let identification = Buf.read_u16 hr in
-      let _flags_frag = Buf.read_u16 hr in
-      let ttl = Buf.read_u8 hr in
-      let protocol = Buf.read_u8 hr in
-      let _csum = Buf.read_u16 hr in
-      let src = Ip_addr.read hr in
-      let dst = Ip_addr.read hr in
+      let dscp = Buf.read_u8 r lsr 2 in
+      let total_len = Buf.read_u16 r in
+      let identification = Buf.read_u16 r in
+      let _flags_frag = Buf.read_u16 r in
+      let ttl = Buf.read_u8 r in
+      let protocol = Buf.read_u8 r in
+      let _csum = Buf.read_u16 r in
+      let src = Ip_addr.read r in
+      let dst = Ip_addr.read r in
       let payload_len = total_len - header_size in
       if payload_len < 0 || payload_len > Buf.remaining r then
         Error (Bad_length total_len)

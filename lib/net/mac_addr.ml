@@ -1,11 +1,14 @@
-type t = int64
+(* Represented as an immediate [int]: 48 bits fit in OCaml's 63-bit
+   native int, so addresses never box — an [int64] representation would
+   allocate on every read/compare without flambda. *)
+type t = int
 
 let of_int64 v =
   if Int64.shift_right_logical v 48 <> 0L then
     invalid_arg "Mac_addr.of_int64: more than 48 bits";
-  v
+  Int64.to_int v
 
-let to_int64 t = t
+let to_int64 t = Int64.of_int t
 
 let of_string s =
   let parts = String.split_on_char ':' s in
@@ -17,33 +20,27 @@ let of_string s =
     | Some v when v >= 0 && v <= 0xff -> v
     | Some _ | None -> invalid_arg ("Mac_addr.of_string: " ^ s)
   in
-  List.fold_left
-    (fun acc p -> Int64.logor (Int64.shift_left acc 8) (Int64.of_int (octet p)))
-    0L parts
+  List.fold_left (fun acc p -> (acc lsl 8) lor octet p) 0 parts
 
-let octet_at t i =
-  Int64.to_int (Int64.logand (Int64.shift_right_logical t (8 * (5 - i))) 0xffL)
+let octet_at t i = (t lsr (8 * (5 - i))) land 0xff
 
 let to_string t =
   String.concat ":"
     (List.init 6 (fun i -> Printf.sprintf "%02x" (octet_at t i)))
 
-let broadcast = 0xffff_ffff_ffffL
+let broadcast = 0xffff_ffff_ffff
 let is_broadcast t = t = broadcast
 let is_multicast t = octet_at t 0 land 1 = 1
 
 let write w t =
-  for i = 0 to 5 do
-    Buf.write_u8 w (octet_at t i)
-  done
+  Buf.write_u16 w (t lsr 32);
+  Buf.write_u32 w (t land 0xffff_ffff)
 
 let read r =
-  let rec go acc i =
-    if i = 6 then acc
-    else go (Int64.logor (Int64.shift_left acc 8) (Int64.of_int (Buf.read_u8 r))) (i + 1)
-  in
-  go 0L 0
+  let hi = Buf.read_u16 r in
+  let lo = Buf.read_u32 r in
+  (hi lsl 32) lor lo
 
-let equal = Int64.equal
-let compare = Int64.compare
+let equal = Int.equal
+let compare = Int.compare
 let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -12,6 +12,13 @@ val write :
     pseudo-header, the UDP header, and the payload. A computed checksum
     of 0 is transmitted as 0xffff per RFC 768. *)
 
+val write_slice :
+  Buf.writer -> t -> src_ip:Ip_addr.t -> dst_ip:Ip_addr.t ->
+  payload:Slice.t -> unit
+(** Like {!write} but the payload is a slice; the segment is emitted
+    directly into the writer and the checksum back-patched in place, so
+    no scratch segment buffer is allocated. *)
+
 type error = Truncated | Bad_length of int | Bad_checksum
 
 val read :
@@ -19,6 +26,13 @@ val read :
   (t * bytes, error) result
 (** Parses header and payload and verifies the checksum (a zero wire
     checksum means "not computed" and is accepted). *)
+
+val read_slice :
+  Buf.reader -> src_ip:Ip_addr.t -> dst_ip:Ip_addr.t ->
+  (t * Slice.t, error) result
+(** Like {!read} but the payload is a zero-copy view into the reader's
+    buffer, and the checksum is verified in place over the original
+    wire bytes. *)
 
 val pp : Format.formatter -> t -> unit
 val pp_error : Format.formatter -> error -> unit

@@ -6,6 +6,7 @@ type t = {
   corruption : float;
   rng : Sim.Rng.t;
   deliver : Frame.t -> unit;
+  mutable scratch : bytes;  (* corruption-model workspace, reused *)
   mutable free_at : Sim.Units.time;
   mutable frames : int;
   mutable bytes : int;
@@ -35,6 +36,7 @@ let create engine ~gbps ~propagation ?(loss = 0.) ?(corruption = 0.)
     corruption;
     rng = Sim.Rng.create ~seed;
     deliver;
+    scratch = Bytes.create 0;
     free_at = 0;
     frames = 0;
     bytes = 0;
@@ -56,12 +58,15 @@ let transmit t frame =
        checksums almost always reject it (receiver drop); if the flip
        lands in padding or payload bytes covered only by a checksum the
        receiver skips, the corrupted frame goes through. *)
-    let bytes = Frame.encode frame in
-    let i = Sim.Rng.int t.rng ~bound:(Bytes.length bytes) in
-    Bytes.set bytes i
-      (Char.chr (Char.code (Bytes.get bytes i) lxor 0xff));
-    match Frame.parse bytes with
-    | Ok f ->
+    if Bytes.length t.scratch < size then t.scratch <- Bytes.create size;
+    let s = Frame.encode_into frame t.scratch in
+    let i = s.Slice.off + Sim.Rng.int t.rng ~bound:(Slice.length s) in
+    Bytes.set t.scratch i
+      (Char.chr (Char.code (Bytes.get t.scratch i) lxor 0xff));
+    match Frame.parse_slice s with
+    | Ok v ->
+        (* The scratch is reused for the next frame, so detach. *)
+        let f = Frame.of_view v in
         ignore
           (Sim.Engine.schedule_at t.engine ~at:arrival (fun () ->
                t.deliver f))

@@ -18,7 +18,7 @@ let default_config =
   }
 
 type queue = {
-  ring : Net.Frame.t Ring.t;
+  ring : Net.Slice.t Ring.t;
   msix : Msix.t;
   buf_base : int;  (* synthetic IOVA region for this queue's buffers *)
 }
@@ -31,6 +31,7 @@ type t = {
   queues : queue array;
   iommu : Iommu.t option;
   mac : Mac.t;
+  pool : Net.Pool.t;
   mutable delivered : int;
   mutable steering : (Net.Frame.t -> int) option;
 }
@@ -64,10 +65,23 @@ let rx_frame t frame =
   let total = translate_cost + payload_dma + t.cfg.descriptor_write in
   ignore
     (Sim.Engine.schedule_after t.engine ~after:total (fun () ->
-         if Ring.produce q.ring frame then begin
+         (* DMA completion: the wire bytes land in a pooled receive
+            buffer and the descriptor carries a view of them — the
+            driver parses in place and returns the buffer at consume.
+            Jumbo frames that exceed the posted buffer size get a
+            one-off allocation outside the pool. *)
+         let size = Net.Frame.wire_size frame in
+         let buf =
+           if size <= buffer_bytes then Net.Pool.acquire t.pool
+           else Bytes.create size
+         in
+         let slice = Net.Frame.encode_into frame buf in
+         if Ring.produce q.ring slice then begin
            t.delivered <- t.delivered + 1;
            Msix.raise_event q.msix
-         end))
+         end
+         else if Bytes.length buf = buffer_bytes then
+           Net.Pool.release t.pool buf))
 
 let create engine prof ?(config = default_config) ~on_rx_interrupt () =
   if config.nqueues <= 0 then invalid_arg "Dma_nic.create: nqueues <= 0";
@@ -105,6 +119,7 @@ let create engine prof ?(config = default_config) ~on_rx_interrupt () =
       queues;
       iommu;
       mac;
+      pool = Net.Pool.create ~prealloc:config.ring_size ~buffer_bytes ();
       delivered = 0;
       steering = None;
     }
@@ -116,6 +131,28 @@ let rx_from_wire t frame = Mac.rx t.mac frame
 
 let set_steering t f = t.steering <- Some f
 let rx_ring t ~queue:q = (queue t q).ring
+
+(* Driver-side receive: parse the oldest descriptor's bytes in place,
+   hand the zero-copy view to [f], then return the buffer to the pool
+   before the view can escape misuse (the view is only valid inside
+   [f]). NIC-encoded frames always reparse cleanly, so a parse error
+   here is a simulator bug. *)
+let consume t ~queue:q f =
+  match Ring.consume (queue t q).ring with
+  | None -> None
+  | Some slice ->
+      let result =
+        match Net.Frame.parse_slice slice with
+        | Ok view -> f view
+        | Error e ->
+            Format.kasprintf failwith "Dma_nic.consume: bad descriptor: %a"
+              Net.Frame.pp_error e
+      in
+      let buf = slice.Net.Slice.base in
+      if Bytes.length buf = buffer_bytes then Net.Pool.release t.pool buf;
+      Some result
+
+let pool t = t.pool
 let mask_irq t ~queue:q = Msix.mask (queue t q).msix
 let unmask_irq t ~queue:q = Msix.unmask (queue t q).msix
 

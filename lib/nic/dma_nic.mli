@@ -38,8 +38,23 @@ val set_steering : t -> (Net.Frame.t -> int) -> unit
     stacks steer each service's port to its dedicated queue). The
     result is taken modulo the queue count. *)
 
-val rx_ring : t -> queue:int -> Net.Frame.t Ring.t
-(** Completed receive descriptors for the driver/poller to consume. *)
+val rx_ring : t -> queue:int -> Net.Slice.t Ring.t
+(** Completed receive descriptors — each a view of the wire bytes DMAed
+    into a pooled receive buffer. Prefer {!consume}, which parses in
+    place and recycles the buffer; consuming the ring directly makes
+    the caller responsible for returning pool-sized buffers via
+    {!pool}. *)
+
+val consume : t -> queue:int -> (Net.Frame.view -> 'a) -> 'a option
+(** Take the oldest completed descriptor, parse its bytes in place, and
+    apply the callback to the zero-copy view. The backing buffer is
+    released back to the pool when the callback returns, so the view
+    (and its payload slice) must not escape the callback — copy
+    ({!Net.Frame.of_view}) anything that must outlive it. [None] when
+    the ring is empty. *)
+
+val pool : t -> Net.Pool.t
+(** The shared receive-buffer pool (for accounting/diagnostics). *)
 
 val mask_irq : t -> queue:int -> unit
 val unmask_irq : t -> queue:int -> unit

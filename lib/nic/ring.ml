@@ -1,5 +1,13 @@
+(* Slots are stored unboxed: no ['a option] wrapper, so produce/consume
+   allocate nothing beyond the caller-visible [Some] of [consume]. The
+   backing array is created lazily at the first [produce] (using that
+   first value as the filler); a consumed slot keeps its old value until
+   the ring wraps, which retains at most [size] recent descriptors —
+   bounded, and for pooled buffers the backing storage is owned by the
+   pool anyway. *)
 type 'a t = {
-  slots : 'a option array;
+  mutable slots : 'a array;  (* [||] until first produce *)
+  capacity : int;
   mask : int;
   mutable head : int;  (* next produce position *)
   mutable tail : int;  (* next consume position *)
@@ -15,7 +23,8 @@ let create ~size =
   if not (is_power_of_two size) then
     invalid_arg "Ring.create: size must be a positive power of two";
   {
-    slots = Array.make size None;
+    slots = [||];
+    capacity = size;
     mask = size - 1;
     head = 0;
     tail = 0;
@@ -25,10 +34,10 @@ let create ~size =
     notify = None;
   }
 
-let size t = Array.length t.slots
+let size t = t.capacity
 let occupancy t = t.head - t.tail
 let is_empty t = t.head = t.tail
-let is_full t = occupancy t = size t
+let is_full t = occupancy t = t.capacity
 
 let produce t v =
   if is_full t then begin
@@ -36,7 +45,8 @@ let produce t v =
     false
   end
   else begin
-    t.slots.(t.head land t.mask) <- Some v;
+    if Array.length t.slots = 0 then t.slots <- Array.make t.capacity v;
+    t.slots.(t.head land t.mask) <- v;
     t.head <- t.head + 1;
     t.produced <- t.produced + 1;
     (match t.notify with Some f -> f () | None -> ());
@@ -46,15 +56,13 @@ let produce t v =
 let consume t =
   if is_empty t then None
   else begin
-    let i = t.tail land t.mask in
-    let v = t.slots.(i) in
-    t.slots.(i) <- None;
+    let v = t.slots.(t.tail land t.mask) in
     t.tail <- t.tail + 1;
     t.consumed <- t.consumed + 1;
-    v
+    Some v
   end
 
-let peek t = if is_empty t then None else t.slots.(t.tail land t.mask)
+let peek t = if is_empty t then None else Some t.slots.(t.tail land t.mask)
 let drops t = t.drops
 let produced t = t.produced
 let consumed t = t.consumed

@@ -25,7 +25,7 @@ let encode t =
   Net.Buf.write_u32 w t.service_id;
   Net.Buf.write_u64 w t.rpc_id;
   Net.Buf.write_bytes w t.body;
-  Net.Buf.contents w
+  Net.Buf.filled w
 
 type error =
   | Truncated

@@ -4,7 +4,7 @@ type t = {
   mutable fired : int;
 }
 
-type handle = Event_heap.handle
+type handle = (unit -> unit) Event_heap.handle
 
 let create () = { clock = 0; queue = Event_heap.create (); fired = 0 }
 let now t = t.clock

@@ -4,12 +4,17 @@
     Ties on the timestamp are broken by insertion order, so the simulation
     is deterministic: two events scheduled for the same instant fire in
     the order they were scheduled. Cancellation is lazy — a cancelled
-    entry stays in the heap until it surfaces, then is discarded. *)
+    entry stays in the heap until it surfaces or until cancelled entries
+    become the majority, at which point the heap compacts in place.
+
+    Entries are stored unboxed (no [option] wrapper); a push performs
+    exactly one allocation, the entry itself, which doubles as the
+    cancellation handle. *)
 
 type 'a t
 (** Heap carrying payloads of type ['a]. *)
 
-type handle
+type 'a handle
 (** Identifies a scheduled entry; used to cancel it. *)
 
 val create : unit -> 'a t
@@ -20,10 +25,10 @@ val is_empty : 'a t -> bool
 val live_count : 'a t -> int
 (** Number of scheduled entries not yet popped or cancelled. *)
 
-val push : 'a t -> time:Units.time -> 'a -> handle
+val push : 'a t -> time:Units.time -> 'a -> 'a handle
 (** Schedule a payload at the given time; returns a cancellation handle. *)
 
-val cancel : 'a t -> handle -> unit
+val cancel : 'a t -> 'a handle -> unit
 (** Cancel a scheduled entry. Cancelling an already-popped or
     already-cancelled entry is a no-op. *)
 

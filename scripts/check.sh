@@ -1,0 +1,9 @@
+#!/bin/sh
+# One-command gate: build everything, run the full test suite, then the
+# benchmark harness (which rewrites BENCH_1.json from the micro rows).
+# Run from the repository root.
+set -eu
+cd "$(dirname "$0")/.."
+dune build
+dune runtest
+dune exec bench/main.exe

@@ -29,7 +29,7 @@ let test_config_updates_validate () =
 
 (* ---------- Message ---------- *)
 
-let sample_request ?(inline = Bytes.of_string "abc") () =
+let sample_request ?(inline = Net.Slice.of_string "abc") () =
   {
     Lauberhorn.Message.rpc_id = 77L;
     service_id = 3;
@@ -53,7 +53,7 @@ let test_message_request_roundtrip () =
       check Alcotest.int64 "code_ptr" 0x4000_1234L
         r.Lauberhorn.Message.code_ptr;
       check Alcotest.string "inline args" "abc"
-        (Bytes.to_string r.Lauberhorn.Message.inline_args);
+        (Net.Slice.to_string r.Lauberhorn.Message.inline_args);
       checki "aux" 2 r.Lauberhorn.Message.aux_count;
       checkb "dma flag" false r.Lauberhorn.Message.via_dma
   | Ok m -> Alcotest.failf "wrong kind: %a" Lauberhorn.Message.pp m
@@ -66,7 +66,7 @@ let test_message_markers () =
         Lauberhorn.Message.decode
           (Lauberhorn.Message.encode ~line_bytes:128 msg)
       with
-      | Ok m when m = msg -> ()
+      | Ok m when Lauberhorn.Message.equal m msg -> ()
       | Ok m -> Alcotest.failf "%s decoded as %a" name Lauberhorn.Message.pp m
       | Error e -> Alcotest.fail e)
     [
@@ -81,7 +81,7 @@ let test_message_response_roundtrip () =
       Lauberhorn.Message.resp_rpc_id = 99L;
       status = 2;
       total_len = 1000;
-      inline_body = Bytes.of_string "xyz";
+      inline_body = Net.Slice.of_string "xyz";
       resp_aux_count = 8;
     }
   in
@@ -92,7 +92,7 @@ let test_message_response_roundtrip () =
       checki "status" 2 r.Lauberhorn.Message.status;
       checki "total" 1000 r.Lauberhorn.Message.total_len;
       check Alcotest.string "inline" "xyz"
-        (Bytes.to_string r.Lauberhorn.Message.inline_body)
+        (Net.Slice.to_string r.Lauberhorn.Message.inline_body)
   | Error e -> Alcotest.fail e
 
 let test_message_capacity_enforced () =
@@ -103,7 +103,9 @@ let test_message_capacity_enforced () =
        ignore
          (Lauberhorn.Message.encode ~line_bytes:64
             (Lauberhorn.Message.Request
-               (sample_request ~inline:(Bytes.make (cap + 1) 'x') ())));
+               (sample_request
+                  ~inline:(Net.Slice.of_bytes (Bytes.make (cap + 1) 'x'))
+                  ())));
        false
      with Invalid_argument _ -> true)
 
@@ -124,7 +126,7 @@ let message_roundtrip_property =
             code_ptr = 1L;
             data_ptr = 2L;
             total_args = String.length inline;
-            inline_args = Bytes.of_string inline;
+            inline_args = Net.Slice.of_string inline;
             aux_count;
             via_dma;
           }
@@ -133,7 +135,7 @@ let message_roundtrip_property =
         Lauberhorn.Message.decode
           (Lauberhorn.Message.encode ~line_bytes:128 msg)
       with
-      | Ok m -> m = msg
+      | Ok m -> Lauberhorn.Message.equal m msg
       | Error _ -> false)
 
 (* ---------- Endpoint protocol ---------- *)
@@ -167,7 +169,7 @@ let req id =
     code_ptr = 0x4000L;
     data_ptr = 0x7000L;
     total_args = 4;
-    inline_args = Bytes.of_string "args";
+    inline_args = Net.Slice.of_string "args";
     aux_count = 0;
     via_dma = false;
   }
@@ -178,7 +180,7 @@ let resp_line ~line_bytes id =
       Lauberhorn.Message.resp_rpc_id = Int64.of_int id;
       status = 0;
       total_len = 2;
-      inline_body = Bytes.of_string "ok";
+      inline_body = Net.Slice.of_string "ok";
       resp_aux_count = 0;
     }
 
@@ -228,7 +230,7 @@ let test_endpoint_fast_path_single () =
   | [ r ] ->
       check Alcotest.int64 "response id" 1L r.Lauberhorn.Message.resp_rpc_id;
       check Alcotest.string "response body from real line" "ok"
-        (Bytes.to_string r.Lauberhorn.Message.inline_body)
+        (Net.Slice.to_string r.Lauberhorn.Message.inline_body)
   | _ -> Alcotest.fail "responses");
   checki "delivered stat" 1 (Lauberhorn.Endpoint.stats_delivered env.ep);
   checki "responses stat" 1 (Lauberhorn.Endpoint.stats_responses env.ep)
@@ -288,7 +290,7 @@ let test_endpoint_dma_request_delay () =
       (req 1) with
       Lauberhorn.Message.total_args = 16384;
       via_dma = true;
-      inline_args = Bytes.empty;
+      inline_args = Net.Slice.empty;
     }
   in
   let got_at = ref (-1) in

@@ -139,6 +139,23 @@ let checksum_verifies_after_embedding =
          sums to all-ones; skip (IPv4 never emits it this way). *)
       c = 0 || Net.Checksum.verify b ~pos:0 ~len:(Bytes.length b))
 
+
+(* The word-wide fast path must agree with the 2-byte reference on
+   every buffer, offset, length, and seed. *)
+let checksum_word_matches_bytewise =
+  QCheck.Test.make ~name:"word-wide checksum matches bytewise reference"
+    ~count:1000
+    QCheck.(
+      quad (string_of_size (Gen.int_range 0 4096)) small_nat small_nat
+        small_nat)
+    (fun (s, off_seed, len_seed, init) ->
+      let b = Bytes.of_string s in
+      let n = Bytes.length b in
+      let pos = if n = 0 then 0 else off_seed mod (n + 1) in
+      let len = if n = pos then 0 else len_seed mod (n - pos + 1) in
+      Net.Checksum.ones_complement_sum ~init b ~pos ~len
+      = Net.Checksum.ones_complement_sum_bytewise ~init b ~pos ~len)
+
 (* ---------- IPv4 / UDP / Frame ---------- *)
 
 let sample_ipv4 =
@@ -234,6 +251,27 @@ let frame_roundtrip_any_payload =
       | Ok f' -> Bytes.to_string f'.Net.Frame.payload = s
       | Error _ -> false)
 
+
+let parse_slice_matches_parse =
+  QCheck.Test.make ~name:"parse_slice at any offset agrees with parse"
+    ~count:200
+    QCheck.(pair (string_of_size (Gen.int_range 0 1600)) (int_bound 32))
+    (fun (s, lead) ->
+      let f =
+        Net.Frame.make ~src:(ep ~last:1 ()) ~dst:(ep ~last:2 ())
+          (Bytes.of_string s)
+      in
+      let wire = Net.Frame.encode f in
+      (* Embed at a nonzero offset amid junk to exercise the slice
+         arithmetic of the in-place parsers. *)
+      let buf = Bytes.make (lead + Bytes.length wire + 7) '\xaa' in
+      Bytes.blit wire 0 buf lead (Bytes.length wire);
+      let sl = Net.Slice.make buf ~off:lead ~len:(Bytes.length wire) in
+      match (Net.Frame.parse wire, Net.Frame.parse_slice sl) with
+      | Ok a, Ok v -> Net.Frame.of_view v = a
+      | Error _, Error _ -> true
+      | _ -> false)
+
 let test_frame_rejects_non_ipv4 () =
   let f = Net.Frame.make ~src:(ep ()) ~dst:(ep ~last:2 ()) (Bytes.create 4) in
   let b = Net.Frame.encode f in
@@ -242,6 +280,89 @@ let test_frame_rejects_non_ipv4 () =
   | Error (Net.Frame.Not_ipv4 0x0806) -> ()
   | Error e -> Alcotest.failf "wrong error: %a" Net.Frame.pp_error e
   | Ok _ -> Alcotest.fail "accepted ARP"
+
+(* ---------- Slice / Pool ---------- *)
+
+let test_slice_views () =
+  let b = Bytes.of_string "hello world" in
+  let s = Net.Slice.make b ~off:6 ~len:5 in
+  checki "length" 5 (Net.Slice.length s);
+  checks "to_string" "world" (Net.Slice.to_string s);
+  check Alcotest.char "get" 'w' (Net.Slice.get s 0);
+  checks "sub" "orl" (Net.Slice.to_string (Net.Slice.sub s ~off:1 ~len:3));
+  Bytes.set b 6 'W';
+  checks "aliases its base" "World" (Net.Slice.to_string s);
+  checkb "content equal" true
+    (Net.Slice.equal s (Net.Slice.of_string "World"));
+  checkb "prefix" true
+    (Net.Slice.is_prefix_of (Net.Slice.make b ~off:0 ~len:5) b);
+  checkb "not prefix" false
+    (Net.Slice.is_prefix_of s b);
+  checkb "bounds checked" true
+    (try ignore (Net.Slice.make b ~off:8 ~len:9); false
+     with Invalid_argument _ -> true)
+
+let test_pool_accounting () =
+  let p = Net.Pool.create ~prealloc:2 ~buffer_bytes:64 () in
+  checki "prealloc idle" 2 (Net.Pool.idle p);
+  let a = Net.Pool.acquire p in
+  let b = Net.Pool.acquire p in
+  let c = Net.Pool.acquire p in
+  checki "grew once drained" 3 (Net.Pool.created p);
+  checki "outstanding" 3 (Net.Pool.outstanding p);
+  Net.Pool.release p a;
+  Net.Pool.release p b;
+  Net.Pool.release p c;
+  checki "balanced at drain" 0 (Net.Pool.outstanding p);
+  checki "idle after" 3 (Net.Pool.idle p);
+  checki "high water" 3 (Net.Pool.high_water p);
+  let d = Net.Pool.acquire p in
+  Net.Pool.release p d;
+  checki "steady state reuses buffers" 3 (Net.Pool.created p);
+  checkb "wrong size rejected" true
+    (try Net.Pool.release p (Bytes.create 8); false
+     with Invalid_argument _ -> true);
+  checkb "over-release rejected" true
+    (try Net.Pool.release p (Bytes.create 64); false
+     with Invalid_argument _ -> true)
+
+(* The zero-allocation claim of the hot path: a pooled
+   encode_into/parse_slice round trip must cost a small fixed number of
+   allocated bytes (cursors, header records, the view) regardless of
+   payload size, and every pool acquire must be matched at drain. *)
+let alloc_budget_bytes = 512.
+
+let test_pooled_roundtrip_allocation_budget () =
+  let pool = Net.Pool.create ~prealloc:4 ~buffer_bytes:2048 () in
+  let sink = ref 0 in
+  let round frame =
+    let buf = Net.Pool.acquire pool in
+    let s = Net.Frame.encode_into frame buf in
+    (match Net.Frame.parse_slice s with
+    | Ok v -> sink := !sink + Net.Slice.length v.Net.Frame.payload
+    | Error _ -> assert false);
+    Net.Pool.release pool buf
+  in
+  List.iter
+    (fun payload_bytes ->
+      let frame =
+        Net.Frame.make ~src:(ep ~last:1 ()) ~dst:(ep ~last:2 ())
+          (Bytes.make payload_bytes 'p')
+      in
+      for _ = 1 to 100 do round frame done (* warm-up *);
+      let n = 5_000 in
+      let before = Gc.allocated_bytes () in
+      for _ = 1 to n do round frame done;
+      let after = Gc.allocated_bytes () in
+      let per_round = (after -. before) /. float_of_int n in
+      checkb
+        (Printf.sprintf "%dB payload: %.1f alloc bytes/round-trip <= %.0f"
+           payload_bytes per_round alloc_budget_bytes)
+        true
+        (per_round <= alloc_budget_bytes))
+    [ 16; 64; 1472 ];
+  checki "pool balanced at drain" 0 (Net.Pool.outstanding pool);
+  checki "pool never grew past prealloc" 4 (Net.Pool.created pool)
 
 (* ---------- Wire ---------- *)
 
@@ -330,7 +451,9 @@ let () =
           Alcotest.test_case "odd length" `Quick test_checksum_odd_length;
           Alcotest.test_case "composable" `Quick test_checksum_composable;
         ]
-        @ qsuite [ checksum_verifies_after_embedding ] );
+        @ qsuite
+            [ checksum_verifies_after_embedding;
+              checksum_word_matches_bytewise ] );
       ( "headers",
         [
           Alcotest.test_case "ipv4 roundtrip" `Quick test_ipv4_roundtrip;
@@ -345,7 +468,15 @@ let () =
           Alcotest.test_case "rejects non-ipv4" `Quick
             test_frame_rejects_non_ipv4;
         ]
-        @ qsuite [ frame_roundtrip_any_payload ] );
+        @ qsuite [ frame_roundtrip_any_payload; parse_slice_matches_parse ]
+      );
+      ( "slice_pool",
+        [
+          Alcotest.test_case "slice views" `Quick test_slice_views;
+          Alcotest.test_case "pool accounting" `Quick test_pool_accounting;
+          Alcotest.test_case "allocation budget" `Quick
+            test_pooled_roundtrip_allocation_budget;
+        ] );
       ( "wire",
         [
           Alcotest.test_case "serialization delay" `Quick

@@ -210,8 +210,7 @@ let test_dma_nic_rx_to_ring_and_interrupt () =
   Sim.Engine.run e;
   checki "one interrupt" 1 (List.length !irqs);
   let q = List.hd !irqs in
-  let ring = Nic.Dma_nic.rx_ring nic ~queue:q in
-  (match Nic.Ring.consume ring with
+  (match Nic.Dma_nic.consume nic ~queue:q Net.Frame.of_view with
   | Some f -> checki "payload survives" 64 (Bytes.length f.Net.Frame.payload)
   | None -> Alcotest.fail "ring empty");
   checki "delivered" 1 (Nic.Dma_nic.rx_delivered nic);

@@ -125,7 +125,77 @@ let heap_cancel_removes_exactly =
         handles;
       drain_times h = List.sort compare !kept)
 
+
+let test_heap_cancel_after_pop () =
+  let h = Sim.Event_heap.create () in
+  let a = Sim.Event_heap.push h ~time:1 "a" in
+  ignore (Sim.Event_heap.push h ~time:2 "b");
+  (match Sim.Event_heap.pop h with
+  | Some (1, "a") -> ()
+  | _ -> Alcotest.fail "wrong pop");
+  Sim.Event_heap.cancel h a;
+  checki "cancel of popped entry is a no-op" 1 (Sim.Event_heap.live_count h)
+
+let test_heap_compaction_preserves_order () =
+  (* Cancel a large majority so the >50%-dead compaction fires, then
+     check the survivors still drain in order. *)
+  let h = Sim.Event_heap.create () in
+  let handles =
+    List.init 500 (fun i -> (i, Sim.Event_heap.push h ~time:i i))
+  in
+  List.iter (fun (i, hd) -> if i mod 5 <> 0 then Sim.Event_heap.cancel h hd)
+    handles;
+  checki "live after mass cancel" 100 (Sim.Event_heap.live_count h);
+  check (Alcotest.list Alcotest.int) "survivors in order"
+    (List.init 100 (fun i -> i * 5))
+    (drain_values h)
+
+(* Model-based property: the heap must agree, operation by operation,
+   with a sorted-association-list reference under interleaved
+   push/pop/cancel — including cancels aimed at already-popped
+   handles. *)
+let heap_matches_reference_model =
+  QCheck.Test.make ~name:"heap agrees with sorted-list model" ~count:300
+    QCheck.(list_of_size (Gen.int_range 0 400) (pair (int_bound 3) small_nat))
+    (fun ops ->
+      let h = Sim.Event_heap.create () in
+      let model = ref [] in
+      let handles = ref [||] in
+      let nseq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (op, v) ->
+          match op with
+          | 0 | 1 ->
+              let time = v in
+              let hd = Sim.Event_heap.push h ~time !nseq in
+              handles := Array.append !handles [| (!nseq, hd) |];
+              model := (time, !nseq) :: !model;
+              incr nseq
+          | 2 -> (
+              let expected =
+                match List.sort compare !model with
+                | [] -> None
+                | (t, s) :: _ -> Some (t, s)
+              in
+              match (Sim.Event_heap.pop h, expected) with
+              | None, None -> ()
+              | Some (t, s), Some (t', s') when t = t' && s = s' ->
+                  model := List.filter (fun (_, s0) -> s0 <> s) !model
+              | _ -> ok := false)
+          | _ ->
+              if Array.length !handles > 0 then begin
+                let s, hd = !handles.(v mod Array.length !handles) in
+                Sim.Event_heap.cancel h hd;
+                model := List.filter (fun (_, s0) -> s0 <> s) !model
+              end)
+        ops;
+      !ok
+      && Sim.Event_heap.live_count h = List.length !model
+      && drain_times h = List.sort compare (List.map fst !model))
+
 (* ---------- Engine ---------- *)
+
 
 let test_engine_ordering () =
   let e = Sim.Engine.create () in
@@ -403,8 +473,17 @@ let () =
           Alcotest.test_case "peek skips cancelled" `Quick
             test_heap_peek_skips_cancelled;
           Alcotest.test_case "growth" `Quick test_heap_growth;
+          Alcotest.test_case "cancel after pop" `Quick
+            test_heap_cancel_after_pop;
+          Alcotest.test_case "compaction preserves order" `Quick
+            test_heap_compaction_preserves_order;
         ]
-        @ qsuite [ heap_sorts_any_input; heap_cancel_removes_exactly ] );
+        @ qsuite
+            [
+              heap_sorts_any_input;
+              heap_cancel_removes_exactly;
+              heap_matches_reference_model;
+            ] );
       ( "engine",
         [
           Alcotest.test_case "ordering" `Quick test_engine_ordering;
