@@ -58,6 +58,7 @@ let sections =
     ("scaling", Experiments.Scaling.run);
     ("modelcheck", Experiments.Modelcheck.run);
     ("encrypt", Experiments.Encrypt.run);
+    ("losssweep", Experiments.Losssweep.run);
     ("micro", Micro.run);
   ]
 

@@ -16,6 +16,7 @@ let sections =
     ("scaling", Experiments.Scaling.run);
     ("modelcheck", Experiments.Modelcheck.run);
     ("encrypt", Experiments.Encrypt.run);
+    ("losssweep", Experiments.Losssweep.run);
   ]
 
 let section_arg =

@@ -19,6 +19,7 @@ type t = {
   mutable pollers : poller array;
   egress : Net.Frame.t -> unit;
   counters : Sim.Counter.group;
+  fault_active : bool;
 }
 
 let kernel t = t.kern
@@ -137,7 +138,8 @@ let resume_from_spin t p () =
            (fun () -> poll_loop t p ()))
 
 let create engine ~profile ~ncores ?pollers ?kernel_costs
-    ?(sw_costs = Costs.default) ~services ~egress () =
+    ?(sw_costs = Costs.default) ?(fault = Fault.Plan.none) ~services ~egress
+    () =
   if services = [] then invalid_arg "Bypass_stack.create: no services";
   let npollers = match pollers with Some n -> n | None -> ncores in
   if npollers < 1 || npollers > ncores then
@@ -158,6 +160,7 @@ let create engine ~profile ~ncores ?pollers ?kernel_costs
       pollers = [||];
       egress;
       counters = Sim.Counter.group "bypass";
+      fault_active = not (Fault.Plan.is_none fault);
     }
   in
   (* One RX queue per poller; interrupts permanently masked. *)
@@ -169,7 +172,7 @@ let create engine ~profile ~ncores ?pollers ?kernel_costs
     }
   in
   let dnic =
-    Nic.Dma_nic.create engine profile ~config:nic_config
+    Nic.Dma_nic.create engine profile ~config:nic_config ~fault
       ~on_rx_interrupt:(fun ~queue:_ -> ())
       ()
   in
@@ -243,6 +246,16 @@ let driver t =
   Harness.Driver.make ~name:"bypass"
     ~ingress:(fun f -> ingress t f)
     ~kernel:t.kern ~counters:t.counters
+    ~extra_counters:(fun () ->
+      if not t.fault_active then []
+      else
+        let n = nic t in
+        [
+          ("nic_ring_drops", Nic.Dma_nic.rx_dropped n);
+          ("nic_fault_drops", Nic.Dma_nic.rx_fault_dropped n);
+          ("nic_corrupt_drops", Nic.Dma_nic.rx_corrupt_dropped n);
+          ("pool_outstanding", Net.Pool.outstanding (Nic.Dma_nic.pool n));
+        ])
     ~describe:(fun () ->
       Printf.sprintf "bypass(%d pollers, %d services)"
         (Array.length t.pollers) (Hashtbl.length t.by_port))

@@ -24,8 +24,10 @@ type t
 val create :
   Sim.Engine.t -> profile:Coherence.Interconnect.profile -> ncores:int ->
   ?pollers:int -> ?kernel_costs:Osmodel.Kernel.costs -> ?sw_costs:Costs.t ->
+  ?fault:Fault.Plan.t ->
   services:service_spec list -> egress:(Net.Frame.t -> unit) -> unit -> t
-(** [pollers] defaults to [ncores]. Services are assigned to pollers
+(** [pollers] defaults to [ncores]. [fault] (default {!Fault.Plan.none})
+    is forwarded to the DMA NIC as in {!Linux_stack.create}. Services are assigned to pollers
     round-robin; the assignment is static for the stack's lifetime. *)
 
 val ingress : t -> Net.Frame.t -> unit

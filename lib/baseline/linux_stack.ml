@@ -21,6 +21,7 @@ type t = {
   by_port : (int, service_rt) Hashtbl.t;
   egress : Net.Frame.t -> unit;
   counters : Sim.Counter.group;
+  fault_active : bool;
 }
 
 let kernel t = t.kern
@@ -157,7 +158,7 @@ and send_reply t rt th frame wire body =
       server_loop t rt th ())
 
 let create engine ~profile ~ncores ?kernel_costs ?(sw_costs = Costs.default)
-    ?nic_config ~services ~egress () =
+    ?nic_config ?(fault = Fault.Plan.none) ~services ~egress () =
   if services = [] then invalid_arg "Linux_stack.create: no services";
   let kern =
     match kernel_costs with
@@ -173,6 +174,7 @@ let create engine ~profile ~ncores ?kernel_costs ?(sw_costs = Costs.default)
       by_port = Hashtbl.create 64;
       egress;
       counters = Sim.Counter.group "linux";
+      fault_active = not (Fault.Plan.is_none fault);
     }
   in
   let nic_config =
@@ -180,7 +182,7 @@ let create engine ~profile ~ncores ?kernel_costs ?(sw_costs = Costs.default)
   in
   t.nic <-
     Some
-      (Nic.Dma_nic.create engine profile ~config:nic_config
+      (Nic.Dma_nic.create engine profile ~config:nic_config ~fault
          ~on_rx_interrupt:(fun ~queue -> on_rx_interrupt t ~queue)
          ());
   List.iter
@@ -220,6 +222,16 @@ let driver t =
   Harness.Driver.make ~name:"linux"
     ~ingress:(fun f -> ingress t f)
     ~kernel:t.kern ~counters:t.counters
+    ~extra_counters:(fun () ->
+      if not t.fault_active then []
+      else
+        let n = nic t in
+        [
+          ("nic_ring_drops", Nic.Dma_nic.rx_dropped n);
+          ("nic_fault_drops", Nic.Dma_nic.rx_fault_dropped n);
+          ("nic_corrupt_drops", Nic.Dma_nic.rx_corrupt_dropped n);
+          ("pool_outstanding", Net.Pool.outstanding (Nic.Dma_nic.pool n));
+        ])
     ~describe:(fun () ->
       Printf.sprintf "linux(%d cores, %d services)"
         (Osmodel.Kernel.ncores t.kern)

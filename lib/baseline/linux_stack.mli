@@ -25,8 +25,13 @@ type t
 val create :
   Sim.Engine.t -> profile:Coherence.Interconnect.profile -> ncores:int ->
   ?kernel_costs:Osmodel.Kernel.costs -> ?sw_costs:Costs.t ->
-  ?nic_config:Nic.Dma_nic.config -> services:service_spec list ->
+  ?nic_config:Nic.Dma_nic.config -> ?fault:Fault.Plan.t ->
+  services:service_spec list ->
   egress:(Net.Frame.t -> unit) -> unit -> t
+(** [fault] (default {!Fault.Plan.none}) is forwarded to the DMA NIC
+    (forced completion drops, DMA corruption caught by the driver's
+    checksum validation); fault and pool counters then appear in the
+    driver's [extra_counters]. *)
 
 val ingress : t -> Net.Frame.t -> unit
 val kernel : t -> Osmodel.Kernel.t

@@ -18,6 +18,8 @@ type t = {
   engine : Sim.Engine.t;
   prof : Interconnect.profile;
   timeout : Sim.Units.duration;
+  stage_delay : (unit -> Sim.Units.duration) option;
+      (* fault injection: per-stage extra interconnect latency *)
   mutable lines : line array;
   mutable n_lines : int;
   mutable loads : int;
@@ -25,14 +27,16 @@ type t = {
   mutable tryagains : int;
   mutable stores : int;
   mutable fetchx : int;
+  mutable delayed_stages : int;
 }
 
-let create engine prof ~timeout =
+let create engine prof ?stage_delay ~timeout () =
   if timeout <= 0 then invalid_arg "Home_agent.create: non-positive timeout";
   {
     engine;
     prof;
     timeout;
+    stage_delay;
     lines = Array.init 16 (fun _ ->
         { staged = None; parked = None; cpu_copy = None; on_load = None;
           on_store = None });
@@ -42,6 +46,7 @@ let create engine prof ~timeout =
     tryagains = 0;
     stores = 0;
     fetchx = 0;
+    delayed_stages = 0;
   }
 
 let profile t = t.prof
@@ -122,9 +127,25 @@ let stage t id data =
     invalid_arg
       (Printf.sprintf "Home_agent.stage: %d bytes exceeds line size %d"
          (Bytes.length data) t.prof.Interconnect.cache_line_bytes);
-  match ln.parked with
-  | Some _ -> complete_parked t ln (Data data)
-  | None -> ln.staged <- Some data
+  let apply () =
+    match ln.parked with
+    | Some _ -> complete_parked t ln (Data data)
+    | None -> ln.staged <- Some data
+  in
+  match t.stage_delay with
+  | None -> apply ()
+  | Some f ->
+      let d = f () in
+      if d <= 0 then apply ()
+      else begin
+        (* A delayed interconnect fill: while it is in flight the
+           parked load's timeout may win the race and answer Tryagain
+           first — exactly the recovery path the paper's §5.1 dummy
+           fill exists for. The data still lands when the transfer
+           completes (staged, or filling the re-parked load). *)
+        t.delayed_stages <- t.delayed_stages + 1;
+        ignore (Sim.Engine.schedule_after t.engine ~after:d apply)
+      end
 
 let stage_pending t id = (line t id).staged <> None
 let load_parked t id = (line t id).parked <> None
@@ -157,3 +178,4 @@ let fills t = t.fills
 let tryagains t = t.tryagains
 let stores t = t.stores
 let fetch_exclusives t = t.fetchx
+let delayed_stages t = t.delayed_stages

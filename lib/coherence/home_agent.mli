@@ -29,9 +29,16 @@ type fill =
 
 val create :
   Sim.Engine.t -> Interconnect.profile ->
-  timeout:Sim.Units.duration -> t
+  ?stage_delay:(unit -> Sim.Units.duration) ->
+  timeout:Sim.Units.duration -> unit -> t
 (** [timeout] bounds how long a load may stay parked (15 ms in the
-    paper). *)
+    paper).
+
+    [stage_delay] is a fault-injection hook: sampled once per {!stage},
+    a positive result defers the fill's arrival by that long, letting
+    the TRYAGAIN timeout race (and beat) real data — the deferred-fill
+    misbehaviour the paper's recovery structure exists for. [None]
+    (the default) leaves {!stage} synchronous and costs nothing. *)
 
 val profile : t -> Interconnect.profile
 val engine : t -> Sim.Engine.t
@@ -89,3 +96,6 @@ val fills : t -> int
 val tryagains : t -> int
 val stores : t -> int
 val fetch_exclusives : t -> int
+
+val delayed_stages : t -> int
+(** Fills deferred by the [stage_delay] fault hook. *)

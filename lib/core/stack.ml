@@ -64,6 +64,9 @@ type t = {
   mutable dispatchers : dispatcher array;
   parked_eps : (int, Endpoint.t) Hashtbl.t;  (* tid -> endpoint *)
   telemetry : Telemetry.t;
+  fault_active : bool;
+      (* fault plan present: feed fault/recovery events into telemetry
+         (fault-free runs record nothing, keeping reports unchanged) *)
   remotes : (int, remote) Hashtbl.t;  (* service_id -> where it lives *)
   mutable address : Net.Frame.endpoint option;  (* our own identity *)
   mutable trace : Sim.Trace.t option;
@@ -486,8 +489,10 @@ let dispatch_request t (entry : Demux.entry) frame
     service_rt t entry.Demux.service.Rpc.Interface.service_id
   in
   let rpc_id = wire.Rpc.Wire_format.rpc_id in
-  if Hashtbl.mem t.inflight rpc_id then
-    Sim.Counter.incr (ctr t "duplicate_rpc_id")
+  if Hashtbl.mem t.inflight rpc_id then begin
+    Sim.Counter.incr (ctr t "duplicate_rpc_id");
+    if t.fault_active then Telemetry.incr_fault t.telemetry "duplicate_rpc_id"
+  end
   else begin
     let body = wire.Rpc.Wire_format.body in
     let arg_bytes = Bytes.length body in
@@ -566,7 +571,8 @@ let dispatch_request t (entry : Demux.entry) frame
     end
     else begin
       Hashtbl.remove t.inflight rpc_id;
-      Sim.Counter.incr (ctr t "nic_queue_drop")
+      Sim.Counter.incr (ctr t "nic_queue_drop");
+      if t.fault_active then Telemetry.incr_fault t.telemetry "nic_queue_drop"
     end
   end
 
@@ -575,7 +581,9 @@ let nic_rx t frame =
   emit t ~cat:"rx" (fun () ->
       Format.asprintf "frame %a" Net.Udp.pp frame.Net.Frame.udp);
   match Rpc.Wire_format.decode frame.Net.Frame.payload with
-  | Error _ -> Sim.Counter.incr (ctr t "rx_bad_rpc")
+  | Error _ ->
+      Sim.Counter.incr (ctr t "rx_bad_rpc");
+      if t.fault_active then Telemetry.incr_fault t.telemetry "rx_bad_rpc"
   | Ok wire
     when wire.Rpc.Wire_format.kind <> Rpc.Wire_format.Request -> (
       (* A response from a remote machine to one of our nested calls. *)
@@ -735,8 +743,8 @@ let fresh_code_ptrs n =
       Int64.add base (Int64.of_int (i * 64)))
 
 let create engine ~cfg ~ncores ?kernel_costs
-    ?(mirror_mode = Sched_mirror.Push) ?(dispatchers = 2) ~services ~egress
-    () =
+    ?(mirror_mode = Sched_mirror.Push) ?(dispatchers = 2)
+    ?(fault = Fault.Plan.none) ~services ~egress () =
   if services = [] then invalid_arg "Stack.create: no services";
   if dispatchers < 1 then invalid_arg "Stack.create: need a dispatcher";
   let kern =
@@ -744,9 +752,24 @@ let create engine ~cfg ~ncores ?kernel_costs
     | Some costs -> Osmodel.Kernel.create engine ~ncores ~costs ()
     | None -> Osmodel.Kernel.create engine ~ncores ()
   in
+  let stage_delay =
+    (* The coherence choke point: with probability [fill_delay] a fill
+       stays in flight for [fill_delay_ns] — longer than the TRYAGAIN
+       timeout means the worker recovers through a real dummy fill
+       while the data is still coming. *)
+    if fault.Fault.Plan.fill_delay > 0. then begin
+      let frng = Fault.Plan.derived_rng fault ~salt:21 in
+      Some
+        (fun () ->
+          if Sim.Rng.float frng < fault.Fault.Plan.fill_delay then
+            fault.Fault.Plan.fill_delay_ns
+          else 0)
+    end
+    else None
+  in
   let ha =
-    Coherence.Home_agent.create engine cfg.Config.profile
-      ~timeout:cfg.Config.tryagain_timeout
+    Coherence.Home_agent.create engine cfg.Config.profile ?stage_delay
+      ~timeout:cfg.Config.tryagain_timeout ()
   in
   let smirror = Sched_mirror.create ~mode:mirror_mode cfg.Config.profile kern in
   let t =
@@ -765,6 +788,7 @@ let create engine ~cfg ~ncores ?kernel_costs
       dispatchers = [||];
       parked_eps = Hashtbl.create 64;
       telemetry = Telemetry.create ();
+      fault_active = not (Fault.Plan.is_none fault);
       remotes = Hashtbl.create 16;
       address = None;
       trace = None;
@@ -962,6 +986,13 @@ let driver t =
   Harness.Driver.make ~name:"lauberhorn"
     ~ingress:(fun f -> ingress t f)
     ~kernel:t.kern ~counters:t.counters
+    ~extra_counters:(fun () ->
+      if not t.fault_active then []
+      else
+        ( "ha_delayed_fills",
+          Coherence.Home_agent.delayed_stages t.ha )
+        :: ("ha_tryagains", Coherence.Home_agent.tryagains t.ha)
+        :: Telemetry.fault_counts t.telemetry)
     ~describe:(fun () ->
       Printf.sprintf "lauberhorn(%s, %d cores, timeout=%s)"
         (prof t).Coherence.Interconnect.name

@@ -37,11 +37,18 @@ val create :
   Sim.Engine.t -> cfg:Config.t -> ncores:int ->
   ?kernel_costs:Osmodel.Kernel.costs ->
   ?mirror_mode:Sched_mirror.mode -> ?dispatchers:int ->
+  ?fault:Fault.Plan.t ->
   services:service_spec list -> egress:(Net.Frame.t -> unit) -> unit -> t
 (** Builds kernel, home agent, endpoints, demux table, mirror,
     dispatcher kernel threads and service worker threads; services with
     [min_workers > 0] start with that many workers already parked
-    (hot services). [dispatchers] defaults to 2. *)
+    (hot services). [dispatchers] defaults to 2.
+
+    [fault] (default {!Fault.Plan.none}) arms the coherence choke
+    point: fills are delayed per the plan's [fill_delay] knobs, forcing
+    workers through real TRYAGAIN recovery, and fault/recovery events
+    are fed into {!Telemetry} and the driver's extra counters. The
+    default plan draws no randomness and changes nothing. *)
 
 val ingress : t -> Net.Frame.t -> unit
 (** Connect as the wire's deliver callback. *)

@@ -215,16 +215,28 @@ let fresh_code_ptrs n =
       next_code_ptr := Int64.add base 0x1000L;
       Int64.add base (Int64.of_int (i * 64)))
 
-let create engine ~cfg ~ncores ?kernel_costs ~services ~egress () =
+let create engine ~cfg ~ncores ?kernel_costs ?(fault = Fault.Plan.none)
+    ~services ~egress () =
   if services = [] then invalid_arg "Static_stack.create: no services";
   let kern =
     match kernel_costs with
     | Some costs -> Osmodel.Kernel.create engine ~ncores ~costs ()
     | None -> Osmodel.Kernel.create engine ~ncores ()
   in
+  let stage_delay =
+    if fault.Fault.Plan.fill_delay > 0. then begin
+      let frng = Fault.Plan.derived_rng fault ~salt:22 in
+      Some
+        (fun () ->
+          if Sim.Rng.float frng < fault.Fault.Plan.fill_delay then
+            fault.Fault.Plan.fill_delay_ns
+          else 0)
+    end
+    else None
+  in
   let ha =
-    Coherence.Home_agent.create engine cfg.Config.profile
-      ~timeout:cfg.Config.tryagain_timeout
+    Coherence.Home_agent.create engine cfg.Config.profile ?stage_delay
+      ~timeout:cfg.Config.tryagain_timeout ()
   in
   let t =
     {
@@ -304,6 +316,13 @@ let driver t =
   Harness.Driver.make ~name:"ccnic-static"
     ~ingress:(fun f -> ingress t f)
     ~kernel:t.kern ~counters:t.counters
+    ~extra_counters:(fun () ->
+      if Coherence.Home_agent.delayed_stages t.ha = 0 then []
+      else
+        [
+          ("ha_delayed_fills", Coherence.Home_agent.delayed_stages t.ha);
+          ("ha_tryagains", Coherence.Home_agent.tryagains t.ha);
+        ])
     ~describe:(fun () ->
       Printf.sprintf "ccnic-static(%s, %d cores, %d services)"
         (prof t).Coherence.Interconnect.name

@@ -29,7 +29,8 @@ type t
 
 val create :
   Sim.Engine.t -> cfg:Config.t -> ncores:int ->
-  ?kernel_costs:Osmodel.Kernel.costs -> services:service_spec list ->
+  ?kernel_costs:Osmodel.Kernel.costs -> ?fault:Fault.Plan.t ->
+  services:service_spec list ->
   egress:(Net.Frame.t -> unit) -> unit -> t
 (** Services are assigned to cores round-robin; more services than
     cores means multiple services pinned to the same core, sharing it

@@ -9,9 +9,30 @@ type svc = {
   mutable bytes_out : int;
 }
 
-type t = { table : (int, svc) Hashtbl.t; mutable total : int }
+type t = {
+  table : (int, svc) Hashtbl.t;
+  mutable total : int;
+  faults : (string, int ref) Hashtbl.t;
+      (* fault-injection and recovery events, by name; empty (and
+         absent from reports) on fault-free runs *)
+}
 
-let create () = { table = Hashtbl.create 32; total = 0 }
+let create () =
+  { table = Hashtbl.create 32; total = 0; faults = Hashtbl.create 8 }
+
+let add_fault t name n =
+  if n <> 0 then
+    match Hashtbl.find_opt t.faults name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add t.faults name (ref n)
+
+let incr_fault t name = add_fault t name 1
+let fault_count t name =
+  match Hashtbl.find_opt t.faults name with Some r -> !r | None -> 0
+
+let fault_counts t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.faults []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let svc t service_id =
   match Hashtbl.find_opt t.table service_id with
@@ -72,4 +93,9 @@ let pp_report ppf t =
         "@\n  service %d: %a@\n    paths: fast=%d queued=%d cold=%d  bytes: in=%d out=%d"
         service_id Sim.Histogram.pp_summary s.hist s.fast s.queued s.cold
         s.bytes_in s.bytes_out)
-    (services t)
+    (services t);
+  match fault_counts t with
+  | [] -> ()
+  | faults ->
+      Format.fprintf ppf "@\n  faults:";
+      List.iter (fun (k, v) -> Format.fprintf ppf " %s=%d" k v) faults

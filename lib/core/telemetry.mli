@@ -33,5 +33,20 @@ val bytes : t -> service_id:int -> int * int
 (** [(in, out)] payload bytes. *)
 
 val total_rpcs : t -> int
+
+(** {1 Fault and recovery accounting}
+
+    Named counters the stacks feed when a fault plan is active:
+    rejected frames, queue drops, deferred fills, TRYAGAIN recoveries,
+    client retries. Fault-free runs record nothing here, so reports
+    are unchanged. *)
+
+val incr_fault : t -> string -> unit
+val add_fault : t -> string -> int -> unit
+val fault_count : t -> string -> int
+val fault_counts : t -> (string * int) list
+(** Sorted by name. *)
+
 val pp_report : Format.formatter -> t -> unit
-(** Multi-line per-service report. *)
+(** Multi-line per-service report (plus the fault section when any
+    fault counter is nonzero). *)

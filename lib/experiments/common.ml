@@ -27,17 +27,27 @@ type server = {
   lauberhorn : Lauberhorn.Stack.t option;
 }
 
-(* Build a server hosting [setup]'s services under the given flavour. *)
+(* Build a server hosting [setup]'s services under the given flavour.
+   [engine]/[egress] default to a private engine recording into the
+   server's own recorder; lossy runs supply both (the chaos harness
+   owns the engine and interposes its faulty reply link). [fault]
+   arms the stack-side choke points (DMA completions for the
+   baselines, coherence fills for Lauberhorn). *)
 let make_server ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)
-    ?(linux_threads = 2) flavour setup =
-  let engine = Sim.Engine.create () in
+    ?(linux_threads = 2) ?engine ?(fault = Fault.Plan.none) ?egress flavour
+    setup =
+  let engine =
+    match engine with Some e -> e | None -> Sim.Engine.create ()
+  in
   let recorder = Harness.Recorder.create engine in
-  let egress = Harness.Recorder.egress recorder in
+  let egress =
+    match egress with Some e -> e | None -> Harness.Recorder.egress recorder
+  in
   let driver, flush, lauberhorn =
     match flavour with
     | Lauberhorn (cfg, mirror_mode) ->
         let s =
-          Lauberhorn.Stack.create engine ~cfg ~ncores ~mirror_mode
+          Lauberhorn.Stack.create engine ~cfg ~ncores ~mirror_mode ~fault
             ~services:
               (List.mapi
                  (fun i def ->
@@ -49,7 +59,7 @@ let make_server ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)
         (Lauberhorn.Stack.driver s, (fun () -> ()), Some s)
     | Linux profile ->
         let s =
-          Baseline.Linux_stack.create engine ~profile ~ncores
+          Baseline.Linux_stack.create engine ~profile ~ncores ~fault
             ~services:
               (List.mapi
                  (fun i def ->
@@ -61,7 +71,7 @@ let make_server ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)
         (Baseline.Linux_stack.driver s, (fun () -> ()), None)
     | Bypass profile ->
         let s =
-          Baseline.Bypass_stack.create engine ~profile ~ncores
+          Baseline.Bypass_stack.create engine ~profile ~ncores ~fault
             ~services:
               (List.mapi
                  (fun i def ->
@@ -75,7 +85,7 @@ let make_server ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)
           None )
     | Static cfg ->
         let s =
-          Lauberhorn.Static_stack.create engine ~cfg ~ncores
+          Lauberhorn.Static_stack.create engine ~cfg ~ncores ~fault
             ~services:
               (List.mapi
                  (fun i def ->
@@ -140,7 +150,9 @@ let measure ?(drain = Sim.Units.ms 10) ~name ~horizon server =
     spin_ns = Osmodel.Cpu_account.charged acct Osmodel.Cpu_account.Spin;
     stall_ns = Osmodel.Cpu_account.charged acct Osmodel.Cpu_account.Stall;
     window = horizon + drain;
-    counters = Sim.Counter.to_list server.driver.Harness.Driver.counters;
+    counters =
+      Sim.Counter.to_list server.driver.Harness.Driver.counters
+      @ server.driver.Harness.Driver.extra_counters ();
   }
 
 let counter m name =
@@ -168,6 +180,86 @@ let open_loop_run ?(ncores = 8) ?(nservices = 1) ?(min_workers = 1)
       in
       inject_blob server ~seq ~service_idx ~bytes:payload);
   measure ~name:(flavour_name flavour) ~horizon server
+
+(* A lossy open-loop run: the same echo fleet, but driven through the
+   chaos harness — requests and replies cross seeded fault links, the
+   client retries with exponential backoff, and latency is measured
+   client-side (so it includes retransmission delays). The plan also
+   arms the stack-side choke points via [make_server ~fault]. Returns
+   the measurement plus the chaos harness for counter/timeline
+   inspection. *)
+let lossy_run_full ?(ncores = 4) ?(nservices = 1) ?(min_workers = 1)
+    ?(max_workers = 2) ?(payload = 64) ?(handler_time = Sim.Units.ns 500)
+    ?(seed = 42) ?(horizon = Sim.Units.ms 10) ?(drain = Sim.Units.ms 60)
+    ?(timeout = Sim.Units.us 200) ?(retries = 20) ?(backoff = 1.5)
+    ?(max_timeout = Sim.Units.ms 2) ?(jitter = 0.25) ~rate ~plan flavour =
+  let setup = Workload.Scenario.echo_fleet ~n:nservices ~handler_time () in
+  let engine = Sim.Engine.create () in
+  let chaos =
+    Harness.Chaos.create engine ~plan ~timeout ~retries ~backoff ~max_timeout
+      ~jitter ()
+  in
+  let server =
+    make_server ~ncores ~min_workers ~max_workers ~engine ~fault:plan
+      ~egress:(Harness.Chaos.egress chaos) flavour setup
+  in
+  Harness.Chaos.connect chaos server.driver;
+  let rng = Sim.Rng.create ~seed in
+  Workload.Arrivals.open_loop engine rng ~rate_per_s:rate ~until:horizon
+    (fun ~seq:_ ->
+      let service_idx =
+        if nservices = 1 then 0
+        else
+          (Workload.Rpc_mix.uniform_pick rng ~services:nservices)
+            .Workload.Rpc_mix.service_idx
+      in
+      Harness.Chaos.call chaos
+        ~service_id:(Workload.Scenario.service_id_of setup ~service_idx)
+        ~method_id:0
+        ~port:(Workload.Scenario.port_of setup ~service_idx)
+        (Rpc.Value.Blob (Bytes.make payload 'w')));
+  Sim.Engine.run engine ~until:(horizon + drain);
+  server.flush ();
+  let recorder = Harness.Chaos.recorder chaos in
+  let h = Harness.Recorder.latencies recorder in
+  let completed = Harness.Recorder.completed recorder in
+  let acct =
+    Osmodel.Cpu_account.merge
+      (Osmodel.Kernel.accounts server.driver.Harness.Driver.kernel)
+  in
+  let q p = if completed = 0 then 0 else Sim.Histogram.quantile h p in
+  let m =
+    {
+      name = flavour_name flavour;
+      sent = Harness.Recorder.sent recorder;
+      completed;
+      p50 = q 0.5;
+      p90 = q 0.9;
+      p99 = q 0.99;
+      mean = Sim.Histogram.mean h;
+      max = (if completed = 0 then 0 else Sim.Histogram.max_value h);
+      throughput = float_of_int completed /. Sim.Units.to_float_s horizon;
+      user_ns = Osmodel.Cpu_account.charged acct Osmodel.Cpu_account.User;
+      kernel_ns = Osmodel.Cpu_account.charged acct Osmodel.Cpu_account.Kernel;
+      spin_ns = Osmodel.Cpu_account.charged acct Osmodel.Cpu_account.Spin;
+      stall_ns = Osmodel.Cpu_account.charged acct Osmodel.Cpu_account.Stall;
+      window = horizon + drain;
+      counters =
+        Sim.Counter.to_list server.driver.Harness.Driver.counters
+        @ server.driver.Harness.Driver.extra_counters ()
+        @ Harness.Chaos.stats chaos
+        @ [ ("timeline_digest", Harness.Chaos.timeline_digest chaos) ];
+    }
+  in
+  (m, chaos)
+
+let lossy_run ?ncores ?nservices ?min_workers ?max_workers ?payload
+    ?handler_time ?seed ?horizon ?drain ?timeout ?retries ?backoff
+    ?max_timeout ?jitter ~rate ~plan flavour =
+  fst
+    (lossy_run_full ?ncores ?nservices ?min_workers ?max_workers ?payload
+       ?handler_time ?seed ?horizon ?drain ?timeout ?retries ?backoff
+       ?max_timeout ?jitter ~rate ~plan flavour)
 
 (* A replayed-trace run over [nservices] echo services. *)
 let replay_run ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)

@@ -1,0 +1,66 @@
+type link = {
+  drop : float;
+  duplicate : float;
+  corrupt : float;
+  reorder : float;
+  reorder_delay : Sim.Units.duration;
+  drop_nth : int list;
+}
+
+let perfect_link =
+  {
+    drop = 0.;
+    duplicate = 0.;
+    corrupt = 0.;
+    reorder = 0.;
+    reorder_delay = 0;
+    drop_nth = [];
+  }
+
+let check_prob name p =
+  if p < 0. || p > 1. then
+    invalid_arg (Printf.sprintf "Fault.Plan: %s out of [0,1]" name)
+
+let link ?(drop = 0.) ?(duplicate = 0.) ?(corrupt = 0.) ?(reorder = 0.)
+    ?(reorder_delay = Sim.Units.us 5) ?(drop_nth = []) () =
+  check_prob "drop" drop;
+  check_prob "duplicate" duplicate;
+  check_prob "corrupt" corrupt;
+  check_prob "reorder" reorder;
+  if reorder_delay < 0 then invalid_arg "Fault.Plan: negative reorder_delay";
+  if List.exists (fun n -> n <= 0) drop_nth then
+    invalid_arg "Fault.Plan: drop_nth ordinals are 1-based";
+  { drop; duplicate; corrupt; reorder; reorder_delay; drop_nth }
+
+type t = {
+  seed : int;
+  wire : link;
+  nic : link;
+  fill_delay : float;
+  fill_delay_ns : Sim.Units.duration;
+}
+
+let none =
+  {
+    seed = 0;
+    wire = perfect_link;
+    nic = perfect_link;
+    fill_delay = 0.;
+    fill_delay_ns = 0;
+  }
+
+let make ?(seed = 0x5eed) ?(wire = perfect_link) ?(nic = perfect_link)
+    ?(fill_delay = 0.) ?(fill_delay_ns = Sim.Units.ms 20) () =
+  check_prob "fill_delay" fill_delay;
+  if fill_delay_ns < 0 then invalid_arg "Fault.Plan: negative fill_delay_ns";
+  { seed; wire; nic; fill_delay; fill_delay_ns }
+
+let link_is_perfect l =
+  l.drop = 0. && l.duplicate = 0. && l.corrupt = 0. && l.reorder = 0.
+  && l.drop_nth = []
+
+let is_none t =
+  link_is_perfect t.wire && link_is_perfect t.nic && t.fill_delay = 0.
+
+let derived_seed t ~salt = t.seed + (salt * 0x61c88647)
+let derived_rng t ~salt = Sim.Rng.create ~seed:(derived_seed t ~salt)

@@ -1,0 +1,80 @@
+(** Deterministic fault plans.
+
+    A plan is pure data: which faults to inject, with what probability,
+    on which link, under which seed. The injectors ({!Link}, the DMA
+    NIC, the home agent) derive their private RNG streams from the
+    plan's seed, so two runs with the same plan and the same workload
+    seeds produce identical traces — faults included.
+
+    [none] is the identity plan: every injector guards its RNG draws on
+    the relevant probability being positive, so a [none]-configured run
+    consumes no random numbers and is bit-identical to a run without
+    the fault layer at all. *)
+
+type link = {
+  drop : float;  (** per-frame loss probability *)
+  duplicate : float;  (** per-frame duplication probability *)
+  corrupt : float;  (** per-frame single-byte corruption probability *)
+  reorder : float;  (** per-frame probability of an extra random delay *)
+  reorder_delay : Sim.Units.duration;
+      (** maximum extra delay for reordered (and duplicated) frames *)
+  drop_nth : int list;
+      (** scripted drops: 1-based ordinals of frames to drop on this
+          link, independent of the probabilistic faults *)
+}
+(** Faults applied to one directed link. *)
+
+val perfect_link : link
+(** No faults. *)
+
+val link :
+  ?drop:float ->
+  ?duplicate:float ->
+  ?corrupt:float ->
+  ?reorder:float ->
+  ?reorder_delay:Sim.Units.duration ->
+  ?drop_nth:int list ->
+  unit ->
+  link
+(** A link fault spec; everything defaults to fault-free.
+    @raise Invalid_argument on probabilities outside [0,1], a negative
+    delay, or non-positive scripted ordinals. *)
+
+type t = {
+  seed : int;  (** root seed all injector streams derive from *)
+  wire : link;  (** client harness <-> server MAC, both directions *)
+  nic : link;
+      (** NIC DMA completion stage: [drop] forces a counted tail drop
+          of the DMA'd frame, [corrupt] flips a byte of the DMA'd
+          bytes so the driver-side parse rejects the descriptor.
+          [duplicate]/[reorder]/[drop_nth] do not apply here. *)
+  fill_delay : float;
+      (** probability that a coherence fill (a [Home_agent.stage]) is
+          delayed by [fill_delay_ns] — with a delay longer than the
+          stack's TRYAGAIN timeout this forces real TRYAGAIN recovery
+          under load *)
+  fill_delay_ns : Sim.Units.duration;
+}
+
+val none : t
+(** The identity plan; injectors configured with it are zero-cost. *)
+
+val make :
+  ?seed:int ->
+  ?wire:link ->
+  ?nic:link ->
+  ?fill_delay:float ->
+  ?fill_delay_ns:Sim.Units.duration ->
+  unit ->
+  t
+(** @raise Invalid_argument on out-of-range probabilities/delays. *)
+
+val link_is_perfect : link -> bool
+val is_none : t -> bool
+
+val derived_seed : t -> salt:int -> int
+(** A per-injector seed decorrelated from the root seed. Injectors at
+    different choke points use distinct salts so their fault streams
+    are independent. *)
+
+val derived_rng : t -> salt:int -> Sim.Rng.t

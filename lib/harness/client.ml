@@ -8,10 +8,14 @@ type t = {
          response meant for its previous owner (ABA) *)
   mutable next_epoch : int;
   schemas : (int * int, Rpc.Schema.t) Hashtbl.t;
+  rng : Sim.Rng.t;  (* backoff jitter; only drawn when jitter > 0 *)
   mutable completed : int;
   mutable errors : int;
   mutable retransmits : int;
   mutable abandoned : int;
+  mutable duplicates : int;
+  mutable retry_budget : int;
+  mutable budget_exhausted : int;
 }
 
 (* rpc_id = epoch << 20 | continuation id. *)
@@ -26,10 +30,12 @@ let split_rpc_id id =
   ( Int64.to_int (Int64.shift_right_logical id cont_bits),
     Int64.to_int (Int64.logand id (Int64.of_int ((1 lsl cont_bits) - 1))) )
 
-let create engine ~send ?endpoint () =
+let create engine ~send ?endpoint ?(seed = 0x7e7) ?(retry_budget = max_int) ()
+    =
   let endpoint =
     match endpoint with Some e -> e | None -> Traffic.client_endpoint ()
   in
+  if retry_budget < 0 then invalid_arg "Client.create: negative retry_budget";
   {
     engine;
     send;
@@ -38,16 +44,31 @@ let create engine ~send ?endpoint () =
     epochs = Hashtbl.create 64;
     next_epoch = 1;
     schemas = Hashtbl.create 16;
+    rng = Sim.Rng.create ~seed;
     completed = 0;
     errors = 0;
     retransmits = 0;
     abandoned = 0;
+    duplicates = 0;
+    retry_budget;
+    budget_exhausted = 0;
   }
 
 let expect t ~service_id ~method_id schema =
   Hashtbl.replace t.schemas (service_id, method_id) schema
 
-let call ?timeout ?(retries = 3) t ~service_id ~method_id ~port args k =
+(* Exponential growth saturates well below max_int so the float->int
+   conversion stays exact-enough and never overflows. *)
+let grow base backoff =
+  let next = float_of_int base *. backoff in
+  if next > 1e15 then 1_000_000_000_000_000 else int_of_float (Float.round next)
+
+let call_id ?timeout ?(retries = 3) ?(backoff = 1.) ?(max_timeout = max_int)
+    ?(jitter = 0.) t ~service_id ~method_id ~port args k =
+  if backoff < 1. then invalid_arg "Client.call: backoff < 1";
+  if jitter < 0. || jitter >= 1. then
+    invalid_arg "Client.call: jitter out of [0,1)";
+  if max_timeout <= 0 then invalid_arg "Client.call: non-positive max_timeout";
   let done_flag = ref false in
   let cont_ref = ref (-1) in
   let cont =
@@ -68,26 +89,40 @@ let call ?timeout ?(retries = 3) t ~service_id ~method_id ~port args k =
       ~service_id ~method_id ~port ~client:t.endpoint args
   in
   t.send (frame ());
-  match timeout with
+  (match timeout with
   | None -> ()
   | Some timeout ->
       if timeout <= 0 then invalid_arg "Client.call: non-positive timeout";
-      let rec arm attempts_left =
+      let rec arm attempts_left base =
+        let wait =
+          if jitter > 0. then
+            max 1
+              (int_of_float
+                 (float_of_int base *. (1. -. (jitter *. Sim.Rng.float t.rng))))
+          else base
+        in
         ignore
-          (Sim.Engine.schedule_after t.engine ~after:timeout (fun () ->
+          (Sim.Engine.schedule_after t.engine ~after:wait (fun () ->
                if not !done_flag then
-                 if attempts_left > 0 then begin
+                 if attempts_left > 0 && t.retry_budget > 0 then begin
                    t.retransmits <- t.retransmits + 1;
+                   t.retry_budget <- t.retry_budget - 1;
                    t.send (frame ());
-                   arm (attempts_left - 1)
+                   arm (attempts_left - 1) (min max_timeout (grow base backoff))
                  end
                  else begin
+                   if attempts_left > 0 then
+                     t.budget_exhausted <- t.budget_exhausted + 1;
                    t.abandoned <- t.abandoned + 1;
                    Hashtbl.remove t.epochs cont;
                    ignore (Rpc.Continuation.cancel t.continuations cont)
                  end))
       in
-      arm retries
+      arm retries timeout);
+  rpc_id_of ~epoch ~cont
+
+let call ?timeout ?retries t ~service_id ~method_id ~port args k =
+  ignore (call_id ?timeout ?retries t ~service_id ~method_id ~port args k)
 
 let on_reply t frame =
   match Rpc.Wire_format.decode frame.Net.Frame.payload with
@@ -107,7 +142,7 @@ let on_reply t frame =
           if Hashtbl.find_opt t.epochs cont <> Some epoch then
             (* A duplicate, or a late response to an abandoned (and
                possibly recycled) id: drop it. *)
-            ()
+            t.duplicates <- t.duplicates + 1
           else
             let key =
               (msg.Rpc.Wire_format.service_id, msg.Rpc.Wire_format.method_id)
@@ -135,3 +170,6 @@ let errors t = t.errors
 
 let retransmits t = t.retransmits
 let abandoned t = t.abandoned
+let duplicates t = t.duplicates
+let budget_exhausted t = t.budget_exhausted
+let retry_budget_left t = t.retry_budget

@@ -11,7 +11,11 @@ type t
 
 val create :
   Sim.Engine.t -> send:(Net.Frame.t -> unit) ->
-  ?endpoint:Net.Frame.endpoint -> unit -> t
+  ?endpoint:Net.Frame.endpoint -> ?seed:int -> ?retry_budget:int -> unit -> t
+(** [seed] feeds the backoff-jitter stream (drawn from only when a call
+    uses [jitter > 0]). [retry_budget] caps the total number of
+    retransmissions across all calls (default: unlimited); once spent,
+    timed-out calls are abandoned instead of retried. *)
 
 val call :
   ?timeout:Sim.Units.duration -> ?retries:int -> t -> service_id:int ->
@@ -25,9 +29,29 @@ val call :
     at-least-once with server-side idempotence left to the service) up
     to [retries] times (default 3) before the call is abandoned. *)
 
+val call_id :
+  ?timeout:Sim.Units.duration -> ?retries:int -> ?backoff:float ->
+  ?max_timeout:Sim.Units.duration -> ?jitter:float -> t -> service_id:int ->
+  method_id:int -> port:int -> Rpc.Value.t -> (Rpc.Value.t -> unit) -> int64
+(** {!call}, returning the wire [rpc_id], with the full retry policy:
+    the [n]th retransmission waits [timeout * backoff^n] (capped at
+    [max_timeout]), each wait shrunk by a seeded jitter factor uniform
+    in [(1 - jitter, 1]]. Defaults ([backoff = 1], [jitter = 0])
+    reproduce {!call}'s fixed-interval behaviour exactly.
+    @raise Invalid_argument if [backoff < 1] or [jitter] outside [0,1). *)
+
 val retransmits : t -> int
 val abandoned : t -> int
-(** Calls given up after exhausting retries. *)
+(** Calls given up after exhausting retries (or the retry budget). *)
+
+val duplicates : t -> int
+(** Response frames suppressed by rpc-id/epoch matching: duplicates of
+    an already-completed call, or late replies to abandoned ids. *)
+
+val budget_exhausted : t -> int
+(** Calls abandoned specifically because the retry budget ran out. *)
+
+val retry_budget_left : t -> int
 
 val expect : t -> service_id:int -> method_id:int -> Rpc.Schema.t -> unit
 (** Register the response schema of a method (clients know the IDL). *)

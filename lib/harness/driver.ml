@@ -3,11 +3,13 @@ type t = {
   ingress : Net.Frame.t -> unit;
   kernel : Osmodel.Kernel.t;
   counters : Sim.Counter.group;
+  extra_counters : unit -> (string * int) list;
   describe : unit -> string;
 }
 
-let make ~name ~ingress ~kernel ~counters ?describe () =
+let make ~name ~ingress ~kernel ~counters ?(extra_counters = fun () -> [])
+    ?describe () =
   let describe =
     match describe with Some f -> f | None -> fun () -> name
   in
-  { name; ingress; kernel; counters; describe }
+  { name; ingress; kernel; counters; extra_counters; describe }

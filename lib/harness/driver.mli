@@ -12,10 +12,16 @@ type t = {
       (** A request frame arriving at the server NIC. *)
   kernel : Osmodel.Kernel.t;
   counters : Sim.Counter.group;
+  extra_counters : unit -> (string * int) list;
+      (** Stack-specific counters outside the {!Sim.Counter} group —
+          fault-injection and pool accounting; empty when the stack has
+          no fault plan, so faultless reports are unchanged. *)
   describe : unit -> string;
       (** One-line configuration summary for reports. *)
 }
 
 val make :
   name:string -> ingress:(Net.Frame.t -> unit) -> kernel:Osmodel.Kernel.t ->
-  counters:Sim.Counter.group -> ?describe:(unit -> string) -> unit -> t
+  counters:Sim.Counter.group ->
+  ?extra_counters:(unit -> (string * int) list) ->
+  ?describe:(unit -> string) -> unit -> t

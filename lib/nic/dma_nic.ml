@@ -32,7 +32,11 @@ type t = {
   iommu : Iommu.t option;
   mac : Mac.t;
   pool : Net.Pool.t;
+  fault : Fault.Plan.link;
+  frng : Sim.Rng.t;  (* fault stream; drawn from only when faults are on *)
   mutable delivered : int;
+  mutable fault_dropped : int;  (* forced completion drops (plan.nic.drop) *)
+  mutable corrupt_dropped : int;  (* descriptors the driver parse rejected *)
   mutable steering : (Net.Frame.t -> int) option;
 }
 
@@ -76,14 +80,36 @@ let rx_frame t frame =
            else Bytes.create size
          in
          let slice = Net.Frame.encode_into frame buf in
-         if Ring.produce q.ring slice then begin
-           t.delivered <- t.delivered + 1;
-           Msix.raise_event q.msix
+         if
+           t.fault.Fault.Plan.drop > 0.
+           && Sim.Rng.float t.frng < t.fault.Fault.Plan.drop
+         then begin
+           (* Injected completion fault: the frame vanishes at the DMA
+              stage — a counted tail drop that must release its pooled
+              buffer like any other rejection. *)
+           t.fault_dropped <- t.fault_dropped + 1;
+           if Bytes.length buf = buffer_bytes then Net.Pool.release t.pool buf
          end
-         else if Bytes.length buf = buffer_bytes then
-           Net.Pool.release t.pool buf))
+         else begin
+           if
+             t.fault.Fault.Plan.corrupt > 0.
+             && Sim.Rng.float t.frng < t.fault.Fault.Plan.corrupt
+           then
+             (* DMA corruption: the descriptor's bytes are damaged in
+                host memory; the driver's in-place parse (checksums)
+                rejects it at [consume]. *)
+             Fault.Link.flip_checksummed t.frng
+               ~ip_payload_len:frame.Net.Frame.ip.Net.Ipv4.payload_len slice;
+           if Ring.produce q.ring slice then begin
+             t.delivered <- t.delivered + 1;
+             Msix.raise_event q.msix
+           end
+           else if Bytes.length buf = buffer_bytes then
+             Net.Pool.release t.pool buf
+         end))
 
-let create engine prof ?(config = default_config) ~on_rx_interrupt () =
+let create engine prof ?(config = default_config) ?(fault = Fault.Plan.none)
+    ~on_rx_interrupt () =
   if config.nqueues <= 0 then invalid_arg "Dma_nic.create: nqueues <= 0";
   let iommu = if config.use_iommu then Some (Iommu.create ()) else None in
   let queues =
@@ -120,7 +146,11 @@ let create engine prof ?(config = default_config) ~on_rx_interrupt () =
       iommu;
       mac;
       pool = Net.Pool.create ~prealloc:config.ring_size ~buffer_bytes ();
+      fault = fault.Fault.Plan.nic;
+      frng = Fault.Plan.derived_rng fault ~salt:11;
       delivered = 0;
+      fault_dropped = 0;
+      corrupt_dropped = 0;
       steering = None;
     }
   in
@@ -135,22 +165,27 @@ let rx_ring t ~queue:q = (queue t q).ring
 (* Driver-side receive: parse the oldest descriptor's bytes in place,
    hand the zero-copy view to [f], then return the buffer to the pool
    before the view can escape misuse (the view is only valid inside
-   [f]). NIC-encoded frames always reparse cleanly, so a parse error
-   here is a simulator bug. *)
-let consume t ~queue:q f =
+   [f]). A descriptor whose bytes fail validation (DMA corruption under
+   a fault plan) is counted, its buffer released, and the next
+   descriptor tried — [None] still means "ring empty", never "bad
+   frame", so NAPI/poll loops cannot stall on a corrupt head. *)
+let rec consume t ~queue:q f =
   match Ring.consume (queue t q).ring with
   | None -> None
-  | Some slice ->
-      let result =
-        match Net.Frame.parse_slice slice with
-        | Ok view -> f view
-        | Error e ->
-            Format.kasprintf failwith "Dma_nic.consume: bad descriptor: %a"
-              Net.Frame.pp_error e
+  | Some slice -> (
+      let release () =
+        let buf = slice.Net.Slice.base in
+        if Bytes.length buf = buffer_bytes then Net.Pool.release t.pool buf
       in
-      let buf = slice.Net.Slice.base in
-      if Bytes.length buf = buffer_bytes then Net.Pool.release t.pool buf;
-      Some result
+      match Net.Frame.parse_slice slice with
+      | Ok view ->
+          let result = f view in
+          release ();
+          Some result
+      | Error _ ->
+          t.corrupt_dropped <- t.corrupt_dropped + 1;
+          release ();
+          consume t ~queue:q f)
 
 let pool t = t.pool
 let mask_irq t ~queue:q = Msix.mask (queue t q).msix
@@ -169,6 +204,9 @@ let rx_delivered t = t.delivered
 
 let rx_dropped t =
   Array.fold_left (fun acc q -> acc + Ring.drops q.ring) 0 t.queues
+
+let rx_fault_dropped t = t.fault_dropped
+let rx_corrupt_dropped t = t.corrupt_dropped
 
 let interrupts_fired t =
   Array.fold_left (fun acc q -> acc + Msix.fired q.msix) 0 t.queues

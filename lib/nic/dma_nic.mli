@@ -26,9 +26,16 @@ type t
 
 val create :
   Sim.Engine.t -> Coherence.Interconnect.profile -> ?config:config ->
-  on_rx_interrupt:(queue:int -> unit) -> unit -> t
+  ?fault:Fault.Plan.t -> on_rx_interrupt:(queue:int -> unit) -> unit -> t
 (** [on_rx_interrupt] is the driver's ISR entry (typically bridges into
-    {!Osmodel.Kernel.run_irq}). *)
+    {!Osmodel.Kernel.run_irq}).
+
+    [fault] (default {!Fault.Plan.none}) applies the plan's [nic] link
+    at the DMA completion stage: [drop] forces counted completion
+    drops (pooled buffer released), [corrupt] flips a byte of the
+    DMA'd bytes so the driver's in-place parse rejects the descriptor
+    at {!consume}. With the default plan no RNG is consumed and
+    behaviour is bit-identical to a fault-free NIC. *)
 
 val rx_from_wire : t -> Net.Frame.t -> unit
 (** Connect as the wire's deliver callback. *)
@@ -51,7 +58,9 @@ val consume : t -> queue:int -> (Net.Frame.view -> 'a) -> 'a option
     released back to the pool when the callback returns, so the view
     (and its payload slice) must not escape the callback — copy
     ({!Net.Frame.of_view}) anything that must outlive it. [None] when
-    the ring is empty. *)
+    the ring is empty — never "bad frame": descriptors whose bytes fail
+    checksum validation (DMA corruption) are counted
+    ({!rx_corrupt_dropped}), their buffers released, and skipped. *)
 
 val pool : t -> Net.Pool.t
 (** The shared receive-buffer pool (for accounting/diagnostics). *)
@@ -66,7 +75,16 @@ val transmit : t -> Net.Frame.t -> via:(Net.Frame.t -> unit) -> unit
     calling stack. *)
 
 val rx_delivered : t -> int
+
 val rx_dropped : t -> int
+(** Ring-full tail drops. *)
+
+val rx_fault_dropped : t -> int
+(** Completion drops forced by the fault plan. *)
+
+val rx_corrupt_dropped : t -> int
+(** Descriptors rejected (and released) by {!consume}'s validation. *)
+
 val interrupts_fired : t -> int
 val interrupts_suppressed : t -> int
 val iommu : t -> Iommu.t option

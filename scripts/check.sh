@@ -1,9 +1,17 @@
 #!/bin/sh
-# One-command gate: build everything, run the full test suite, then the
-# benchmark harness (which rewrites BENCH_1.json from the micro rows).
+# One-command gate: build everything, run the full test suite, prove
+# the fault-injection sweep is deterministic, then run the benchmark
+# harness (which rewrites BENCH_1.json from the micro rows).
 # Run from the repository root.
 set -eu
 cd "$(dirname "$0")/.."
 dune build
 dune runtest
+# Chaos determinism: the loss sweep under a fixed seed, twice, must be
+# byte-identical — completion-timeline digests included.
+a=$(mktemp) b=$(mktemp)
+trap 'rm -f "$a" "$b"' EXIT
+dune exec bin/figures.exe -- losssweep > "$a"
+dune exec bin/figures.exe -- losssweep > "$b"
+diff "$a" "$b"
 dune exec bench/main.exe

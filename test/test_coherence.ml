@@ -146,7 +146,7 @@ let directory_single_writer =
 
 let make_ha ?(timeout = Sim.Units.ms 15) () =
   let e = Sim.Engine.create () in
-  let ha = Coherence.Home_agent.create e Coherence.Interconnect.eci ~timeout in
+  let ha = Coherence.Home_agent.create e Coherence.Interconnect.eci ~timeout () in
   (e, ha)
 
 let test_ha_staged_then_load () =

@@ -288,6 +288,35 @@ let test_static_ablation () =
     true
     (p99 static_dyn > 3 * p99 lau_dyn)
 
+(* E13: under 5% wire loss in each direction, every stack still
+   completes every RPC — the client's retry layer masks the loss — and
+   the retransmit counter shows the recovery actually ran. *)
+let test_lossy_runs_complete () =
+  let plan =
+    Fault.Plan.make ~seed:9 ~wire:(Fault.Plan.link ~drop:0.05 ()) ()
+  in
+  List.iter
+    (fun flavour ->
+      let m =
+        Experiments.Common.lossy_run ~ncores:4 ~rate:50_000.
+          ~horizon:(Sim.Units.ms 5) ~plan flavour
+      in
+      let name = Experiments.Common.flavour_name flavour in
+      checkb (name ^ ": sent some") true (m.Experiments.Common.sent > 0);
+      checki
+        (name ^ ": all completed")
+        m.Experiments.Common.sent m.Experiments.Common.completed;
+      checkb
+        (name ^ ": retransmits nonzero")
+        true
+        (Experiments.Common.counter m "retransmits" > 0))
+    [
+      Experiments.Common.Linux Coherence.Interconnect.pcie_enzian;
+      Experiments.Common.Bypass Coherence.Interconnect.pcie_enzian;
+      Experiments.Common.Lauberhorn
+        (Lauberhorn.Config.enzian, Lauberhorn.Sched_mirror.Push);
+    ]
+
 let () =
   Alcotest.run "integration"
     [
@@ -307,5 +336,7 @@ let () =
             test_large_payloads_still_complete;
           Alcotest.test_case "static-split ablation" `Slow
             test_static_ablation;
+          Alcotest.test_case "lossy runs complete (E13)" `Slow
+            test_lossy_runs_complete;
         ] );
     ]

@@ -151,7 +151,7 @@ let make_ep ?(cfg = Lauberhorn.Config.enzian) () =
   let engine = Sim.Engine.create () in
   let ha =
     Coherence.Home_agent.create engine cfg.Lauberhorn.Config.profile
-      ~timeout:cfg.Lauberhorn.Config.tryagain_timeout
+      ~timeout:cfg.Lauberhorn.Config.tryagain_timeout ()
   in
   let responses = ref [] in
   let ep =
@@ -697,7 +697,7 @@ let test_tx_endpoint_backpressure () =
   let engine = Sim.Engine.create () in
   let ha =
     Coherence.Home_agent.create engine Coherence.Interconnect.eci
-      ~timeout:(Sim.Units.ms 15)
+      ~timeout:(Sim.Units.ms 15) ()
   in
   let consumed = ref [] in
   let tx =

@@ -245,6 +245,71 @@ let test_dma_nic_transmit_delay () =
     (!sent_at
     >= Coherence.Interconnect.pcie_modern.Coherence.Interconnect.dma_read)
 
+(* Overflow a tiny RX ring: the excess frames are counted tail drops
+   and their pooled buffers are released on the spot — after draining,
+   the pool balances (acquired = released, nothing outstanding). *)
+let test_dma_nic_ring_overflow_no_leak () =
+  let e = Sim.Engine.create () in
+  let nic =
+    Nic.Dma_nic.create e Coherence.Interconnect.pcie_modern
+      ~config:
+        {
+          Nic.Dma_nic.default_config with
+          Nic.Dma_nic.nqueues = 1;
+          ring_size = 4;
+          coalesce_interval = 0;
+        }
+      ~on_rx_interrupt:(fun ~queue:_ -> ())
+      ()
+  in
+  for _ = 1 to 10 do
+    Nic.Dma_nic.rx_from_wire nic (sample_frame ())
+  done;
+  Sim.Engine.run e;
+  let pool = Nic.Dma_nic.pool nic in
+  checki "tail drops counted" 6 (Nic.Dma_nic.rx_dropped nic);
+  checki "only ring occupants outstanding" 4 (Net.Pool.outstanding pool);
+  let rec drain n =
+    match Nic.Dma_nic.consume nic ~queue:0 Net.Frame.of_view with
+    | Some _ -> drain (n + 1)
+    | None -> n
+  in
+  checki "ring held its capacity" 4 (drain 0);
+  checki "no leaked buffers" 0 (Net.Pool.outstanding pool);
+  checki "acquired = released" (Net.Pool.acquired pool)
+    (Net.Pool.released pool)
+
+(* With the NIC fault stage corrupting every DMA'd frame, the
+   driver-side parse rejects each descriptor: consume skips them all
+   (returning None, so a poller never stalls on a bad head), counts
+   them, and releases their buffers. *)
+let test_dma_nic_corrupt_descriptors_skipped () =
+  let e = Sim.Engine.create () in
+  let plan =
+    Fault.Plan.make ~seed:1 ~nic:(Fault.Plan.link ~corrupt:1.0 ()) ()
+  in
+  let nic =
+    Nic.Dma_nic.create e Coherence.Interconnect.pcie_modern
+      ~config:
+        {
+          Nic.Dma_nic.default_config with
+          Nic.Dma_nic.nqueues = 1;
+          coalesce_interval = 0;
+        }
+      ~fault:plan
+      ~on_rx_interrupt:(fun ~queue:_ -> ())
+      ()
+  in
+  for _ = 1 to 5 do
+    Nic.Dma_nic.rx_from_wire nic (sample_frame ())
+  done;
+  Sim.Engine.run e;
+  (match Nic.Dma_nic.consume nic ~queue:0 Net.Frame.of_view with
+  | Some _ -> Alcotest.fail "a corrupted descriptor parsed successfully"
+  | None -> ());
+  checki "all descriptors rejected" 5 (Nic.Dma_nic.rx_corrupt_dropped nic);
+  checki "no leaked buffers" 0 (Net.Pool.outstanding (Nic.Dma_nic.pool nic))
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -287,5 +352,9 @@ let () =
             test_dma_nic_steering_override;
           Alcotest.test_case "transmit delay" `Quick
             test_dma_nic_transmit_delay;
+          Alcotest.test_case "ring overflow releases buffers" `Quick
+            test_dma_nic_ring_overflow_no_leak;
+          Alcotest.test_case "corrupt descriptors skipped" `Quick
+            test_dma_nic_corrupt_descriptors_skipped;
         ] );
     ]
