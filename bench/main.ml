@@ -59,6 +59,7 @@ let sections =
     ("modelcheck", Experiments.Modelcheck.run);
     ("encrypt", Experiments.Encrypt.run);
     ("losssweep", Experiments.Losssweep.run);
+    ("trace", Experiments.Trace.run);
     ("micro", Micro.run);
   ]
 

@@ -113,6 +113,32 @@ let test_pooled_frame =
          | Error _ -> assert false);
          Net.Pool.release pool buf))
 
+(* The observability tax when nobody is watching: every stack hot path
+   now carries span-emission calls, which must compile down to a single
+   load-and-branch while the tracer is disabled (the default). The
+   enabled row shows what turning tracing on actually buys into. *)
+let test_span_disabled =
+  let tr = Obs.Tracer.create () in
+  let trk = Obs.Tracer.track tr "bench" in
+  Test.make ~name:"span emit x100 (tracing disabled)"
+    (Staged.stage (fun () ->
+         for i = 1 to 100 do
+           Obs.Tracer.stage tr ~rpc:7L ~track:trk ~name:"s" i
+         done))
+
+let test_span_enabled =
+  let tr = Obs.Tracer.create () in
+  let trk = Obs.Tracer.track tr "bench" in
+  Obs.Tracer.enable tr;
+  Test.make ~name:"span emit x100 (tracing enabled)"
+    (Staged.stage (fun () ->
+         Obs.Tracer.clear tr;
+         Obs.Tracer.rpc_begin tr ~rpc:7L ~track:trk 0;
+         for i = 1 to 100 do
+           Obs.Tracer.stage tr ~rpc:7L ~track:trk ~name:"s" i
+         done;
+         Obs.Tracer.rpc_end tr ~rpc:7L 101))
+
 let test_modelcheck =
   Test.make ~name:"model-check protocol (3 packets)"
     (Staged.stage (fun () ->
@@ -128,6 +154,8 @@ let tests =
     test_ctrl_line;
     test_frame;
     test_pooled_frame;
+    test_span_disabled;
+    test_span_enabled;
     test_modelcheck;
   ]
 

@@ -17,6 +17,7 @@ let sections =
     ("modelcheck", Experiments.Modelcheck.run);
     ("encrypt", Experiments.Encrypt.run);
     ("losssweep", Experiments.Losssweep.run);
+    ("trace", Experiments.Trace.run);
   ]
 
 let section_arg =

@@ -19,10 +19,17 @@ type t = {
   mutable pollers : poller array;
   egress : Net.Frame.t -> unit;
   counters : Sim.Counter.group;
-  fault_active : bool;
+  metrics : Obs.Metrics.t;
+  tracer : Obs.Tracer.t;
+  trk : int;
 }
 
 let kernel t = t.kern
+let metrics t = t.metrics
+let tracer t = t.tracer
+
+let span_stage t ~rpc name =
+  Obs.Tracer.stage t.tracer ~rpc ~track:t.trk ~name (Sim.Engine.now t.engine)
 
 let nic t =
   match t.nic with
@@ -61,6 +68,8 @@ and handle t p frame =
   match Rpc.Wire_format.decode frame.Net.Frame.payload with
   | Error _ -> drop "rx_bad_rpc"
   | Ok wire -> (
+      (* DMA delivery + poll-loop spin + per-packet rx cost. *)
+      span_stage t ~rpc:wire.Rpc.Wire_format.rpc_id "poll_rx";
       match
         Hashtbl.find_opt t.by_port frame.Net.Frame.udp.Net.Udp.dst_port
       with
@@ -89,6 +98,7 @@ and execute t p frame (wire : Rpc.Wire_format.t) mdef args =
   charge_user t p work;
   ignore
     (Sim.Engine.schedule_after t.engine ~after:work (fun () ->
+         span_stage t ~rpc:wire.Rpc.Wire_format.rpc_id "app";
          let result = mdef.Rpc.Interface.execute args in
          let body = Rpc.Codec.encode result in
          let marshal =
@@ -116,7 +126,14 @@ and execute t p frame (wire : Rpc.Wire_format.t) mdef args =
                     (Rpc.Wire_format.encode reply)
                 in
                 Sim.Counter.incr (ctr t "tx_frames");
-                Nic.Dma_nic.transmit (nic t) out ~via:t.egress;
+                span_stage t ~rpc:wire.Rpc.Wire_format.rpc_id "marshal";
+                let rpc = wire.Rpc.Wire_format.rpc_id in
+                Nic.Dma_nic.transmit (nic t) out
+                  ~via:(fun f ->
+                    span_stage t ~rpc "tx_dma";
+                    Obs.Tracer.rpc_end t.tracer ~rpc
+                      (Sim.Engine.now t.engine);
+                    t.egress f);
                 Sim.Counter.incr (ctr t "rpcs_handled");
                 poll_loop t p ()))))
 
@@ -138,8 +155,8 @@ let resume_from_spin t p () =
            (fun () -> poll_loop t p ()))
 
 let create engine ~profile ~ncores ?pollers ?kernel_costs
-    ?(sw_costs = Costs.default) ?(fault = Fault.Plan.none) ~services ~egress
-    () =
+    ?(sw_costs = Costs.default) ?(fault = Fault.Plan.none) ?metrics ?tracer
+    ~services ~egress () =
   if services = [] then invalid_arg "Bypass_stack.create: no services";
   let npollers = match pollers with Some n -> n | None -> ncores in
   if npollers < 1 || npollers > ncores then
@@ -148,6 +165,12 @@ let create engine ~profile ~ncores ?pollers ?kernel_costs
     match kernel_costs with
     | Some costs -> Osmodel.Kernel.create engine ~ncores ~costs ()
     | None -> Osmodel.Kernel.create engine ~ncores ()
+  in
+  let metrics =
+    match metrics with Some m -> m | None -> Obs.Metrics.create ()
+  in
+  let tracer =
+    match tracer with Some tr -> tr | None -> Obs.Tracer.create ()
   in
   let t =
     {
@@ -160,7 +183,9 @@ let create engine ~profile ~ncores ?pollers ?kernel_costs
       pollers = [||];
       egress;
       counters = Sim.Counter.group "bypass";
-      fault_active = not (Fault.Plan.is_none fault);
+      metrics;
+      tracer;
+      trk = Obs.Tracer.track tracer "bypass";
     }
   in
   (* One RX queue per poller; interrupts permanently masked. *)
@@ -172,7 +197,7 @@ let create engine ~profile ~ncores ?pollers ?kernel_costs
     }
   in
   let dnic =
-    Nic.Dma_nic.create engine profile ~config:nic_config ~fault
+    Nic.Dma_nic.create engine profile ~config:nic_config ~fault ~metrics
       ~on_rx_interrupt:(fun ~queue:_ -> ())
       ()
   in
@@ -218,7 +243,15 @@ let create engine ~profile ~ncores ?pollers ?kernel_costs
     t.pollers;
   t
 
-let ingress t frame = Nic.Dma_nic.rx_from_wire (nic t) frame
+let ingress t frame =
+  if Obs.Tracer.is_enabled t.tracer then begin
+    match Rpc.Wire_format.decode frame.Net.Frame.payload with
+    | Ok w when w.Rpc.Wire_format.kind = Rpc.Wire_format.Request ->
+        Obs.Tracer.rpc_begin t.tracer ~rpc:w.Rpc.Wire_format.rpc_id
+          ~track:t.trk (Sim.Engine.now t.engine)
+    | Ok _ | Error _ -> ()
+  end;
+  Nic.Dma_nic.rx_from_wire (nic t) frame
 
 let flush_spin t =
   (* Charge the open spin window of every idle poller up to now; the
@@ -245,17 +278,7 @@ let poller_of_port t ~port =
 let driver t =
   Harness.Driver.make ~name:"bypass"
     ~ingress:(fun f -> ingress t f)
-    ~kernel:t.kern ~counters:t.counters
-    ~extra_counters:(fun () ->
-      if not t.fault_active then []
-      else
-        let n = nic t in
-        [
-          ("nic_ring_drops", Nic.Dma_nic.rx_dropped n);
-          ("nic_fault_drops", Nic.Dma_nic.rx_fault_dropped n);
-          ("nic_corrupt_drops", Nic.Dma_nic.rx_corrupt_dropped n);
-          ("pool_outstanding", Net.Pool.outstanding (Nic.Dma_nic.pool n));
-        ])
+    ~kernel:t.kern ~counters:t.counters ~metrics:t.metrics
     ~describe:(fun () ->
       Printf.sprintf "bypass(%d pollers, %d services)"
         (Array.length t.pollers) (Hashtbl.length t.by_port))

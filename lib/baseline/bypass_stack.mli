@@ -24,16 +24,21 @@ type t
 val create :
   Sim.Engine.t -> profile:Coherence.Interconnect.profile -> ncores:int ->
   ?pollers:int -> ?kernel_costs:Osmodel.Kernel.costs -> ?sw_costs:Costs.t ->
-  ?fault:Fault.Plan.t ->
+  ?fault:Fault.Plan.t -> ?metrics:Obs.Metrics.t -> ?tracer:Obs.Tracer.t ->
   services:service_spec list -> egress:(Net.Frame.t -> unit) -> unit -> t
 (** [pollers] defaults to [ncores]. [fault] (default {!Fault.Plan.none})
-    is forwarded to the DMA NIC as in {!Linux_stack.create}. Services are assigned to pollers
-    round-robin; the assignment is static for the stack's lifetime. *)
+    is forwarded to the DMA NIC as in {!Linux_stack.create}, with its
+    drop/pool gauges on [metrics]. [tracer] collects the per-RPC stage
+    chain poll_rx → app → marshal → tx_dma (summing exactly to the
+    measured latency). Services are assigned to pollers round-robin;
+    the assignment is static for the stack's lifetime. *)
 
 val ingress : t -> Net.Frame.t -> unit
 val kernel : t -> Osmodel.Kernel.t
 val nic : t -> Nic.Dma_nic.t
 val counters : t -> Sim.Counter.group
+val metrics : t -> Obs.Metrics.t
+val tracer : t -> Obs.Tracer.t
 val poller_of_port : t -> port:int -> int
 
 val flush_spin : t -> unit

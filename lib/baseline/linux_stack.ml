@@ -21,10 +21,26 @@ type t = {
   by_port : (int, service_rt) Hashtbl.t;
   egress : Net.Frame.t -> unit;
   counters : Sim.Counter.group;
-  fault_active : bool;
+  metrics : Obs.Metrics.t;
+  tracer : Obs.Tracer.t;
+  trk : int;
 }
 
 let kernel t = t.kern
+let metrics t = t.metrics
+let tracer t = t.tracer
+
+let span_stage t ~rpc name =
+  Obs.Tracer.stage t.tracer ~rpc ~track:t.trk ~name (Sim.Engine.now t.engine)
+
+(* Stage boundaries inside the kernel path see only the frame; the
+   wire-format decode to recover the RPC id is paid only when the
+   tracer is on. *)
+let span_stage_frame t frame name =
+  if Obs.Tracer.is_enabled t.tracer then
+    match Rpc.Wire_format.decode frame.Net.Frame.payload with
+    | Ok w -> span_stage t ~rpc:w.Rpc.Wire_format.rpc_id name
+    | Error _ -> ()
 
 let nic t =
   match t.nic with
@@ -58,7 +74,11 @@ let rec napi t ~core ~queue ~budget () =
         (Sim.Engine.schedule_after t.engine ~after:cost (fun () ->
              (match delivery with
              | None -> Sim.Counter.incr (ctr t "rx_no_service")
-             | Some (rt, frame) -> Osmodel.Socket.enqueue rt.socket frame);
+             | Some (rt, frame) ->
+                 (* MAC + DMA + interrupt + softirq, attributed at the
+                    moment the frame reaches its socket. *)
+                 span_stage_frame t frame "nic_irq";
+                 Osmodel.Socket.enqueue rt.socket frame);
              if budget > 1 then napi t ~core ~queue ~budget:(budget - 1) ()
              else begin
                (* Budget exhausted: ksoftirqd would take over; model as
@@ -96,6 +116,8 @@ let rec server_loop t rt th () =
           | Ok wire -> handle_rpc t rt th frame wire))
 
 and handle_rpc t rt th frame (wire : Rpc.Wire_format.t) =
+  (* Socket wait + wakeup + recv copy + header decode. *)
+  span_stage t ~rpc:wire.Rpc.Wire_format.rpc_id "socket";
   match
     Rpc.Interface.find_method rt.sspec.service wire.Rpc.Wire_format.method_id
   with
@@ -129,6 +151,8 @@ and handle_rpc t rt th frame (wire : Rpc.Wire_format.t) =
                   send_reply t rt th frame wire body)))
 
 and send_reply t rt th frame wire body =
+  (* Deserialize + handler + marshal, all user time. *)
+  span_stage t ~rpc:wire.Rpc.Wire_format.rpc_id "app";
   let send_cost =
     t.sw.Costs.send_path
     + int_of_float
@@ -154,16 +178,29 @@ and send_reply t rt th frame wire body =
           (Rpc.Wire_format.encode reply)
       in
       Sim.Counter.incr (ctr t "tx_frames");
-      Nic.Dma_nic.transmit (nic t) out ~via:t.egress;
+      span_stage t ~rpc:wire.Rpc.Wire_format.rpc_id "send";
+      let rpc = wire.Rpc.Wire_format.rpc_id in
+      Nic.Dma_nic.transmit (nic t) out
+        ~via:(fun f ->
+          span_stage t ~rpc "tx_dma";
+          Obs.Tracer.rpc_end t.tracer ~rpc (Sim.Engine.now t.engine);
+          t.egress f);
       server_loop t rt th ())
 
 let create engine ~profile ~ncores ?kernel_costs ?(sw_costs = Costs.default)
-    ?nic_config ?(fault = Fault.Plan.none) ~services ~egress () =
+    ?nic_config ?(fault = Fault.Plan.none) ?metrics ?tracer ~services ~egress
+    () =
   if services = [] then invalid_arg "Linux_stack.create: no services";
   let kern =
     match kernel_costs with
     | Some costs -> Osmodel.Kernel.create engine ~ncores ~costs ()
     | None -> Osmodel.Kernel.create engine ~ncores ()
+  in
+  let metrics =
+    match metrics with Some m -> m | None -> Obs.Metrics.create ()
+  in
+  let tracer =
+    match tracer with Some tr -> tr | None -> Obs.Tracer.create ()
   in
   let t =
     {
@@ -174,7 +211,9 @@ let create engine ~profile ~ncores ?kernel_costs ?(sw_costs = Costs.default)
       by_port = Hashtbl.create 64;
       egress;
       counters = Sim.Counter.group "linux";
-      fault_active = not (Fault.Plan.is_none fault);
+      metrics;
+      tracer;
+      trk = Obs.Tracer.track tracer "linux";
     }
   in
   let nic_config =
@@ -182,7 +221,7 @@ let create engine ~profile ~ncores ?kernel_costs ?(sw_costs = Costs.default)
   in
   t.nic <-
     Some
-      (Nic.Dma_nic.create engine profile ~config:nic_config ~fault
+      (Nic.Dma_nic.create engine profile ~config:nic_config ~fault ~metrics
          ~on_rx_interrupt:(fun ~queue -> on_rx_interrupt t ~queue)
          ());
   List.iter
@@ -216,22 +255,20 @@ let create engine ~profile ~ncores ?kernel_costs ?(sw_costs = Costs.default)
     services;
   t
 
-let ingress t frame = Nic.Dma_nic.rx_from_wire (nic t) frame
+let ingress t frame =
+  if Obs.Tracer.is_enabled t.tracer then begin
+    match Rpc.Wire_format.decode frame.Net.Frame.payload with
+    | Ok w when w.Rpc.Wire_format.kind = Rpc.Wire_format.Request ->
+        Obs.Tracer.rpc_begin t.tracer ~rpc:w.Rpc.Wire_format.rpc_id
+          ~track:t.trk (Sim.Engine.now t.engine)
+    | Ok _ | Error _ -> ()
+  end;
+  Nic.Dma_nic.rx_from_wire (nic t) frame
 
 let driver t =
   Harness.Driver.make ~name:"linux"
     ~ingress:(fun f -> ingress t f)
-    ~kernel:t.kern ~counters:t.counters
-    ~extra_counters:(fun () ->
-      if not t.fault_active then []
-      else
-        let n = nic t in
-        [
-          ("nic_ring_drops", Nic.Dma_nic.rx_dropped n);
-          ("nic_fault_drops", Nic.Dma_nic.rx_fault_dropped n);
-          ("nic_corrupt_drops", Nic.Dma_nic.rx_corrupt_dropped n);
-          ("pool_outstanding", Net.Pool.outstanding (Nic.Dma_nic.pool n));
-        ])
+    ~kernel:t.kern ~counters:t.counters ~metrics:t.metrics
     ~describe:(fun () ->
       Printf.sprintf "linux(%d cores, %d services)"
         (Osmodel.Kernel.ncores t.kern)

@@ -26,15 +26,23 @@ val create :
   Sim.Engine.t -> profile:Coherence.Interconnect.profile -> ncores:int ->
   ?kernel_costs:Osmodel.Kernel.costs -> ?sw_costs:Costs.t ->
   ?nic_config:Nic.Dma_nic.config -> ?fault:Fault.Plan.t ->
+  ?metrics:Obs.Metrics.t -> ?tracer:Obs.Tracer.t ->
   services:service_spec list ->
   egress:(Net.Frame.t -> unit) -> unit -> t
 (** [fault] (default {!Fault.Plan.none}) is forwarded to the DMA NIC
     (forced completion drops, DMA corruption caught by the driver's
-    checksum validation); fault and pool counters then appear in the
-    driver's [extra_counters]. *)
+    checksum validation); fault and pool gauges register on [metrics]
+    (default a fresh registry).
+
+    [tracer] (default a fresh, disabled tracer) collects the per-RPC
+    stage chain nic_irq → socket → app → send → tx_dma, opened at
+    {!ingress} and closed when the response hits the wire; stage
+    durations sum exactly to the measured end-system latency. *)
 
 val ingress : t -> Net.Frame.t -> unit
 val kernel : t -> Osmodel.Kernel.t
 val nic : t -> Nic.Dma_nic.t
 val counters : t -> Sim.Counter.group
+val metrics : t -> Obs.Metrics.t
+val tracer : t -> Obs.Tracer.t
 val driver : t -> Harness.Driver.t

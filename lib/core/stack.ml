@@ -64,6 +64,10 @@ type t = {
   mutable dispatchers : dispatcher array;
   parked_eps : (int, Endpoint.t) Hashtbl.t;  (* tid -> endpoint *)
   telemetry : Telemetry.t;
+  metrics : Obs.Metrics.t;
+  tracer : Obs.Tracer.t;
+  trk : int;  (* span track for the rpc stage chain *)
+  trk_detail : int;  (* span track for NIC pipeline sub-intervals *)
   fault_active : bool;
       (* fault plan present: feed fault/recovery events into telemetry
          (fault-free runs record nothing, keeping reports unchanged) *)
@@ -88,6 +92,31 @@ let emit t ~cat f =
   match t.trace with
   | Some trace -> Sim.Trace.emit trace ~time:(Sim.Engine.now t.engine) ~cat f
   | None -> ()
+
+(* Close the stage running since this RPC's cursor at the current sim
+   time. One branch when the tracer is disabled. *)
+let span_stage t ~rpc name =
+  Obs.Tracer.stage t.tracer ~rpc ~track:t.trk ~name (Sim.Engine.now t.engine)
+
+(* Detail spans decomposing the NIC pipeline stage, emitted at the
+   moment the pipeline completes (they reach back from now). *)
+let pipeline_details t ~rpc (b : Pipeline.breakdown) ~decrypt =
+  if Obs.Tracer.is_enabled t.tracer then begin
+    let stop = Sim.Engine.now t.engine in
+    let seg = ref (stop - b.Pipeline.total - decrypt) in
+    let detail name d =
+      if d > 0 then begin
+        Obs.Tracer.detail t.tracer ~rpc ~track:t.trk_detail ~name ~start:!seg
+          ~stop:(!seg + d);
+        seg := !seg + d
+      end
+    in
+    detail "parse" b.Pipeline.parse;
+    detail "demux" b.Pipeline.demux;
+    detail "hw_unmarshal" b.Pipeline.deser;
+    detail "sched_lookup" b.Pipeline.sched_lookup;
+    detail "decrypt" decrypt
+  end
 let prof t = t.cfg.Config.profile
 let line_bytes t = (prof t).Coherence.Interconnect.cache_line_bytes
 
@@ -198,11 +227,13 @@ and worker_handle t sv w (r : Message.request) =
       Sim.Counter.incr (ctr t "worker_orphan_request");
       worker_loop t sv w ()
   | Some (App app) ->
+      span_stage t ~rpc:r.Message.rpc_id "queue";
       let dma_read =
         if r.Message.via_dma then mem_read_cost r.Message.total_args else 0
       in
       let work = app.mdef.Rpc.Interface.handler_time + dma_read in
       let finish result =
+        span_stage t ~rpc:r.Message.rpc_id "handler";
         let body = Rpc.Codec.encode result in
         app.full_body <- body;
         respond_line t w ~rpc_id:r.Message.rpc_id ~status:0 ~body;
@@ -604,6 +635,7 @@ let nic_rx t frame =
           | None -> Sim.Counter.incr (ctr t "rx_stray_response"))
       | None -> Sim.Counter.incr (ctr t "rx_stray_response"))
   | Ok wire -> (
+      span_stage t ~rpc:wire.Rpc.Wire_format.rpc_id "mac";
       match Demux.lookup t.dmx ~port:frame.Net.Frame.udp.Net.Udp.dst_port with
       | None -> Sim.Counter.incr (ctr t "rx_no_service")
       | Some entry -> (
@@ -635,6 +667,10 @@ let nic_rx t frame =
                     (Sim.Engine.schedule_after t.engine
                        ~after:(breakdown.Pipeline.total + decrypt)
                        (fun () ->
+                         pipeline_details t ~rpc:wire.Rpc.Wire_format.rpc_id
+                           breakdown ~decrypt;
+                         span_stage t ~rpc:wire.Rpc.Wire_format.rpc_id
+                           "nic_pipeline";
                          dispatch_request t entry frame wire mdef args)))))
 
 (* ---------- Response collection and egress --------------------------- *)
@@ -682,6 +718,7 @@ let on_endpoint_response t (resp : Message.response) =
                Sim.Counter.incr (ctr t "nested_orphan_reply")))
   | Some (App app) ->
       Hashtbl.remove t.inflight resp.Message.resp_rpc_id;
+      span_stage t ~rpc:resp.Message.resp_rpc_id "collect";
       let service_id =
         (* reply carries the same ids as the request *)
         match Demux.lookup t.dmx ~port:app.reply_src.Net.Frame.port with
@@ -730,6 +767,9 @@ let on_endpoint_response t (resp : Message.response) =
         (Sim.Engine.schedule_after t.engine ~after:(tx_mac_delay + encrypt)
            (fun () ->
              Sim.Counter.incr (ctr t "tx_frames");
+             span_stage t ~rpc:resp.Message.resp_rpc_id "tx";
+             Obs.Tracer.rpc_end t.tracer ~rpc:resp.Message.resp_rpc_id
+               (Sim.Engine.now t.engine);
              t.egress frame))
 
 (* ---------- Construction --------------------------------------------- *)
@@ -744,7 +784,7 @@ let fresh_code_ptrs n =
 
 let create engine ~cfg ~ncores ?kernel_costs
     ?(mirror_mode = Sched_mirror.Push) ?(dispatchers = 2)
-    ?(fault = Fault.Plan.none) ~services ~egress () =
+    ?(fault = Fault.Plan.none) ?metrics ?tracer ~services ~egress () =
   if services = [] then invalid_arg "Stack.create: no services";
   if dispatchers < 1 then invalid_arg "Stack.create: need a dispatcher";
   let kern =
@@ -772,6 +812,16 @@ let create engine ~cfg ~ncores ?kernel_costs
       ~timeout:cfg.Config.tryagain_timeout ()
   in
   let smirror = Sched_mirror.create ~mode:mirror_mode cfg.Config.profile kern in
+  let metrics =
+    match metrics with Some m -> m | None -> Obs.Metrics.create ()
+  in
+  let tracer =
+    match tracer with Some tr -> tr | None -> Obs.Tracer.create ()
+  in
+  Obs.Metrics.derive metrics "ha_delayed_fills" (fun () ->
+      Coherence.Home_agent.delayed_stages ha);
+  Obs.Metrics.derive metrics "ha_tryagains" (fun () ->
+      Coherence.Home_agent.tryagains ha);
   let t =
     {
       engine;
@@ -787,7 +837,11 @@ let create engine ~cfg ~ncores ?kernel_costs
       services = Hashtbl.create 32;
       dispatchers = [||];
       parked_eps = Hashtbl.create 64;
-      telemetry = Telemetry.create ();
+      telemetry = Telemetry.create ~metrics ();
+      metrics;
+      tracer;
+      trk = Obs.Tracer.track tracer "lauberhorn";
+      trk_detail = Obs.Tracer.track tracer "nic-pipeline";
       fault_active = not (Fault.Plan.is_none fault);
       remotes = Hashtbl.create 16;
       address = None;
@@ -944,6 +998,17 @@ let create engine ~cfg ~ncores ?kernel_costs
   t
 
 let ingress t frame =
+  (* Tracing on: open the RPC's root span at the instant the request
+     frame hits the NIC — the same sim time the harness stamps
+     note_sent, so the root span IS the measured end-system latency.
+     The wire-format decode is only paid when tracing. *)
+  if Obs.Tracer.is_enabled t.tracer then begin
+    match Rpc.Wire_format.decode frame.Net.Frame.payload with
+    | Ok w when w.Rpc.Wire_format.kind = Rpc.Wire_format.Request ->
+        Obs.Tracer.rpc_begin t.tracer ~rpc:w.Rpc.Wire_format.rpc_id
+          ~track:t.trk (Sim.Engine.now t.engine)
+    | Ok _ | Error _ -> ()
+  end;
   match t.mac with
   | Some mac -> Nic.Mac.rx mac frame
   | None -> invalid_arg "Stack.ingress: MAC not initialised"
@@ -951,6 +1016,8 @@ let ingress t frame =
 let active_workers t ~service_id = (service_rt t service_id).active_count
 
 let telemetry t = t.telemetry
+let metrics t = t.metrics
+let tracer t = t.tracer
 let attach_trace t trace = t.trace <- Some trace
 let set_address t address = t.address <- Some address
 
@@ -985,14 +1052,7 @@ let endpoint_of t ~service_id ~worker =
 let driver t =
   Harness.Driver.make ~name:"lauberhorn"
     ~ingress:(fun f -> ingress t f)
-    ~kernel:t.kern ~counters:t.counters
-    ~extra_counters:(fun () ->
-      if not t.fault_active then []
-      else
-        ( "ha_delayed_fills",
-          Coherence.Home_agent.delayed_stages t.ha )
-        :: ("ha_tryagains", Coherence.Home_agent.tryagains t.ha)
-        :: Telemetry.fault_counts t.telemetry)
+    ~kernel:t.kern ~counters:t.counters ~metrics:t.metrics
     ~describe:(fun () ->
       Printf.sprintf "lauberhorn(%s, %d cores, timeout=%s)"
         (prof t).Coherence.Interconnect.name

@@ -37,7 +37,7 @@ val create :
   Sim.Engine.t -> cfg:Config.t -> ncores:int ->
   ?kernel_costs:Osmodel.Kernel.costs ->
   ?mirror_mode:Sched_mirror.mode -> ?dispatchers:int ->
-  ?fault:Fault.Plan.t ->
+  ?fault:Fault.Plan.t -> ?metrics:Obs.Metrics.t -> ?tracer:Obs.Tracer.t ->
   services:service_spec list -> egress:(Net.Frame.t -> unit) -> unit -> t
 (** Builds kernel, home agent, endpoints, demux table, mirror,
     dispatcher kernel threads and service worker threads; services with
@@ -47,8 +47,20 @@ val create :
     [fault] (default {!Fault.Plan.none}) arms the coherence choke
     point: fills are delayed per the plan's [fill_delay] knobs, forcing
     workers through real TRYAGAIN recovery, and fault/recovery events
-    are fed into {!Telemetry} and the driver's extra counters. The
-    default plan draws no randomness and changes nothing. *)
+    are fed into {!Telemetry} and the stack's metrics registry. The
+    default plan draws no randomness and changes nothing.
+
+    [metrics] (default a fresh registry) unifies the stack's exported
+    scalars: the home agent's delayed-fill/TRYAGAIN tallies register as
+    derived gauges and telemetry fault counters land there too.
+
+    [tracer] (default a fresh, disabled tracer) collects per-RPC causal
+    spans: a root span opened at {!ingress}, stage spans at each
+    pipeline boundary (mac → nic_pipeline → queue → handler → collect →
+    tx, with parse/demux/unmarshal detail spans on their own track),
+    closed at egress. Stage durations telescope: they sum exactly to
+    the recorder-measured end-system latency. Disabled, every emission
+    is one branch. *)
 
 val ingress : t -> Net.Frame.t -> unit
 (** Connect as the wire's deliver callback. *)
@@ -66,6 +78,12 @@ val endpoint_of : t -> service_id:int -> worker:int -> Endpoint.t
 
 val telemetry : t -> Telemetry.t
 (** NIC-gathered per-service statistics (paper §6). *)
+
+val metrics : t -> Obs.Metrics.t
+(** The unified metrics registry this stack exports through. *)
+
+val tracer : t -> Obs.Tracer.t
+(** The stack's span collector ({!Obs.Tracer.enable} to record). *)
 
 val set_address : t -> Net.Frame.endpoint -> unit
 (** This machine's network identity (source of outbound nested calls).

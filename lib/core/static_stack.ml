@@ -27,15 +27,40 @@ type t = {
   inflight : (int64, inflight) Hashtbl.t;
   by_service : (int, worker) Hashtbl.t;
   core_map : (int, int) Hashtbl.t;
+  metrics : Obs.Metrics.t;
+  tracer : Obs.Tracer.t;
+  trk : int;
+  trk_detail : int;
   mutable mac : Nic.Mac.t option;
 }
 
 let kernel t = t.kern
 let counters t = t.counters
+let metrics t = t.metrics
+let tracer t = t.tracer
 let ctr t name = Sim.Counter.counter t.counters name
 let prof t = t.cfg.Config.profile
 let line_bytes t = (prof t).Coherence.Interconnect.cache_line_bytes
 let mem_read_cost bytes = 100 + (bytes / 25)
+
+let span_stage t ~rpc name =
+  Obs.Tracer.stage t.tracer ~rpc ~track:t.trk ~name (Sim.Engine.now t.engine)
+
+let pipeline_details t ~rpc (b : Pipeline.breakdown) =
+  if Obs.Tracer.is_enabled t.tracer then begin
+    let stop = Sim.Engine.now t.engine in
+    let seg = ref (stop - b.Pipeline.total) in
+    let detail name d =
+      if d > 0 then begin
+        Obs.Tracer.detail t.tracer ~rpc ~track:t.trk_detail ~name ~start:!seg
+          ~stop:(!seg + d);
+        seg := !seg + d
+      end
+    in
+    detail "parse" b.Pipeline.parse;
+    detail "demux" b.Pipeline.demux;
+    detail "hw_unmarshal" b.Pipeline.deser
+  end
 
 (* ---------- The pinned worker loop ---------- *)
 
@@ -83,11 +108,13 @@ and handle t w (r : Message.request) =
       Sim.Counter.incr (ctr t "worker_orphan_request");
       worker_loop t w ()
   | Some inf ->
+      span_stage t ~rpc:r.Message.rpc_id "queue";
       let dma_read =
         if r.Message.via_dma then mem_read_cost r.Message.total_args else 0
       in
       Osmodel.Kernel.run_for t.kern w.wthread ~kind:Osmodel.Cpu_account.User
         (inf.mdef.Rpc.Interface.handler_time + dma_read) (fun () ->
+          span_stage t ~rpc:r.Message.rpc_id "handler";
           let result = inf.mdef.Rpc.Interface.execute inf.args in
           let body = Rpc.Codec.encode result in
           inf.full_body <- body;
@@ -105,6 +132,7 @@ let on_endpoint_response t (resp : Message.response) =
   | None -> Sim.Counter.incr (ctr t "orphan_response")
   | Some inf ->
       Hashtbl.remove t.inflight resp.Message.resp_rpc_id;
+      span_stage t ~rpc:resp.Message.resp_rpc_id "collect";
       let reply =
         {
           Rpc.Wire_format.rpc_id = resp.Message.resp_rpc_id;
@@ -121,6 +149,9 @@ let on_endpoint_response t (resp : Message.response) =
       ignore
         (Sim.Engine.schedule_after t.engine ~after:tx_mac_delay (fun () ->
              Sim.Counter.incr (ctr t "tx_frames");
+             span_stage t ~rpc:resp.Message.resp_rpc_id "tx";
+             Obs.Tracer.rpc_end t.tracer ~rpc:resp.Message.resp_rpc_id
+               (Sim.Engine.now t.engine);
              t.egress frame))
 
 let rec nic_rx t frame =
@@ -128,6 +159,7 @@ let rec nic_rx t frame =
   match Rpc.Wire_format.decode frame.Net.Frame.payload with
   | Error _ -> Sim.Counter.incr (ctr t "rx_bad_rpc")
   | Ok wire -> (
+      span_stage t ~rpc:wire.Rpc.Wire_format.rpc_id "mac";
       match Demux.lookup t.dmx ~port:frame.Net.Frame.udp.Net.Udp.dst_port with
       | None -> Sim.Counter.incr (ctr t "rx_no_service")
       | Some entry -> (
@@ -152,6 +184,10 @@ let rec nic_rx t frame =
                   ignore
                     (Sim.Engine.schedule_after t.engine
                        ~after:breakdown.Pipeline.total (fun () ->
+                         pipeline_details t ~rpc:wire.Rpc.Wire_format.rpc_id
+                           breakdown;
+                         span_stage t ~rpc:wire.Rpc.Wire_format.rpc_id
+                           "nic_pipeline";
                          dispatch t entry frame wire mdef args)))))
 
 and dispatch t (entry : Demux.entry) frame (wire : Rpc.Wire_format.t) mdef
@@ -216,7 +252,7 @@ let fresh_code_ptrs n =
       Int64.add base (Int64.of_int (i * 64)))
 
 let create engine ~cfg ~ncores ?kernel_costs ?(fault = Fault.Plan.none)
-    ~services ~egress () =
+    ?metrics ?tracer ~services ~egress () =
   if services = [] then invalid_arg "Static_stack.create: no services";
   let kern =
     match kernel_costs with
@@ -238,6 +274,16 @@ let create engine ~cfg ~ncores ?kernel_costs ?(fault = Fault.Plan.none)
     Coherence.Home_agent.create engine cfg.Config.profile ?stage_delay
       ~timeout:cfg.Config.tryagain_timeout ()
   in
+  let metrics =
+    match metrics with Some m -> m | None -> Obs.Metrics.create ()
+  in
+  let tracer =
+    match tracer with Some tr -> tr | None -> Obs.Tracer.create ()
+  in
+  Obs.Metrics.derive metrics "ha_delayed_fills" (fun () ->
+      Coherence.Home_agent.delayed_stages ha);
+  Obs.Metrics.derive metrics "ha_tryagains" (fun () ->
+      Coherence.Home_agent.tryagains ha);
   let t =
     {
       engine;
@@ -250,6 +296,10 @@ let create engine ~cfg ~ncores ?kernel_costs ?(fault = Fault.Plan.none)
       inflight = Hashtbl.create 4096;
       by_service = Hashtbl.create 32;
       core_map = Hashtbl.create 32;
+      metrics;
+      tracer;
+      trk = Obs.Tracer.track tracer "ccnic-static";
+      trk_detail = Obs.Tracer.track tracer "nic-pipeline";
       mac = None;
     }
   in
@@ -301,6 +351,13 @@ let create engine ~cfg ~ncores ?kernel_costs ?(fault = Fault.Plan.none)
   t
 
 let ingress t frame =
+  if Obs.Tracer.is_enabled t.tracer then begin
+    match Rpc.Wire_format.decode frame.Net.Frame.payload with
+    | Ok w when w.Rpc.Wire_format.kind = Rpc.Wire_format.Request ->
+        Obs.Tracer.rpc_begin t.tracer ~rpc:w.Rpc.Wire_format.rpc_id
+          ~track:t.trk (Sim.Engine.now t.engine)
+    | Ok _ | Error _ -> ()
+  end;
   match t.mac with
   | Some mac -> Nic.Mac.rx mac frame
   | None -> invalid_arg "Static_stack.ingress: MAC not initialised"
@@ -315,14 +372,7 @@ let core_of_service t ~service_id =
 let driver t =
   Harness.Driver.make ~name:"ccnic-static"
     ~ingress:(fun f -> ingress t f)
-    ~kernel:t.kern ~counters:t.counters
-    ~extra_counters:(fun () ->
-      if Coherence.Home_agent.delayed_stages t.ha = 0 then []
-      else
-        [
-          ("ha_delayed_fills", Coherence.Home_agent.delayed_stages t.ha);
-          ("ha_tryagains", Coherence.Home_agent.tryagains t.ha);
-        ])
+    ~kernel:t.kern ~counters:t.counters ~metrics:t.metrics
     ~describe:(fun () ->
       Printf.sprintf "ccnic-static(%s, %d cores, %d services)"
         (prof t).Coherence.Interconnect.name

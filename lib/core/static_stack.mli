@@ -30,15 +30,22 @@ type t
 val create :
   Sim.Engine.t -> cfg:Config.t -> ncores:int ->
   ?kernel_costs:Osmodel.Kernel.costs -> ?fault:Fault.Plan.t ->
+  ?metrics:Obs.Metrics.t -> ?tracer:Obs.Tracer.t ->
   services:service_spec list ->
   egress:(Net.Frame.t -> unit) -> unit -> t
 (** Services are assigned to cores round-robin; more services than
     cores means multiple services pinned to the same core, sharing it
     by TRYAGAIN-timeout turns only (the static world's answer).
+
+    [metrics] and [tracer] as in {!Stack.create}: home-agent tallies
+    register as derived gauges; per-RPC stage spans (same stage names
+    as {!Stack}) telescope to the measured latency.
     @raise Invalid_argument if [services] is empty. *)
 
 val ingress : t -> Net.Frame.t -> unit
 val kernel : t -> Osmodel.Kernel.t
 val counters : t -> Sim.Counter.group
+val metrics : t -> Obs.Metrics.t
+val tracer : t -> Obs.Tracer.t
 val core_of_service : t -> service_id:int -> int
 val driver : t -> Harness.Driver.t

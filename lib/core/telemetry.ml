@@ -12,27 +12,25 @@ type svc = {
 type t = {
   table : (int, svc) Hashtbl.t;
   mutable total : int;
-  faults : (string, int ref) Hashtbl.t;
-      (* fault-injection and recovery events, by name; empty (and
-         absent from reports) on fault-free runs *)
+  metrics : Obs.Metrics.t;
+      (* fault-injection and recovery events live here as counters;
+         all-zero (and absent from reports) on fault-free runs *)
 }
 
-let create () =
-  { table = Hashtbl.create 32; total = 0; faults = Hashtbl.create 8 }
+let create ?metrics () =
+  let metrics =
+    match metrics with Some m -> m | None -> Obs.Metrics.create ()
+  in
+  { table = Hashtbl.create 32; total = 0; metrics }
+
+let metrics t = t.metrics
 
 let add_fault t name n =
-  if n <> 0 then
-    match Hashtbl.find_opt t.faults name with
-    | Some r -> r := !r + n
-    | None -> Hashtbl.add t.faults name (ref n)
+  if n <> 0 then Obs.Metrics.add (Obs.Metrics.counter t.metrics name) n
 
 let incr_fault t name = add_fault t name 1
-let fault_count t name =
-  match Hashtbl.find_opt t.faults name with Some r -> !r | None -> 0
-
-let fault_counts t =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.faults []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+let fault_count t name = Obs.Metrics.counter_value t.metrics name
+let fault_counts t = Obs.Metrics.counters_list t.metrics
 
 let svc t service_id =
   match Hashtbl.find_opt t.table service_id with

@@ -13,7 +13,12 @@ type path = Fast | Queued | Cold
 
 type t
 
-val create : unit -> t
+val create : ?metrics:Obs.Metrics.t -> unit -> t
+(** [metrics] is the registry fault counters are registered on — pass
+    the stack's shared registry so fault events surface alongside the
+    NIC's drop gauges; defaults to a private one. *)
+
+val metrics : t -> Obs.Metrics.t
 
 val record :
   t -> service_id:int -> path:path -> latency:Sim.Units.duration ->
@@ -38,8 +43,9 @@ val total_rpcs : t -> int
 
     Named counters the stacks feed when a fault plan is active:
     rejected frames, queue drops, deferred fills, TRYAGAIN recoveries,
-    client retries. Fault-free runs record nothing here, so reports
-    are unchanged. *)
+    client retries. They register on the {!Obs.Metrics} registry the
+    telemetry was created with. Fault-free runs record nothing here,
+    so reports are unchanged. *)
 
 val incr_fault : t -> string -> unit
 val add_fault : t -> string -> int -> unit

@@ -22,6 +22,7 @@ type server = {
   engine : Sim.Engine.t;
   driver : Harness.Driver.t;
   recorder : Harness.Recorder.t;
+  tracer : Obs.Tracer.t;
   setup : Workload.Scenario.setup;
   flush : unit -> unit;  (* finalize ledgers (bypass spin windows) *)
   lauberhorn : Lauberhorn.Stack.t option;
@@ -32,22 +33,32 @@ type server = {
    server's own recorder; lossy runs supply both (the chaos harness
    owns the engine and interposes its faulty reply link). [fault]
    arms the stack-side choke points (DMA completions for the
-   baselines, coherence fills for Lauberhorn). *)
+   baselines, coherence fills for Lauberhorn). [tap] observes every
+   frame crossing the server's edge — ingress requests and egress
+   responses — e.g. for pcap capture. The server's tracer starts
+   disabled; enable it to collect per-RPC stage spans. *)
 let make_server ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)
-    ?(linux_threads = 2) ?engine ?(fault = Fault.Plan.none) ?egress flavour
-    setup =
+    ?(linux_threads = 2) ?engine ?(fault = Fault.Plan.none) ?egress ?tap
+    flavour setup =
   let engine =
     match engine with Some e -> e | None -> Sim.Engine.create ()
   in
   let recorder = Harness.Recorder.create engine in
+  let tracer = Obs.Tracer.create () in
   let egress =
     match egress with Some e -> e | None -> Harness.Recorder.egress recorder
+  in
+  let egress =
+    match tap with
+    | None -> egress
+    | Some tap -> fun f -> tap f; egress f
   in
   let driver, flush, lauberhorn =
     match flavour with
     | Lauberhorn (cfg, mirror_mode) ->
         let s =
           Lauberhorn.Stack.create engine ~cfg ~ncores ~mirror_mode ~fault
+            ~tracer
             ~services:
               (List.mapi
                  (fun i def ->
@@ -59,7 +70,7 @@ let make_server ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)
         (Lauberhorn.Stack.driver s, (fun () -> ()), Some s)
     | Linux profile ->
         let s =
-          Baseline.Linux_stack.create engine ~profile ~ncores ~fault
+          Baseline.Linux_stack.create engine ~profile ~ncores ~fault ~tracer
             ~services:
               (List.mapi
                  (fun i def ->
@@ -71,7 +82,7 @@ let make_server ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)
         (Baseline.Linux_stack.driver s, (fun () -> ()), None)
     | Bypass profile ->
         let s =
-          Baseline.Bypass_stack.create engine ~profile ~ncores ~fault
+          Baseline.Bypass_stack.create engine ~profile ~ncores ~fault ~tracer
             ~services:
               (List.mapi
                  (fun i def ->
@@ -85,7 +96,7 @@ let make_server ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)
           None )
     | Static cfg ->
         let s =
-          Lauberhorn.Static_stack.create engine ~cfg ~ncores ~fault
+          Lauberhorn.Static_stack.create engine ~cfg ~ncores ~fault ~tracer
             ~services:
               (List.mapi
                  (fun i def ->
@@ -96,7 +107,14 @@ let make_server ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)
         in
         (Lauberhorn.Static_stack.driver s, (fun () -> ()), None)
   in
-  { engine; driver; recorder; setup; flush; lauberhorn }
+  let driver =
+    match tap with
+    | None -> driver
+    | Some tap ->
+        let inner = driver.Harness.Driver.ingress in
+        { driver with Harness.Driver.ingress = (fun f -> tap f; inner f) }
+  in
+  { engine; driver; recorder; tracer; setup; flush; lauberhorn }
 
 let inject_blob server ~seq ~service_idx ~bytes =
   let setup = server.setup in
@@ -152,7 +170,7 @@ let measure ?(drain = Sim.Units.ms 10) ~name ~horizon server =
     window = horizon + drain;
     counters =
       Sim.Counter.to_list server.driver.Harness.Driver.counters
-      @ server.driver.Harness.Driver.extra_counters ();
+      @ Obs.Metrics.to_list server.driver.Harness.Driver.metrics;
   }
 
 let counter m name =
@@ -246,7 +264,7 @@ let lossy_run_full ?(ncores = 4) ?(nservices = 1) ?(min_workers = 1)
       window = horizon + drain;
       counters =
         Sim.Counter.to_list server.driver.Harness.Driver.counters
-        @ server.driver.Harness.Driver.extra_counters ()
+        @ Obs.Metrics.to_list server.driver.Harness.Driver.metrics
         @ Harness.Chaos.stats chaos
         @ [ ("timeline_digest", Harness.Chaos.timeline_digest chaos) ];
     }

@@ -3,13 +3,15 @@ type t = {
   ingress : Net.Frame.t -> unit;
   kernel : Osmodel.Kernel.t;
   counters : Sim.Counter.group;
-  extra_counters : unit -> (string * int) list;
+  metrics : Obs.Metrics.t;
   describe : unit -> string;
 }
 
-let make ~name ~ingress ~kernel ~counters ?(extra_counters = fun () -> [])
-    ?describe () =
+let make ~name ~ingress ~kernel ~counters ?metrics ?describe () =
+  let metrics =
+    match metrics with Some m -> m | None -> Obs.Metrics.create ()
+  in
   let describe =
     match describe with Some f -> f | None -> fun () -> name
   in
-  { name; ingress; kernel; counters; extra_counters; describe }
+  { name; ingress; kernel; counters; metrics; describe }

@@ -12,16 +12,18 @@ type t = {
       (** A request frame arriving at the server NIC. *)
   kernel : Osmodel.Kernel.t;
   counters : Sim.Counter.group;
-  extra_counters : unit -> (string * int) list;
-      (** Stack-specific counters outside the {!Sim.Counter} group —
-          fault-injection and pool accounting; empty when the stack has
-          no fault plan, so faultless reports are unchanged. *)
+  metrics : Obs.Metrics.t;
+      (** The stack's unified metrics registry — NIC drop/overflow
+          gauges, fault-injection counters, pool accounting. Fault-free
+          runs leave the fault counters at zero, and zero-valued
+          scalars are dropped from {!Obs.Metrics.to_list}, so faultless
+          reports are unchanged. *)
   describe : unit -> string;
       (** One-line configuration summary for reports. *)
 }
 
 val make :
   name:string -> ingress:(Net.Frame.t -> unit) -> kernel:Osmodel.Kernel.t ->
-  counters:Sim.Counter.group ->
-  ?extra_counters:(unit -> (string * int) list) ->
+  counters:Sim.Counter.group -> ?metrics:Obs.Metrics.t ->
   ?describe:(unit -> string) -> unit -> t
+(** [metrics] defaults to a fresh empty registry. *)

@@ -109,7 +109,7 @@ let rx_frame t frame =
          end))
 
 let create engine prof ?(config = default_config) ?(fault = Fault.Plan.none)
-    ~on_rx_interrupt () =
+    ?metrics ~on_rx_interrupt () =
   if config.nqueues <= 0 then invalid_arg "Dma_nic.create: nqueues <= 0";
   let iommu = if config.use_iommu then Some (Iommu.create ()) else None in
   let queues =
@@ -155,6 +155,15 @@ let create engine prof ?(config = default_config) ?(fault = Fault.Plan.none)
     }
   in
   sink_ref := (fun f -> rx_frame t f);
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      Obs.Metrics.derive m "nic_ring_drops" (fun () ->
+          Array.fold_left (fun acc q -> acc + Ring.drops q.ring) 0 t.queues);
+      Obs.Metrics.derive m "nic_fault_drops" (fun () -> t.fault_dropped);
+      Obs.Metrics.derive m "nic_corrupt_drops" (fun () -> t.corrupt_dropped);
+      Obs.Metrics.derive m "pool_outstanding" (fun () ->
+          Net.Pool.outstanding t.pool));
   t
 
 let rx_from_wire t frame = Mac.rx t.mac frame

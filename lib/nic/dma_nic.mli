@@ -26,9 +26,15 @@ type t
 
 val create :
   Sim.Engine.t -> Coherence.Interconnect.profile -> ?config:config ->
-  ?fault:Fault.Plan.t -> on_rx_interrupt:(queue:int -> unit) -> unit -> t
+  ?fault:Fault.Plan.t -> ?metrics:Obs.Metrics.t ->
+  on_rx_interrupt:(queue:int -> unit) -> unit -> t
 (** [on_rx_interrupt] is the driver's ISR entry (typically bridges into
     {!Osmodel.Kernel.run_irq}).
+
+    [metrics] registers the NIC's drop tallies and receive-pool
+    occupancy as derived gauges ([nic_ring_drops], [nic_fault_drops],
+    [nic_corrupt_drops], [pool_outstanding]) on the given registry,
+    sampled at export time.
 
     [fault] (default {!Fault.Plan.none}) applies the plan's [nic] link
     at the DMA completion stage: [drop] forces counted completion

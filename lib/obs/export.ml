@@ -1,0 +1,113 @@
+let us_of_ns ns = float_of_int ns /. 1000.
+
+let event ~name ~cat ~ph ~ts ~tid extra =
+  Json.Obj
+    ([
+       ("name", Json.Str name);
+       ("cat", Json.Str cat);
+       ("ph", Json.Str ph);
+       ("ts", Json.Float (us_of_ns ts));
+       ("pid", Json.Int 1);
+       ("tid", Json.Int tid);
+     ]
+    @ extra)
+
+let metadata ~name ~tid value =
+  Json.Obj
+    [
+      ("name", Json.Str name);
+      ("ph", Json.Str "M");
+      ("pid", Json.Int 1);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.Str value) ]);
+    ]
+
+let span_event (s : Span.t) =
+  let tid = s.Span.track + 1 in
+  let args =
+    Json.Obj
+      [
+        ("rpc", Json.Str (Int64.to_string s.Span.trace_id));
+        ("seq", Json.Int s.Span.seq);
+        ("span", Json.Int s.Span.id);
+        ("parent", Json.Int s.Span.parent);
+      ]
+  in
+  match s.Span.kind with
+  | Span.Instant ->
+      Some
+        (event ~name:s.Span.name ~cat:"event" ~ph:"i" ~ts:s.Span.start_time
+           ~tid
+           [ ("s", Json.Str "t"); ("args", args) ])
+  | Span.Interval | Span.Detail ->
+      if not (Span.is_closed s) then None
+      else
+        let cat =
+          match s.Span.kind with
+          | Span.Detail -> "detail"
+          | Span.Interval ->
+              if s.Span.parent = Span.no_parent then "rpc" else "stage"
+          | Span.Instant -> assert false
+        in
+        Some
+          (event ~name:s.Span.name ~cat ~ph:"X" ~ts:s.Span.start_time ~tid
+             [
+               ( "dur",
+                 Json.Float (us_of_ns (s.Span.end_time - s.Span.start_time))
+               );
+               ("args", args);
+             ])
+
+let trace_events ?(process = "lauberhorn-sim") ?(sim = []) tracer =
+  let tracer_tracks = Tracer.tracks tracer in
+  let ntracks = List.length tracer_tracks in
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.Str "process_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int 1);
+        ("args", Json.Obj [ ("name", Json.Str process) ]);
+      ]
+    :: List.mapi
+         (fun i name -> metadata ~name:"thread_name" ~tid:(i + 1) name)
+         tracer_tracks
+    @ List.mapi
+        (fun i (label, _) ->
+          metadata ~name:"thread_name" ~tid:(ntracks + 1 + i) label)
+        sim
+  in
+  let span_events =
+    List.filter_map span_event (Tracer.spans tracer)
+  in
+  let sim_events =
+    List.concat
+      (List.mapi
+         (fun i (_, trace) ->
+           let tid = ntracks + 1 + i in
+           List.map
+             (fun (seq, time, cat, msg) ->
+               event ~name:cat ~cat:"sim-trace" ~ph:"i" ~ts:time ~tid
+                 [
+                   ("s", Json.Str "t");
+                   ( "args",
+                     Json.Obj
+                       [ ("seq", Json.Int seq); ("msg", Json.Str msg) ] );
+                 ])
+             (Sim.Trace.entries_seq trace))
+         sim)
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta @ span_events @ sim_events));
+      ("displayTimeUnit", Json.Str "ns");
+    ]
+
+let to_string ?process ?sim tracer =
+  Json.to_string (trace_events ?process ?sim tracer)
+
+let write_file ?process ?sim tracer ~file =
+  let oc = open_out file in
+  output_string oc (to_string ?process ?sim tracer);
+  output_char oc '\n';
+  close_out oc

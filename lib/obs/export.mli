@@ -1,0 +1,30 @@
+(** Chrome trace-event / Perfetto JSON export.
+
+    Renders a {!Tracer}'s spans (and optionally {!Sim.Trace} rings) as
+    a trace-event JSON object loadable by [ui.perfetto.dev] or
+    [chrome://tracing]. Timestamps are emitted in microseconds with
+    nanosecond precision (three decimals); events appear in global
+    sequence order, so a fixed-seed run exports byte-identical JSON. *)
+
+val trace_events :
+  ?process:string ->
+  ?sim:(string * Sim.Trace.t) list ->
+  Tracer.t ->
+  Json.t
+(** The full document: thread/process-name metadata, one ["X"]
+    (complete) event per closed interval/detail span, one ["i"]
+    (instant) event per instant span. Open spans (RPCs still in
+    flight, superseded retransmit roots) are skipped. Each [sim] pair
+    [(track_label, trace)] contributes its retained {!Sim.Trace}
+    entries as instant events on an extra track, ordered by their own
+    sequence numbers. *)
+
+val to_string :
+  ?process:string -> ?sim:(string * Sim.Trace.t) list -> Tracer.t -> string
+
+val write_file :
+  ?process:string ->
+  ?sim:(string * Sim.Trace.t) list ->
+  Tracer.t ->
+  file:string ->
+  unit

@@ -1,0 +1,33 @@
+type kind = Interval | Detail | Instant
+
+type t = {
+  id : int;
+  parent : int;
+  trace_id : int64;
+  track : int;
+  name : string;
+  kind : kind;
+  seq : int;
+  start_time : Sim.Units.time;
+  mutable end_time : int;
+}
+
+let no_parent = 0
+let is_closed s = s.end_time >= 0
+
+let duration s =
+  if s.kind = Instant || not (is_closed s) then 0
+  else s.end_time - s.start_time
+
+let pp ppf s =
+  match s.kind with
+  | Instant ->
+      Format.fprintf ppf "[%a] !%s rpc=%Ld #%d" Sim.Units.pp_time
+        s.start_time s.name s.trace_id s.seq
+  | Interval | Detail ->
+      Format.fprintf ppf "[%a..%s] %s rpc=%Ld #%d" Sim.Units.pp_time
+        s.start_time
+        (if is_closed s then
+           Format.asprintf "%a" Sim.Units.pp_time s.end_time
+         else "open")
+        s.name s.trace_id s.seq

@@ -1,10 +1,11 @@
-type entry = { time : Units.time; cat : string; msg : string }
+type entry = { seq : int; time : Units.time; cat : string; msg : string }
 
 type t = {
   capacity : int;
   ring : entry option array;
   mutable next : int;
   mutable count : int;
+  mutable emitted : int;
   mutable enabled : bool;
 }
 
@@ -15,6 +16,7 @@ let create ?(capacity = 4096) () =
     ring = Array.make capacity None;
     next = 0;
     count = 0;
+    emitted = 0;
     enabled = false;
   }
 
@@ -24,25 +26,35 @@ let is_enabled t = t.enabled
 
 let emit t ~time ~cat f =
   if t.enabled then begin
-    t.ring.(t.next) <- Some { time; cat; msg = f () };
+    t.ring.(t.next) <- Some { seq = t.emitted; time; cat; msg = f () };
+    t.emitted <- t.emitted + 1;
     t.next <- (t.next + 1) mod t.capacity;
     if t.count < t.capacity then t.count <- t.count + 1
   end
 
-let entries t =
+let raw_entries t =
   let start = (t.next - t.count + t.capacity) mod t.capacity in
   List.init t.count (fun i ->
       match t.ring.((start + i) mod t.capacity) with
-      | Some e -> (e.time, e.cat, e.msg)
+      | Some e -> e
       | None -> assert false)
+
+let entries t = List.map (fun e -> (e.time, e.cat, e.msg)) (raw_entries t)
+
+let entries_seq t =
+  List.map (fun e -> (e.seq, e.time, e.cat, e.msg)) (raw_entries t)
+
+let emitted t = t.emitted
 
 let dump ppf t =
   List.iter
-    (fun (time, cat, msg) ->
-      Format.fprintf ppf "[%a] %-12s %s@\n" Units.pp_time time cat msg)
-    (entries t)
+    (fun e ->
+      Format.fprintf ppf "[%a #%d] %-12s %s@\n" Units.pp_time e.time e.seq
+        e.cat e.msg)
+    (raw_entries t)
 
 let clear t =
   Array.fill t.ring 0 t.capacity None;
   t.next <- 0;
-  t.count <- 0
+  t.count <- 0;
+  t.emitted <- 0

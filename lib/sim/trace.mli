@@ -21,6 +21,15 @@ val emit : t -> time:Units.time -> cat:string -> (unit -> string) -> unit
 val entries : t -> (Units.time * string * string) list
 (** Oldest-first list of retained entries, as [(time, cat, message)]. *)
 
+val entries_seq : t -> (int * Units.time * string * string) list
+(** Like {!entries} but with each entry's monotone sequence number,
+    assigned at emission. Sequence numbers keep counting across ring
+    wrap-around, so gaps reveal entries that were overwritten. *)
+
+val emitted : t -> int
+(** Total entries emitted since creation (or the last {!clear}),
+    including any the ring has since dropped. *)
+
 val dump : Format.formatter -> t -> unit
 (** Render retained entries, one per line. *)
 

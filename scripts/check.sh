@@ -14,4 +14,14 @@ trap 'rm -f "$a" "$b"' EXIT
 dune exec bin/figures.exe -- losssweep > "$a"
 dune exec bin/figures.exe -- losssweep > "$b"
 diff "$a" "$b"
+# Trace determinism: two E14 runs must agree on the report AND on every
+# exported artefact — the Perfetto JSONs and pcaps, byte for byte.
+da=$(mktemp -d) db=$(mktemp -d)
+trap 'rm -f "$a" "$b"; rm -rf "$da" "$db"' EXIT
+E14_OUT_DIR="$da" dune exec bin/figures.exe -- trace > "$a"
+E14_OUT_DIR="$db" dune exec bin/figures.exe -- trace > "$b"
+diff "$a" "$b"
+for f in "$da"/*; do
+  diff "$f" "$db/$(basename "$f")"
+done
 dune exec bench/main.exe

@@ -1,0 +1,390 @@
+(* The observability layer: span well-formedness under arbitrary
+   emission sequences, the exact stage-attribution invariant on real
+   stacks, pcap/JSON export roundtrips, and the metrics registry's
+   typing rules. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+let checks = Alcotest.check Alcotest.string
+
+(* --- JSON ---------------------------------------------------------- *)
+
+let test_json_parse () =
+  let doc = {| {"a": 1, "b": [true, null, -2.5e1], "c": "x\n\u0041"} |} in
+  match Obs.Json.parse doc with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok v ->
+      checkb "a is Int" true (Obs.Json.member "a" v = Some (Obs.Json.Int 1));
+      checkb "b.2 is Float" true
+        (Obs.Json.member "b" v
+        = Some
+            (Obs.Json.List
+               [ Obs.Json.Bool true; Obs.Json.Null; Obs.Json.Float (-25.) ]));
+      checkb "escapes decode" true
+        (Obs.Json.member "c" v = Some (Obs.Json.Str "x\nA"));
+      checkb "roundtrip" true
+        (Obs.Json.parse (Obs.Json.to_string v) = Ok v)
+
+let test_json_rejects () =
+  let bad doc =
+    match Obs.Json.parse doc with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted invalid document %S" doc
+  in
+  bad "{} x";           (* trailing garbage *)
+  bad "{\"a\":}";       (* missing value *)
+  bad "{'a': 1}";       (* unquoted-style key *)
+  bad "[1,]";           (* trailing comma *)
+  bad "nan";            (* not a JSON literal *)
+  bad "01";             (* leading zero *)
+  bad "\"\\q\"";        (* bad escape *)
+  bad ""
+
+(* A sized generator of JSON documents (finite floats only — the
+   writer refuses NaN/infinity by design). *)
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Obs.Json.Null;
+        map (fun b -> Obs.Json.Bool b) bool;
+        map (fun i -> Obs.Json.Int i) (int_range (-1_000_000) 1_000_000);
+        map
+          (fun i -> Obs.Json.Float (float_of_int i /. 64.))
+          (int_range (-100_000) 100_000);
+        map (fun s -> Obs.Json.Str s) (string_size ~gen:printable (0 -- 12));
+      ]
+  in
+  let key = string_size ~gen:printable (0 -- 8) in
+  sized
+  @@ fix (fun self n ->
+         if n = 0 then scalar
+         else
+           frequency
+             [
+               (2, scalar);
+               ( 1,
+                 map
+                   (fun l -> Obs.Json.List l)
+                   (list_size (0 -- 4) (self (n / 2))) );
+               ( 1,
+                 map
+                   (fun l -> Obs.Json.Obj l)
+                   (list_size (0 -- 4) (pair key (self (n / 2)))) );
+             ])
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"JSON print/parse roundtrip"
+    (QCheck.make json_gen) (fun doc ->
+      match Obs.Json.parse (Obs.Json.to_string doc) with
+      | Ok v -> Obs.Json.equal v doc
+      | Error e -> QCheck.Test.fail_reportf "reparse failed: %s" e)
+
+(* --- spans: well-formedness under arbitrary emission --------------- *)
+
+(* Random op sequences against the tracer itself: whatever order the
+   stacks call in (retransmits re-beginning an id, stages for unknown
+   ids, instants without an RPC), the span table must stay well
+   formed. *)
+let ops_gen =
+  QCheck.Gen.(
+    list_size (0 -- 120) (triple (0 -- 4) (1 -- 3) (0 -- 100)))
+
+let apply_ops ops =
+  let tr = Obs.Tracer.create () in
+  Obs.Tracer.enable tr;
+  let trk = Obs.Tracer.track tr "t" in
+  let now = ref 0 in
+  List.iter
+    (fun (op, rid, dt) ->
+      now := !now + dt;
+      let rpc = Int64.of_int rid in
+      match op with
+      | 0 -> Obs.Tracer.rpc_begin tr ~rpc ~track:trk !now
+      | 1 -> Obs.Tracer.stage tr ~rpc ~track:trk ~name:"s" !now
+      | 2 ->
+          Obs.Tracer.detail tr ~rpc ~track:trk ~name:"d"
+            ~start:(max 0 (!now - 5)) ~stop:!now
+      | 3 -> Obs.Tracer.instant tr ~rpc ~track:trk ~name:"i" !now
+      | _ -> Obs.Tracer.rpc_end tr ~rpc !now)
+    ops;
+  tr
+
+let well_formed tr =
+  let spans = Obs.Tracer.spans tr in
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (s : Obs.Span.t) -> Hashtbl.replace tbl s.Obs.Span.id s) spans;
+  let ok = ref true in
+  let fail fmt = Printf.ksprintf (fun _ -> ok := false) fmt in
+  ignore
+    (List.fold_left
+       (fun prev_seq (s : Obs.Span.t) ->
+         if s.Obs.Span.seq <= prev_seq then fail "seq not monotone";
+         if Obs.Span.is_closed s && s.Obs.Span.end_time < s.Obs.Span.start_time
+         then fail "negative interval";
+         (if s.Obs.Span.parent <> Obs.Span.no_parent then
+            match Hashtbl.find_opt tbl s.Obs.Span.parent with
+            | None -> fail "dangling parent"
+            | Some p ->
+                if p.Obs.Span.id >= s.Obs.Span.id then
+                  fail "parent emitted after child";
+                if p.Obs.Span.trace_id <> s.Obs.Span.trace_id then
+                  fail "parent on a different RPC");
+         s.Obs.Span.seq)
+       (-1) spans);
+  (* Per-RPC: the latest completed chain telescopes — contiguous
+     stages starting at the root's start, ending inside the root. *)
+  List.iter
+    (fun rid ->
+      let rpc = Int64.of_int rid in
+      match Obs.Tracer.stages_of tr ~rpc with
+      | [] -> ()
+      | first :: _ as chain ->
+          let root =
+            Hashtbl.find tbl (List.hd chain).Obs.Span.parent
+          in
+          if first.Obs.Span.start_time <> root.Obs.Span.start_time then
+            fail "chain does not start at root";
+          ignore
+            (List.fold_left
+               (fun cursor (s : Obs.Span.t) ->
+                 if s.Obs.Span.start_time <> cursor then
+                   fail "chain not contiguous";
+                 if
+                   Obs.Span.is_closed root
+                   && s.Obs.Span.end_time > root.Obs.Span.end_time
+                 then fail "stage escapes root";
+                 s.Obs.Span.end_time)
+               first.Obs.Span.start_time chain))
+    [ 1; 2; 3 ];
+  !ok
+
+let prop_span_well_formed =
+  QCheck.Test.make ~count:300 ~name:"spans well-formed under random emission"
+    (QCheck.make ops_gen) (fun ops -> well_formed (apply_ops ops))
+
+let prop_export_valid_json =
+  QCheck.Test.make ~count:100
+    ~name:"trace export is strict JSON for any span table"
+    (QCheck.make ops_gen) (fun ops ->
+      let tr = apply_ops ops in
+      let json = Obs.Export.trace_events tr in
+      match Obs.Json.parse (Obs.Json.to_string json) with
+      | Ok v -> Obs.Json.equal v json
+      | Error e -> QCheck.Test.fail_reportf "export reparse failed: %s" e)
+
+let test_disabled_emits_nothing () =
+  let tr = Obs.Tracer.create () in
+  let trk = Obs.Tracer.track tr "t" in
+  Obs.Tracer.rpc_begin tr ~rpc:1L ~track:trk 0;
+  Obs.Tracer.stage tr ~rpc:1L ~track:trk ~name:"s" 10;
+  Obs.Tracer.rpc_end tr ~rpc:1L 20;
+  checki "no spans while disabled" 0 (Obs.Tracer.span_count tr);
+  Obs.Tracer.enable tr;
+  Obs.Tracer.stage tr ~rpc:1L ~track:trk ~name:"s" 30;
+  checki "no cursor carried over from disabled begin" 0
+    (Obs.Tracer.span_count tr)
+
+(* --- pcap ---------------------------------------------------------- *)
+
+let endpoint mac ip port =
+  {
+    Net.Frame.mac = Net.Mac_addr.of_int64 (Int64.of_int mac);
+    ip = Net.Ip_addr.of_int ip;
+    port;
+  }
+
+let frames_gen =
+  QCheck.Gen.(
+    list_size (1 -- 40) (triple (0 -- 1_000_000) (0 -- 1400) printable))
+
+let prop_pcap_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"pcap roundtrip preserves every frame"
+    (QCheck.make frames_gen) (fun specs ->
+      let pcap = Obs.Pcap.create () in
+      let src = endpoint 0x1111 0x0a000001 7000 in
+      let dst = endpoint 0x2222 0x0a000002 7001 in
+      let expected =
+        List.mapi
+          (fun i (dt, size, fill) ->
+            let payload = Bytes.make size fill in
+            let frame = Net.Frame.make ~src ~dst payload in
+            let time = (i * 1_000_000) + dt in
+            Obs.Pcap.add_frame pcap ~time frame;
+            (time, payload))
+          specs
+      in
+      match Obs.Pcap.records (Obs.Pcap.to_bytes pcap) with
+      | Error e -> QCheck.Test.fail_reportf "pcap reparse failed: %s" e
+      | Ok recs ->
+          List.length recs = List.length expected
+          && List.for_all2
+               (fun (time, payload) (time', slice) ->
+                 time = time'
+                 &&
+                 match Net.Frame.parse_slice slice with
+                 | Error _ -> false
+                 | Ok view ->
+                     Bytes.equal (Net.Frame.of_view view).Net.Frame.payload
+                       payload)
+               expected recs)
+
+let test_pcap_rejects_truncation () =
+  let pcap = Obs.Pcap.create () in
+  let src = endpoint 1 2 3 and dst = endpoint 4 5 6 in
+  Obs.Pcap.add_frame pcap ~time:42 (Net.Frame.make ~src ~dst (Bytes.create 64));
+  let whole = Obs.Pcap.to_bytes pcap in
+  checkb "whole capture parses" true
+    (Result.is_ok (Obs.Pcap.records whole));
+  let cut = Bytes.sub whole 0 (Bytes.length whole - 3) in
+  checkb "truncated capture rejected" true
+    (Result.is_error (Obs.Pcap.records cut));
+  Bytes.set_int32_le whole 0 0l;
+  checkb "bad magic rejected" true (Result.is_error (Obs.Pcap.records whole))
+
+(* --- metrics ------------------------------------------------------- *)
+
+let test_metrics_registry () =
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter m "events" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 4;
+  checki "counter accumulates" 5 (Obs.Metrics.value c);
+  checki "find-or-create shares state" 5
+    (Obs.Metrics.value (Obs.Metrics.counter m "events"));
+  checki "counter_value by name" 5 (Obs.Metrics.counter_value m "events");
+  checki "unregistered name reads 0" 0 (Obs.Metrics.counter_value m "ghost");
+  let g = Obs.Metrics.gauge m "depth" in
+  Obs.Metrics.set g 7;
+  let backing = ref 11 in
+  Obs.Metrics.derive m "derived" (fun () -> !backing);
+  ignore (Obs.Metrics.counter m "zero");
+  checkb "to_list drops zeros, sorts, samples derived" true
+    (Obs.Metrics.to_list m
+    = [ ("depth", 7); ("derived", 11); ("events", 5) ]);
+  backing := 13;
+  checkb "derived gauges resample at export" true
+    (List.assoc "derived" (Obs.Metrics.to_list m) = 13);
+  checkb "keep_zero keeps the zero counter" true
+    (List.mem_assoc "zero" (Obs.Metrics.to_list ~keep_zero:true m));
+  checkb "counters_list is counters only" true
+    (Obs.Metrics.counters_list m = [ ("events", 5) ]);
+  (match Obs.Metrics.to_json m with
+  | Obs.Json.Obj fields ->
+      checkb "json is sorted by name" true
+        (List.map fst fields = List.sort compare (List.map fst fields))
+  | _ -> Alcotest.fail "metrics json is not an object");
+  checkb "kind clash raises" true
+    (try
+       ignore (Obs.Metrics.gauge m "events");
+       false
+     with Invalid_argument _ -> true)
+
+(* --- sim trace sequence numbers ------------------------------------ *)
+
+let test_sim_trace_seq () =
+  let tr = Sim.Trace.create ~capacity:8 () in
+  Sim.Trace.enable tr;
+  for i = 1 to 20 do
+    Sim.Trace.emit tr ~time:i ~cat:"t" (fun () -> string_of_int i)
+  done;
+  checki "emitted counts past wrap" 20 (Sim.Trace.emitted tr);
+  let entries = Sim.Trace.entries_seq tr in
+  checki "ring keeps the most recent" 8 (List.length entries);
+  let seqs = List.map (fun (s, _, _, _) -> s) entries in
+  checkb "seqs are the last emissions, in order" true
+    (seqs = [ 12; 13; 14; 15; 16; 17; 18; 19 ]);
+  Sim.Trace.clear tr;
+  checki "clear resets the emission count" 0 (Sim.Trace.emitted tr)
+
+(* --- the attribution invariant on real stacks ---------------------- *)
+
+(* E14's core claim as a test: on every flavour, with tracing enabled,
+   each completed RPC's stage durations sum EXACTLY to the recorder's
+   end-system latency, and both exporters roundtrip. *)
+let test_attribution flavour () =
+  let server, pcap, _sim_trace, completions =
+    Experiments.Trace.traced_ping_pong flavour
+  in
+  let tracer = server.Experiments.Common.tracer in
+  checki "all RPCs completed" Experiments.Trace.rtts
+    (List.length completions);
+  checki "every stage chain sums to the measured latency" 0
+    (Experiments.Trace.exact_sum_check tracer completions);
+  checki "one closed root per RPC" (List.length completions)
+    (List.length (Obs.Tracer.roots tracer));
+  (match Obs.Pcap.records (Obs.Pcap.to_bytes pcap) with
+  | Error e -> Alcotest.failf "pcap reparse failed: %s" e
+  | Ok recs ->
+      checki "request + response captured per RPC"
+        (2 * List.length completions)
+        (List.length recs);
+      checkb "every captured frame re-parses" true
+        (List.for_all
+           (fun (_, slice) -> Result.is_ok (Net.Frame.parse_slice slice))
+           recs));
+  let json = Obs.Export.trace_events tracer in
+  match Obs.Json.parse (Obs.Json.to_string json) with
+  | Error e -> Alcotest.failf "export reparse failed: %s" e
+  | Ok v -> checkb "export is strict JSON" true (Obs.Json.equal v json)
+
+let test_disabled_tracer_stays_empty () =
+  (* The default: no tracing, no spans, zero behavioural change. *)
+  let setup = Workload.Scenario.echo_fleet ~n:1 () in
+  let server =
+    Experiments.Common.make_server ~ncores:4
+      (Experiments.Common.Linux Coherence.Interconnect.pcie_enzian)
+      setup
+  in
+  Experiments.Common.inject_blob server ~seq:1 ~service_idx:0 ~bytes:64;
+  Sim.Engine.run server.Experiments.Common.engine ~until:(Sim.Units.ms 10);
+  checki "completed" 1
+    (Harness.Recorder.completed server.Experiments.Common.recorder);
+  checki "no spans recorded" 0
+    (Obs.Tracer.span_count server.Experiments.Common.tracer);
+  checks "tracks registered even while disabled" "linux"
+    (Obs.Tracer.track_name server.Experiments.Common.tracer 0)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        Alcotest.test_case "parses strict documents" `Quick test_json_parse
+        :: Alcotest.test_case "rejects almost-JSON" `Quick test_json_rejects
+        :: qsuite [ prop_json_roundtrip ] );
+      ( "spans",
+        Alcotest.test_case "disabled tracer emits nothing" `Quick
+          test_disabled_emits_nothing
+        :: qsuite [ prop_span_well_formed; prop_export_valid_json ] );
+      ( "pcap",
+        Alcotest.test_case "rejects truncation and bad magic" `Quick
+          test_pcap_rejects_truncation
+        :: qsuite [ prop_pcap_roundtrip ] );
+      ( "metrics",
+        [ Alcotest.test_case "registry semantics" `Quick test_metrics_registry ]
+      );
+      ( "sim-trace",
+        [ Alcotest.test_case "seq survives ring wrap" `Quick test_sim_trace_seq ]
+      );
+      ( "attribution",
+        [
+          Alcotest.test_case "lauberhorn stages sum exactly" `Quick
+            (test_attribution
+               (Experiments.Common.Lauberhorn
+                  (Lauberhorn.Config.enzian, Lauberhorn.Sched_mirror.Push)));
+          Alcotest.test_case "static stages sum exactly" `Quick
+            (test_attribution
+               (Experiments.Common.Static Lauberhorn.Config.enzian));
+          Alcotest.test_case "linux stages sum exactly" `Quick
+            (test_attribution
+               (Experiments.Common.Linux Coherence.Interconnect.pcie_enzian));
+          Alcotest.test_case "bypass stages sum exactly" `Quick
+            (test_attribution
+               (Experiments.Common.Bypass Coherence.Interconnect.pcie_enzian));
+          Alcotest.test_case "tracing off leaves no trace" `Quick
+            test_disabled_tracer_stays_empty;
+        ] );
+    ]
