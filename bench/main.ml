@@ -60,6 +60,7 @@ let sections =
     ("encrypt", Experiments.Encrypt.run);
     ("losssweep", Experiments.Losssweep.run);
     ("trace", Experiments.Trace.run);
+    ("failover", Experiments.Failover.run);
     ("micro", Micro.run);
   ]
 

@@ -18,6 +18,7 @@ let sections =
     ("encrypt", Experiments.Encrypt.run);
     ("losssweep", Experiments.Losssweep.run);
     ("trace", Experiments.Trace.run);
+    ("failover", Experiments.Failover.run);
   ]
 
 let section_arg =

@@ -5,7 +5,7 @@ let spec ~port service = { service; port }
 type poller = {
   pidx : int;
   core : int;
-  pthread : Osmodel.Proc.thread;
+  mutable pthread : Osmodel.Proc.thread;
   mutable spin_since : Sim.Units.time option;
 }
 
@@ -17,9 +17,12 @@ type t = {
   by_port : (int, service_spec) Hashtbl.t;
   port_to_poller : (int, int) Hashtbl.t;
   mutable pollers : poller array;
+  mutable proc : Osmodel.Proc.process option;
   egress : Net.Frame.t -> unit;
   counters : Sim.Counter.group;
   metrics : Obs.Metrics.t;
+  m_kills : Obs.Metrics.counter;
+  m_respawns : Obs.Metrics.counter;
   tracer : Obs.Tracer.t;
   trk : int;
 }
@@ -52,9 +55,15 @@ let rec poll_loop t p () =
   | Some frame ->
       let rx = t.sw.Costs.poll_rx_per_packet + t.sw.Costs.bypass_demux in
       charge_user t p rx;
+      (* Capture the thread identity: if the process crashes while this
+         packet is in flight, the continuation must die with it (the
+         frame is already consumed from the ring, so it is simply lost —
+         bypass gives the client no transport-level crash signal). *)
+      let th = p.pthread in
       ignore
         (Sim.Engine.schedule_after t.engine ~after:rx (fun () ->
-             handle t p frame))
+             if th.Osmodel.Proc.state <> Osmodel.Proc.Exited then
+               handle t p frame))
   | None ->
       (* Park the (simulated) spin: the ring's produce callback resumes
          us and we back-charge the spin window. *)
@@ -96,8 +105,11 @@ and execute t p frame (wire : Rpc.Wire_format.t) mdef args =
   in
   let work = deser + mdef.Rpc.Interface.handler_time in
   charge_user t p work;
+  let th = p.pthread in
   ignore
     (Sim.Engine.schedule_after t.engine ~after:work (fun () ->
+         if th.Osmodel.Proc.state = Osmodel.Proc.Exited then ()
+         else begin
          span_stage t ~rpc:wire.Rpc.Wire_format.rpc_id "app";
          let result = mdef.Rpc.Interface.execute args in
          let body = Rpc.Codec.encode result in
@@ -110,6 +122,8 @@ and execute t p frame (wire : Rpc.Wire_format.t) mdef args =
          charge_user t p marshal;
          ignore
            (Sim.Engine.schedule_after t.engine ~after:marshal (fun () ->
+                if th.Osmodel.Proc.state = Osmodel.Proc.Exited then ()
+                else begin
                 let reply =
                   {
                     Rpc.Wire_format.rpc_id = wire.Rpc.Wire_format.rpc_id;
@@ -135,9 +149,13 @@ and execute t p frame (wire : Rpc.Wire_format.t) mdef args =
                       (Sim.Engine.now t.engine);
                     t.egress f);
                 Sim.Counter.incr (ctr t "rpcs_handled");
-                poll_loop t p ()))))
+                poll_loop t p ()
+                end))
+         end))
 
 let resume_from_spin t p () =
+  if p.pthread.Osmodel.Proc.state = Osmodel.Proc.Exited then ()
+  else
   match p.spin_since with
   | None -> ()
   | Some start ->
@@ -150,9 +168,12 @@ let resume_from_spin t p () =
         (Osmodel.Kernel.account t.kern ~core:p.core)
         Osmodel.Cpu_account.Spin
         (iters * t.sw.Costs.poll_iteration);
+      let th = p.pthread in
       ignore
         (Sim.Engine.schedule_after t.engine ~after:t.sw.Costs.poll_iteration
-           (fun () -> poll_loop t p ()))
+           (fun () ->
+             if th.Osmodel.Proc.state <> Osmodel.Proc.Exited then
+               poll_loop t p ()))
 
 let create engine ~profile ~ncores ?pollers ?kernel_costs
     ?(sw_costs = Costs.default) ?(fault = Fault.Plan.none) ?metrics ?tracer
@@ -181,9 +202,12 @@ let create engine ~profile ~ncores ?pollers ?kernel_costs
       by_port = Hashtbl.create 64;
       port_to_poller = Hashtbl.create 64;
       pollers = [||];
+      proc = None;
       egress;
       counters = Sim.Counter.group "bypass";
       metrics;
+      m_kills = Obs.Metrics.counter metrics "kills";
+      m_respawns = Obs.Metrics.counter metrics "respawns";
       tracer;
       trk = Obs.Tracer.track tracer "bypass";
     }
@@ -219,6 +243,7 @@ let create engine ~profile ~ncores ?pollers ?kernel_costs
       | None -> 0);
   (* Spawn pinned poller threads. *)
   let proc = Osmodel.Kernel.new_process kern ~name:"bypass-app" in
+  t.proc <- Some proc;
   t.pollers <-
     Array.init npollers (fun pidx ->
         let p_ref = ref None in
@@ -269,6 +294,63 @@ let flush_spin t =
             p.spin_since <- Some now
           end)
     t.pollers
+
+let check_service t ~service_id =
+  let known =
+    Hashtbl.fold
+      (fun _ s acc ->
+        acc || s.service.Rpc.Interface.service_id = service_id)
+      t.by_port false
+  in
+  if not known then
+    invalid_arg
+      (Printf.sprintf "Bypass_stack: unknown service %d" service_id)
+
+let app_proc t =
+  match t.proc with
+  | Some p -> p
+  | None -> invalid_arg "Bypass_stack: no process"
+
+(* A bypass app is one process that owns every ring: a crash in any
+   service takes down the whole address space, pollers and all. The
+   rings survive in the NIC, so arrivals during the outage accumulate
+   until the ring overflows (counted by the DMA NIC) — no NACK, no
+   kernel-held backlog. *)
+let kill_service t ~service_id =
+  check_service t ~service_id;
+  let proc = app_proc t in
+  if proc.Osmodel.Proc.alive then begin
+    (* Close every open spin window first so the CPU ledgers account
+       the time actually spent spinning before the crash. *)
+    flush_spin t;
+    Array.iter (fun p -> p.spin_since <- None) t.pollers;
+    Osmodel.Kernel.kill t.kern proc;
+    Obs.Metrics.incr t.m_kills
+  end
+
+let restart_service t ~service_id =
+  check_service t ~service_id;
+  let proc = app_proc t in
+  if not proc.Osmodel.Proc.alive then begin
+    Osmodel.Kernel.respawn t.kern proc;
+    Obs.Metrics.incr t.m_respawns;
+    (* Fresh poller threads on the same pinned cores; each immediately
+       drains whatever survived in its RX ring. The ring on_produce
+       callbacks close over the mutable poller records, so they keep
+       working against the new threads. *)
+    Array.iter
+      (fun p ->
+        let pthread =
+          Osmodel.Kernel.spawn t.kern proc
+            ~name:(Printf.sprintf "poller%d" p.pidx)
+            ~affinity:p.core
+            (fun () -> poll_loop t p ())
+        in
+        p.pthread <- pthread;
+        p.spin_since <- None;
+        Osmodel.Kernel.wake t.kern pthread)
+      t.pollers
+  end
 
 let poller_of_port t ~port =
   match Hashtbl.find_opt t.port_to_poller port with

@@ -46,4 +46,17 @@ val flush_spin : t -> unit
     simulated time. Call before reading the kernel's cycle ledgers
     (spin is otherwise only accounted when a packet ends the window). *)
 
+val kill_service : t -> service_id:int -> unit
+(** Crash the bypass application. One process owns every ring, so a
+    crash in any service takes down all pollers at once. Requests in a
+    handler's hands are lost, and arrivals during the outage accumulate
+    in the NIC rings until they overflow (drops counted by the DMA
+    NIC) — the client gets no transport-level signal. No-op if already
+    dead. @raise Invalid_argument on an unknown service. *)
+
+val restart_service : t -> service_id:int -> unit
+(** Respawn the application with fresh pinned poller threads; each
+    immediately drains whatever survived in its RX ring. No-op if
+    alive. @raise Invalid_argument on an unknown service. *)
+
 val driver : t -> Harness.Driver.t

@@ -11,6 +11,8 @@ let spec ?(threads = 2) ~port service =
 type service_rt = {
   sspec : service_spec;
   socket : Net.Frame.t Osmodel.Socket.t;
+  mutable sproc : Osmodel.Proc.process option;
+      (* retained for crash/restart (threads are reachable through it) *)
 }
 
 type t = {
@@ -22,6 +24,8 @@ type t = {
   egress : Net.Frame.t -> unit;
   counters : Sim.Counter.group;
   metrics : Obs.Metrics.t;
+  m_kills : Obs.Metrics.counter;
+  m_respawns : Obs.Metrics.counter;
   tracer : Obs.Tracer.t;
   trk : int;
 }
@@ -187,6 +191,61 @@ and send_reply t rt th frame wire body =
           t.egress f);
       server_loop t rt th ())
 
+let spawn_server_threads t rt proc =
+  for i = 0 to rt.sspec.threads - 1 do
+    let th_ref = ref None in
+    let body () =
+      match !th_ref with
+      | Some th -> server_loop t rt th ()
+      | None -> assert false
+    in
+    let th =
+      Osmodel.Kernel.spawn t.kern proc
+        ~name:
+          (Printf.sprintf "%s-t%d" rt.sspec.service.Rpc.Interface.service_name
+             i)
+        body
+    in
+    th_ref := Some th;
+    Osmodel.Kernel.wake t.kern th
+  done
+
+(* Crash/restart lifecycle. A killed Linux service gives the client NO
+   transport-level signal: in-socket datagrams stay queued (the kernel
+   owns the socket buffer) and in-handler requests vanish with the
+   process — clients discover the crash only by timeout. That silence
+   is the baseline the NACKing stacks are contrasted against. *)
+let service_rt_by_id t ~service_id =
+  let found = ref None in
+  Hashtbl.iter
+    (fun _port rt ->
+      if rt.sspec.service.Rpc.Interface.service_id = service_id then
+        found := Some rt)
+    t.by_port;
+  match !found with
+  | Some rt -> rt
+  | None ->
+      invalid_arg (Printf.sprintf "Linux_stack: unknown service %d" service_id)
+
+let kill_service t ~service_id =
+  let rt = service_rt_by_id t ~service_id in
+  match rt.sproc with
+  | Some proc when proc.Osmodel.Proc.alive ->
+      Obs.Metrics.incr t.m_kills;
+      Osmodel.Kernel.kill t.kern proc
+  | Some _ | None -> ()
+
+let restart_service t ~service_id =
+  let rt = service_rt_by_id t ~service_id in
+  match rt.sproc with
+  | Some proc when not proc.Osmodel.Proc.alive ->
+      Obs.Metrics.incr t.m_respawns;
+      Osmodel.Kernel.respawn t.kern proc;
+      (* Fresh threads; the socket and its backlog survived the crash,
+         so queued datagrams are served first. *)
+      spawn_server_threads t rt proc
+  | Some _ | None -> ()
+
 let create engine ~profile ~ncores ?kernel_costs ?(sw_costs = Costs.default)
     ?nic_config ?(fault = Fault.Plan.none) ?metrics ?tracer ~services ~egress
     () =
@@ -212,6 +271,8 @@ let create engine ~profile ~ncores ?kernel_costs ?(sw_costs = Costs.default)
       egress;
       counters = Sim.Counter.group "linux";
       metrics;
+      m_kills = Obs.Metrics.counter metrics "kills";
+      m_respawns = Obs.Metrics.counter metrics "respawns";
       tracer;
       trk = Obs.Tracer.track tracer "linux";
     }
@@ -226,7 +287,9 @@ let create engine ~profile ~ncores ?kernel_costs ?(sw_costs = Costs.default)
          ());
   List.iter
     (fun sspec ->
-      let rt = { sspec; socket = Osmodel.Socket.create kern () } in
+      let rt =
+        { sspec; socket = Osmodel.Socket.create kern (); sproc = None }
+      in
       if Hashtbl.mem t.by_port sspec.port then
         invalid_arg
           (Printf.sprintf "Linux_stack.create: port %d taken" sspec.port);
@@ -235,23 +298,8 @@ let create engine ~profile ~ncores ?kernel_costs ?(sw_costs = Costs.default)
         Osmodel.Kernel.new_process kern
           ~name:sspec.service.Rpc.Interface.service_name
       in
-      for i = 0 to sspec.threads - 1 do
-        let th_ref = ref None in
-        let body () =
-          match !th_ref with
-          | Some th -> server_loop t rt th ()
-          | None -> assert false
-        in
-        let th =
-          Osmodel.Kernel.spawn kern proc
-            ~name:
-              (Printf.sprintf "%s-t%d"
-                 sspec.service.Rpc.Interface.service_name i)
-            body
-        in
-        th_ref := Some th;
-        Osmodel.Kernel.wake kern th
-      done)
+      rt.sproc <- Some proc;
+      spawn_server_threads t rt proc)
     services;
   t
 

@@ -40,6 +40,20 @@ val create :
     durations sum exactly to the measured end-system latency. *)
 
 val ingress : t -> Net.Frame.t -> unit
+
+val kill_service : t -> service_id:int -> unit
+(** Crash the service's process. The client gets {e no} transport-level
+    signal: datagrams already in the socket stay queued (the kernel
+    owns the buffer, so they are served after a restart) and requests
+    in a handler's hands vanish — clients discover the crash by
+    timeout only. No-op if already dead.
+    @raise Invalid_argument on an unknown service. *)
+
+val restart_service : t -> service_id:int -> unit
+(** Respawn the killed process with fresh server threads; the surviving
+    socket backlog is drained first. No-op if alive.
+    @raise Invalid_argument on an unknown service. *)
+
 val kernel : t -> Osmodel.Kernel.t
 val nic : t -> Nic.Dma_nic.t
 val counters : t -> Sim.Counter.group

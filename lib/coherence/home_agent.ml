@@ -12,6 +12,9 @@ type line = {
   mutable cpu_copy : bytes option;  (* last CPU store, until fetched *)
   mutable on_load : (served:bool -> unit) option;
   mutable on_store : (bytes -> unit) option;
+  mutable gen : int;
+      (* bumped by [reset_line]; loads in flight across a reset are
+         discarded when they land *)
 }
 
 type t = {
@@ -28,6 +31,8 @@ type t = {
   mutable stores : int;
   mutable fetchx : int;
   mutable delayed_stages : int;
+  mutable line_resets : int;
+  mutable stale_loads : int;
 }
 
 let create engine prof ?stage_delay ~timeout () =
@@ -39,7 +44,7 @@ let create engine prof ?stage_delay ~timeout () =
     stage_delay;
     lines = Array.init 16 (fun _ ->
         { staged = None; parked = None; cpu_copy = None; on_load = None;
-          on_store = None });
+          on_store = None; gen = 0 });
     n_lines = 0;
     loads = 0;
     fills = 0;
@@ -47,6 +52,8 @@ let create engine prof ?stage_delay ~timeout () =
     stores = 0;
     fetchx = 0;
     delayed_stages = 0;
+    line_resets = 0;
+    stale_loads = 0;
   }
 
 let profile t = t.prof
@@ -59,7 +66,7 @@ let alloc_line t =
           if i < t.n_lines then t.lines.(i)
           else
             { staged = None; parked = None; cpu_copy = None; on_load = None;
-              on_store = None })
+              on_store = None; gen = 0 })
     in
     t.lines <- bigger
   end;
@@ -95,10 +102,17 @@ let complete_parked t ln fill =
 let cpu_load t id k =
   let ln = line t id in
   t.loads <- t.loads + 1;
+  let gen = ln.gen in
   (* The miss takes load_request to reach the home agent. *)
   ignore
     (Sim.Engine.schedule_after t.engine ~after:t.prof.Interconnect.load_request
        (fun () ->
+         if ln.gen <> gen then
+           (* The line was reset while this load request was on the
+              interconnect: the loader's process is gone, so the
+              request dies at the directory instead of parking. *)
+           t.stale_loads <- t.stale_loads + 1
+         else
          match ln.staged with
          | Some data ->
              ln.staged <- None;
@@ -154,6 +168,20 @@ let kick t id =
   let ln = line t id in
   complete_parked t ln Tryagain
 
+let reset_line t id =
+  let ln = line t id in
+  (match ln.parked with
+  | None -> ()
+  | Some p ->
+      (* Drop the parked load without answering it: the loader is dead
+         and its continuation must never fire. *)
+      ln.parked <- None;
+      Sim.Engine.cancel t.engine p.timer;
+      t.line_resets <- t.line_resets + 1);
+  ln.gen <- ln.gen + 1;
+  ln.staged <- None;
+  ln.cpu_copy <- None
+
 let cpu_store t id data =
   let ln = line t id in
   t.stores <- t.stores + 1;
@@ -179,3 +207,5 @@ let tryagains t = t.tryagains
 let stores t = t.stores
 let fetch_exclusives t = t.fetchx
 let delayed_stages t = t.delayed_stages
+let line_resets t = t.line_resets
+let stale_loads t = t.stale_loads

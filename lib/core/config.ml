@@ -9,6 +9,7 @@ type t = {
   deser : Rpc.Deser_cost.profile;
   tryagains_before_yield : int;
   encrypt : bool;
+  shed : bool;
 }
 
 let enzian =
@@ -23,6 +24,7 @@ let enzian =
     deser = Rpc.Deser_cost.nic_pipeline;
     tryagains_before_yield = 2;
     encrypt = false;
+    shed = false;
   }
 
 let modern =
@@ -35,6 +37,7 @@ let modern =
   }
 
 let with_encryption t encrypt = { t with encrypt }
+let with_shed t shed = { t with shed }
 
 let with_timeout t timeout =
   if timeout <= 0 then invalid_arg "Config.with_timeout: non-positive";

@@ -31,6 +31,11 @@ type t = {
   encrypt : bool;
       (** Inline AES-GCM on every frame through the NIC pipeline
           (§6). Adds {!Crypto.aes_gcm_nic} time per packet, no CPU. *)
+  shed : bool;
+      (** NIC admission control: overloaded services NACK arrivals on
+          the wire ({!Nic_sched.Shed}) instead of queueing them to a
+          silent SRAM drop. Off by default — the paper's base design —
+          so pre-existing experiments are untouched. *)
 }
 
 val enzian : t
@@ -43,6 +48,7 @@ val modern : t
 val with_timeout : t -> Sim.Units.duration -> t
 val with_encryption : t -> bool -> t
 val with_dma_threshold : t -> int -> t
+val with_shed : t -> bool -> t
 
 val control_header_bytes : int
 (** Fixed header of a request CONTROL line (see {!Message}). *)

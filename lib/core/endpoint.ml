@@ -145,6 +145,20 @@ let retire t =
     true
   end
   else false
+let reset t =
+  (* Crash teardown. The SRAM queue survives on the NIC and is handed
+     back to the stack for requeueing; everything staged in (or parked
+     on) the CONTROL lines is torn down — those RPCs were in the dead
+     process's hands and must be NACKed by the caller. *)
+  let requeue = List.of_seq (Queue.to_seq t.pending) in
+  Queue.clear t.pending;
+  Coherence.Home_agent.reset_line t.ha t.ctrl.(0);
+  Coherence.Home_agent.reset_line t.ha t.ctrl.(1);
+  Queue.clear t.to_collect;
+  t.cur <- 0;
+  t.outstanding <- 0;
+  requeue
+
 let queue_depth t = Queue.length t.pending
 let in_flight t = t.outstanding
 let stats_delivered t = t.n_delivered

@@ -53,6 +53,16 @@ val retire : t -> bool
     [false] when no load is parked — retirement needs the thread at its
     synchronization point. Does not consume a delivery credit. *)
 
+val reset : t -> (Message.request * bool) list
+(** Crash teardown: tear down both CONTROL lines (parked loads are
+    discarded without answering — the loaders are dead — and staged or
+    CPU-written data dropped), zero the credit state, and return the
+    NIC-SRAM queue contents in arrival order (with their
+    [kernel_dispatch] flags). The SRAM queue lives on the NIC, not in
+    the crashed process, so those requests survive for requeueing; the
+    ≤2 staged requests do not — the caller must NACK them from its
+    in-flight table. *)
+
 val queue_depth : t -> int
 (** Requests waiting in NIC SRAM (excludes the ≤2 staged in lines). *)
 

@@ -5,6 +5,9 @@ type t = {
   prof : Coherence.Interconnect.profile;
   kernel : Osmodel.Kernel.t;
   view : (int * int) option array;  (* core -> (pid, tid) *)
+  dead : (int, unit) Hashtbl.t;  (* pids the NIC believes are dead *)
+  mutable on_pid_dead : (int -> unit) list;
+  mutable on_pid_respawn : (int -> unit) list;
   mutable pushes : int;
 }
 
@@ -15,6 +18,9 @@ let create ~mode prof kernel =
       prof;
       kernel;
       view = Array.make (Osmodel.Kernel.ncores kernel) None;
+      dead = Hashtbl.create 8;
+      on_pid_dead = [];
+      on_pid_respawn = [];
       pushes = 0;
     }
   in
@@ -36,6 +42,41 @@ let create ~mode prof kernel =
                  t.pushes <- t.pushes + 1;
                  t.view.(core) <- entry)))
   | Query -> ());
+  (* Process death travels the same path as occupancy updates: in Push
+     mode the NIC learns after one store-release — the stale window the
+     dispatch path must survive — and the subscribed callbacks run at
+     that (lagged) instant. In Query mode the kernel is consulted live,
+     so callbacks fire immediately. *)
+  Osmodel.Kernel.on_process_exit kernel (fun proc ->
+      let pid = proc.Osmodel.Proc.pid in
+      let land_death () =
+        t.pushes <- t.pushes + 1;
+        Hashtbl.replace t.dead pid ();
+        List.iter (fun f -> f pid) (List.rev t.on_pid_dead)
+      in
+      match mode with
+      | Query -> land_death ()
+      | Push ->
+          ignore
+            (Sim.Engine.schedule_after
+               (Osmodel.Kernel.engine kernel)
+               ~after:prof.Coherence.Interconnect.store_release
+               (fun () -> land_death ())));
+  Osmodel.Kernel.on_process_respawn kernel (fun proc ->
+      let pid = proc.Osmodel.Proc.pid in
+      let land_respawn () =
+        t.pushes <- t.pushes + 1;
+        Hashtbl.remove t.dead pid;
+        List.iter (fun f -> f pid) (List.rev t.on_pid_respawn)
+      in
+      match mode with
+      | Query -> land_respawn ()
+      | Push ->
+          ignore
+            (Sim.Engine.schedule_after
+               (Osmodel.Kernel.engine kernel)
+               ~after:prof.Coherence.Interconnect.store_release
+               (fun () -> land_respawn ())));
   t
 
 let mode t = t.mmode
@@ -66,4 +107,8 @@ let cores_running t ~pid =
   go 0 []
 
 let is_running t ~pid = cores_running t ~pid <> []
+
+let pid_alive t ~pid = not (Hashtbl.mem t.dead pid)
+let on_pid_dead t f = t.on_pid_dead <- f :: t.on_pid_dead
+let on_pid_respawn t f = t.on_pid_respawn <- f :: t.on_pid_respawn
 let pushes t = t.pushes

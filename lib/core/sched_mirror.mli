@@ -31,5 +31,25 @@ val cores_running : t -> pid:int -> int list
 
 val is_running : t -> pid:int -> bool
 
+val pid_alive : t -> pid:int -> bool
+(** The NIC's belief about whether the process exists. In [Push] mode a
+    kill becomes visible only after the store-release push lands — the
+    stale window during which a dispatch can race a corpse — and a
+    respawn likewise. In [Query] mode the kernel's truth is reflected
+    immediately (the MMIO cost is the caller's to charge via
+    {!lookup_cost}). *)
+
+val on_pid_dead : t -> (int -> unit) -> unit
+(** Subscribe to process-death notifications {e as the NIC perceives
+    them}: the callback runs when the death push lands (after the lag
+    in Push mode, immediately in Query mode), in subscription order.
+    This is where the NIC-side teardown sweep hangs. *)
+
+val on_pid_respawn : t -> (int -> unit) -> unit
+(** Same, for respawns: runs when the NIC learns the process is back
+    (after the lag in Push mode) — where requeueing of retained
+    requests hangs. *)
+
 val pushes : t -> int
-(** State-update messages received (Push mode). *)
+(** State-update messages received (Push mode: occupancy, death, and
+    respawn pushes; Query mode counts lifecycle notifications only). *)

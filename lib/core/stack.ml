@@ -14,6 +14,7 @@ type inflight =
   | App of {
       mdef : Rpc.Interface.method_def;
       args : Rpc.Value.t;
+      svc_id : int;  (* owning service, for the crash-teardown sweep *)
       reply_src : Net.Frame.endpoint;  (* server side *)
       reply_dst : Net.Frame.endpoint;  (* client side *)
       mutable full_body : bytes;  (* response bytes beyond the line *)
@@ -25,7 +26,9 @@ type inflight =
 
 type worker = {
   widx : int;
-  wthread : Osmodel.Proc.thread;
+  mutable wthread : Osmodel.Proc.thread;
+      (* replaced on process restart (the endpoint survives, the
+         thread does not) *)
   wep : Endpoint.t;
   mutable wtx : Tx_endpoint.t option;
       (* transmit lines for nested calls (Figure 4's disjoint TX set) *)
@@ -40,6 +43,8 @@ type service_rt = {
   sproc : Osmodel.Proc.process;
   mutable workers : worker array;
   mutable active_count : int;
+  limbo : Message.request Queue.t;
+      (* NIC-SRAM survivors of a crash, redelivered on restart *)
 }
 
 type dispatcher = { dthread : Osmodel.Proc.thread; dep : Endpoint.t }
@@ -78,6 +83,18 @@ type t = {
       (* reply continuations for nested calls (paper section 6) *)
   mutable next_dispatch_id : int64;
   mutable mac : Nic.Mac.t option;
+  mutable handled_hook : (unit -> unit) option;
+      (* per-handled-RPC callback (server fault injector) *)
+  (* Robustness counters — on the metrics registry, whose export drops
+     zero entries, so fault-free/shed-off reports are unchanged. *)
+  m_kills : Obs.Metrics.counter;
+  m_respawns : Obs.Metrics.counter;
+  m_stale : Obs.Metrics.counter;  (* stale_dispatch_caught *)
+  m_crash_nacks : Obs.Metrics.counter;
+  m_requeues : Obs.Metrics.counter;
+  m_sheds : Obs.Metrics.counter;
+  m_drop_full : Obs.Metrics.counter;
+  m_drop_shed : Obs.Metrics.counter;
 }
 
 let kernel t = t.kern
@@ -177,11 +194,20 @@ let respond_line t w ~rpc_id ~status ~body =
 let rec worker_loop t sv w () = park_worker t sv w
 
 and park_worker t sv w =
-  Osmodel.Kernel.stall_begin t.kern w.wthread;
+  (* Bind the thread at park time: if the process is killed while this
+     load is parked and later restarted, the fill completion must be
+     judged against the thread that parked, not the respawned one. *)
+  let th = w.wthread in
+  Osmodel.Kernel.stall_begin t.kern th;
   Coherence.Home_agent.cpu_load t.ha
     (Endpoint.ctrl_line w.wep w.cpu_idx)
     (fun fill ->
-      Osmodel.Kernel.stall_end t.kern w.wthread;
+      if th.Osmodel.Proc.state = Osmodel.Proc.Exited then
+        (* Killed while parked; the kill already closed the stall and
+           the teardown sweep owns whatever this fill carried. *)
+        ()
+      else begin
+      Osmodel.Kernel.stall_end t.kern th;
       match fill with
       | Coherence.Home_agent.Tryagain -> worker_tryagain t sv w
       | Coherence.Home_agent.Data line -> (
@@ -191,7 +217,8 @@ and park_worker t sv w =
           | Ok (Message.Tryagain | Message.Retire | Message.Kernel_dispatch _)
           | Error _ ->
               Sim.Counter.incr (ctr t "worker_bad_line");
-              worker_loop t sv w ()))
+              worker_loop t sv w ())
+      end)
 
 and worker_tryagain t sv w =
   Sim.Counter.incr (ctr t "worker_tryagain");
@@ -239,6 +266,7 @@ and worker_handle t sv w (r : Message.request) =
         respond_line t w ~rpc_id:r.Message.rpc_id ~status:0 ~body;
         w.cpu_idx <- 1 - w.cpu_idx;
         Sim.Counter.incr (ctr t "rpcs_handled");
+        (match t.handled_hook with Some f -> f () | None -> ());
         worker_loop t sv w ()
       in
       Osmodel.Kernel.run_for t.kern w.wthread ~kind:Osmodel.Cpu_account.User
@@ -363,7 +391,11 @@ and nested_call t w ~service_id ~method_id v k =
 
 let activate_worker t sv w =
   w.starting <- false;
-  if not w.active then begin
+  if w.wthread.Osmodel.Proc.state = Osmodel.Proc.Exited then
+    (* An activation raced the kill: by the time the dispatcher ran the
+       KERNEL_DISPATCH, the target process was dead. *)
+    Sim.Counter.incr (ctr t "dispatch_to_dead")
+  else if not w.active then begin
     emit t ~cat:"activate" (fun () ->
         Printf.sprintf "worker %s activated" w.wthread.Osmodel.Proc.tname);
     w.active <- true;
@@ -514,6 +546,28 @@ let scale_decision t sv =
   Nic_sched.decide t.sched ~service ~queue_depth ~workers:sv.active_count
     ~handler_time
 
+let tx_mac_delay = Sim.Units.ns 200
+
+(* An explicit transport-level reject on the wire (Error_reply): the
+   client sees why its request did not complete instead of inferring a
+   silent drop from a timeout. *)
+let nack t ~rpc_id ~service_id ~src ~dst ~code =
+  let reply =
+    {
+      Rpc.Wire_format.rpc_id;
+      service_id;
+      method_id = 0;
+      kind = Rpc.Wire_format.Error_reply code;
+      body = Bytes.empty;
+    }
+  in
+  let frame = Net.Frame.make ~src ~dst (Rpc.Wire_format.encode reply) in
+  ignore
+    (Sim.Engine.schedule_after t.engine ~after:tx_mac_delay (fun () ->
+         Sim.Counter.incr (ctr t "tx_frames");
+         Obs.Tracer.rpc_end t.tracer ~rpc:rpc_id (Sim.Engine.now t.engine);
+         t.egress frame))
+
 let dispatch_request t (entry : Demux.entry) frame
     (wire : Rpc.Wire_format.t) (mdef : Rpc.Interface.method_def) args =
   let sv =
@@ -523,6 +577,17 @@ let dispatch_request t (entry : Demux.entry) frame
   if Hashtbl.mem t.inflight rpc_id then begin
     Sim.Counter.incr (ctr t "duplicate_rpc_id");
     if t.fault_active then Telemetry.incr_fault t.telemetry "duplicate_rpc_id"
+  end
+  else if not (Sched_mirror.pid_alive t.smirror ~pid:sv.sproc.Osmodel.Proc.pid)
+  then begin
+    (* The NIC believes the target process is dead (the death push has
+       landed): refuse on the wire rather than dispatch to a corpse. *)
+    Obs.Metrics.incr t.m_crash_nacks;
+    if t.fault_active then Telemetry.incr_fault t.telemetry "crash_nack";
+    nack t ~rpc_id
+      ~service_id:entry.Demux.service.Rpc.Interface.service_id
+      ~src:(Net.Frame.dst_endpoint frame) ~dst:(Net.Frame.src_endpoint frame)
+      ~code:Rpc.Wire_format.err_dead
   end
   else begin
     let body = wire.Rpc.Wire_format.body in
@@ -553,6 +618,25 @@ let dispatch_request t (entry : Demux.entry) frame
         via_dma;
       }
     in
+    (* With admission control armed the decision is taken once, before
+       the arrival is accepted (so a Shed never occupies queue space);
+       with it off, the decision is taken after delivery, exactly as
+       the pre-admission-control stack did. *)
+    let early_decision =
+      if t.cfg.Config.shed then Some (scale_decision t sv) else None
+    in
+    match early_decision with
+    | Some Nic_sched.Shed ->
+        Obs.Metrics.incr t.m_sheds;
+        Obs.Metrics.incr t.m_drop_shed;
+        if t.fault_active then Telemetry.incr_fault t.telemetry "shed";
+        nack t ~rpc_id
+          ~service_id:entry.Demux.service.Rpc.Interface.service_id
+          ~src:(Net.Frame.dst_endpoint frame)
+          ~dst:(Net.Frame.src_endpoint frame)
+          ~code:Rpc.Wire_format.err_shed
+    | Some (Nic_sched.Steady | Nic_sched.Add_worker | Nic_sched.Release_worker)
+    | None ->
     Nic_sched.on_arrival t.sched
       ~service:entry.Demux.service.Rpc.Interface.service_id
       ~now:(Sim.Engine.now t.engine);
@@ -562,6 +646,7 @@ let dispatch_request t (entry : Demux.entry) frame
          {
            mdef;
            args;
+           svc_id = entry.Demux.service.Rpc.Interface.service_id;
            reply_src = Net.Frame.dst_endpoint frame;
            reply_dst = Net.Frame.src_endpoint frame;
            full_body = Bytes.empty;
@@ -588,7 +673,12 @@ let dispatch_request t (entry : Demux.entry) frame
           Sim.Counter.incr (ctr t "cold_path");
           request_worker_activation t sv w);
       (* NIC-driven scale-up when queues build. *)
-      match scale_decision t sv with
+      let decision =
+        match early_decision with
+        | Some d -> d
+        | None -> scale_decision t sv
+      in
+      match decision with
       | Nic_sched.Add_worker -> (
           let candidate =
             Array.to_list sv.workers
@@ -598,11 +688,12 @@ let dispatch_request t (entry : Demux.entry) frame
           | Some w when sv.active_count < sv.sspec.max_workers ->
               request_worker_activation t sv w
           | Some _ | None -> ())
-      | Nic_sched.Release_worker | Nic_sched.Steady -> ()
+      | Nic_sched.Release_worker | Nic_sched.Steady | Nic_sched.Shed -> ()
     end
     else begin
       Hashtbl.remove t.inflight rpc_id;
       Sim.Counter.incr (ctr t "nic_queue_drop");
+      Obs.Metrics.incr t.m_drop_full;
       if t.fault_active then Telemetry.incr_fault t.telemetry "nic_queue_drop"
     end
   end
@@ -674,8 +765,6 @@ let nic_rx t frame =
                          dispatch_request t entry frame wire mdef args)))))
 
 (* ---------- Response collection and egress --------------------------- *)
-
-let tx_mac_delay = Sim.Units.ns 200
 
 let on_endpoint_response t (resp : Message.response) =
   match Hashtbl.find_opt t.inflight resp.Message.resp_rpc_id with
@@ -772,6 +861,137 @@ let on_endpoint_response t (resp : Message.response) =
                (Sim.Engine.now t.engine);
              t.egress frame))
 
+(* ---------- Crash/restart lifecycle ---------------------------------- *)
+
+(* NIC-side teardown, run when the death push LANDS (not when the kill
+   happens — the stale window in between is real and survivable). The
+   NIC-SRAM queue contents survive into the service's limbo queue for
+   redelivery after restart; whatever was already staged into (or
+   parked on) the CONTROL lines was in the dead process's hands and is
+   NACKed from the in-flight table — caught, never silently lost. *)
+let sweep_dead_service t sv =
+  let sid = sv.sspec.service.Rpc.Interface.service_id in
+  let limbo_ids = Hashtbl.create 16 in
+  Array.iter
+    (fun w ->
+      List.iter
+        (fun ((msg : Message.request), _kernel_dispatch) ->
+          Hashtbl.replace limbo_ids msg.Message.rpc_id ();
+          Queue.add msg sv.limbo)
+        (Endpoint.reset w.wep);
+      w.active <- false;
+      w.starting <- false;
+      w.empty_cycles <- 0)
+    sv.workers;
+  sv.active_count <- 0;
+  let doomed = ref [] in
+  Hashtbl.iter
+    (fun id entry ->
+      match entry with
+      | App { svc_id; reply_src; reply_dst; _ }
+        when svc_id = sid && not (Hashtbl.mem limbo_ids id) ->
+          doomed := (id, Some (reply_src, reply_dst)) :: !doomed
+      | Dispatch_ack d when d.svc_id = sid -> doomed := (id, None) :: !doomed
+      | App _ | Dispatch_ack _ -> ())
+    t.inflight;
+  List.iter
+    (fun (id, entry) ->
+      Hashtbl.remove t.inflight id;
+      match entry with
+      | None -> ()  (* cold activation of a now-dead worker *)
+      | Some ((reply_src : Net.Frame.endpoint), (reply_dst : Net.Frame.endpoint))
+        -> (
+          Obs.Metrics.incr t.m_stale;
+          if t.fault_active then
+            Telemetry.incr_fault t.telemetry "stale_dispatch_caught";
+          Nic_sched.on_complete t.sched ~service:sid;
+          match nested_cont_of id with
+          | Some cont
+            when Net.Ip_addr.equal reply_dst.Net.Frame.ip
+                   (self_address t).Net.Frame.ip ->
+              (* Hairpinned nested call into the dead service: unblock
+                 the waiting caller rather than NACK our own wire. *)
+              if
+                not (Rpc.Continuation.fire t.nested_conts cont Rpc.Value.Unit)
+              then Sim.Counter.incr (ctr t "nested_orphan_reply")
+          | Some _ | None ->
+              nack t ~rpc_id:id ~service_id:sid ~src:reply_src ~dst:reply_dst
+                ~code:Rpc.Wire_format.err_dead))
+    !doomed
+
+(* Redeliver the crash survivors once the NIC learns the process is
+   back. Their in-flight entries were retained, so client retransmits
+   that raced the restart hit the duplicate-id suppression instead of
+   double-executing. *)
+let drain_limbo t sv =
+  let sid = sv.sspec.service.Rpc.Interface.service_id in
+  while not (Queue.is_empty sv.limbo) do
+    let msg = Queue.pop sv.limbo in
+    let w, _path = choose_worker sv in
+    if Endpoint.deliver w.wep msg then begin
+      Obs.Metrics.incr t.m_requeues;
+      if t.fault_active then Telemetry.incr_fault t.telemetry "requeue"
+    end
+    else begin
+      Obs.Metrics.incr t.m_crash_nacks;
+      match Hashtbl.find_opt t.inflight msg.Message.rpc_id with
+      | Some (App a) ->
+          Hashtbl.remove t.inflight msg.Message.rpc_id;
+          Nic_sched.on_complete t.sched ~service:sid;
+          nack t ~rpc_id:msg.Message.rpc_id ~service_id:sid ~src:a.reply_src
+            ~dst:a.reply_dst ~code:Rpc.Wire_format.err_dead
+      | Some (Dispatch_ack _) | None -> ()
+    end
+  done
+
+let kill_service t ~service_id =
+  let sv = service_rt t service_id in
+  if sv.sproc.Osmodel.Proc.alive then begin
+    emit t ~cat:"crash" (fun () ->
+        Printf.sprintf "service %d (%s) crashed" service_id
+          sv.sproc.Osmodel.Proc.pname);
+    Obs.Metrics.incr t.m_kills;
+    if t.fault_active then Telemetry.incr_fault t.telemetry "kill";
+    (* Kernel-side only. The NIC's mirror learns after the push lag;
+       the teardown sweep runs when that push lands. *)
+    Osmodel.Kernel.kill t.kern sv.sproc
+  end
+
+let restart_service t ~service_id =
+  let sv = service_rt t service_id in
+  if not sv.sproc.Osmodel.Proc.alive then begin
+    emit t ~cat:"crash" (fun () ->
+        Printf.sprintf "service %d (%s) restarted" service_id
+          sv.sproc.Osmodel.Proc.pname);
+    Obs.Metrics.incr t.m_respawns;
+    Osmodel.Kernel.respawn t.kern sv.sproc;
+    (* Fresh threads over the surviving endpoints (which the sweep left
+       in their post-reset state: cur line 0, no credits consumed). *)
+    Array.iter
+      (fun w ->
+        Hashtbl.remove t.parked_eps w.wthread.Osmodel.Proc.tid;
+        let name = w.wthread.Osmodel.Proc.tname in
+        let th =
+          Osmodel.Kernel.spawn t.kern sv.sproc ~name (fun () ->
+              worker_loop t sv w ())
+        in
+        w.wthread <- th;
+        w.cpu_idx <- 0;
+        w.empty_cycles <- 0;
+        w.active <- false;
+        w.starting <- false;
+        Hashtbl.replace t.parked_eps th.Osmodel.Proc.tid w.wep)
+      sv.workers;
+    sv.active_count <- 0;
+    for i = 0 to sv.sspec.min_workers - 1 do
+      sv.workers.(i).active <- true;
+      sv.active_count <- sv.active_count + 1;
+      Osmodel.Kernel.wake t.kern sv.workers.(i).wthread
+    done
+  end
+
+let on_handled t f = t.handled_hook <- Some f
+
 (* ---------- Construction --------------------------------------------- *)
 
 let next_code_ptr = ref 0x4000_0000L
@@ -830,7 +1050,7 @@ let create engine ~cfg ~ncores ?kernel_costs
       ha;
       smirror;
       dmx = Demux.create ();
-      sched = Nic_sched.create ();
+      sched = Nic_sched.create ~shed:cfg.Config.shed ();
       egress;
       counters = Sim.Counter.group "lauberhorn";
       inflight = Hashtbl.create 4096;
@@ -849,6 +1069,15 @@ let create engine ~cfg ~ncores ?kernel_costs
       nested_conts = Rpc.Continuation.create ();
       next_dispatch_id = Int64.shift_left 1L 62;
       mac = None;
+      handled_hook = None;
+      m_kills = Obs.Metrics.counter metrics "kills";
+      m_respawns = Obs.Metrics.counter metrics "respawns";
+      m_stale = Obs.Metrics.counter metrics "stale_dispatch_caught";
+      m_crash_nacks = Obs.Metrics.counter metrics "crash_nacks";
+      m_requeues = Obs.Metrics.counter metrics "requeues";
+      m_sheds = Obs.Metrics.counter metrics "sheds";
+      m_drop_full = Obs.Metrics.counter metrics "drop_full";
+      m_drop_shed = Obs.Metrics.counter metrics "drop_shed";
     }
   in
   let next_ep_id = ref 0 in
@@ -904,7 +1133,10 @@ let create engine ~cfg ~ncores ?kernel_costs
       let sproc =
         Osmodel.Kernel.new_process kern ~name:svc.Rpc.Interface.service_name
       in
-      let sv = { sspec; sproc; workers = [||]; active_count = 0 } in
+      let sv =
+        { sspec; sproc; workers = [||]; active_count = 0;
+          limbo = Queue.create () }
+      in
       let workers =
         Array.init sspec.max_workers (fun widx ->
             let w_ref = ref None in
@@ -977,6 +1209,19 @@ let create engine ~cfg ~ncores ?kernel_costs
     services;
   (* Start dispatchers. *)
   Array.iter (fun d -> Osmodel.Kernel.wake kern d.dthread) t.dispatchers;
+  (* Crash lifecycle, as the NIC perceives it: the teardown sweep and
+     the limbo redelivery both run when the corresponding push lands,
+     not when the kernel-side event happens. *)
+  Sched_mirror.on_pid_dead smirror (fun pid ->
+      Hashtbl.iter
+        (fun _sid sv ->
+          if sv.sproc.Osmodel.Proc.pid = pid then sweep_dead_service t sv)
+        t.services);
+  Sched_mirror.on_pid_respawn smirror (fun pid ->
+      Hashtbl.iter
+        (fun _sid sv ->
+          if sv.sproc.Osmodel.Proc.pid = pid then drain_limbo t sv)
+        t.services);
   (* Preemption: a thread queued behind a parked occupant gets the core
      via a TRYAGAIN kick (paper Â§5.1). *)
   Osmodel.Kernel.on_wake_enqueue kern (fun ~core _th ->

@@ -103,6 +103,30 @@ val attach_trace : t -> Sim.Trace.t -> unit
     (paper §6: tracing and debugging via close OS integration). The
     trace must be {!Sim.Trace.enable}d to record. *)
 
+(** {1 Crash/restart lifecycle} *)
+
+val kill_service : t -> service_id:int -> unit
+(** Crash the service's process: every thread dies where it stands
+    (kernel-side, immediately). The NIC is {e not} told synchronously —
+    its scheduler mirror learns after the usual push lag, and only then
+    does the NIC-side teardown run: CONTROL lines are reset, requests
+    the dead process held are NACKed [err_dead] from the in-flight
+    table ("stale dispatches caught"), NIC-SRAM queue contents move to
+    a limbo queue for redelivery, and subsequent arrivals are refused
+    on the wire until a restart. During the stale window, dispatches
+    can still land on the corpse; they are caught by the sweep — never
+    silently lost. No-op if already dead. *)
+
+val restart_service : t -> service_id:int -> unit
+(** Bring a killed service back: same pid, fresh worker threads over
+    the surviving endpoints, [min_workers] re-activated. When the
+    respawn push lands at the NIC, limbo'd requests are redelivered
+    (counted as "requeues"). No-op if alive. *)
+
+val on_handled : t -> (unit -> unit) -> unit
+(** Register a callback invoked after each RPC handled by any worker
+    (the server-fault injector's [crash_after_rpcs] trigger). *)
+
 val dispatcher_count : t -> int
 
 val retire_dispatcher : t -> idx:int -> bool

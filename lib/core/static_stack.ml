@@ -5,15 +5,18 @@ let spec ~port service = { service; port }
 type inflight = {
   mdef : Rpc.Interface.method_def;
   args : Rpc.Value.t;
+  svc_id : int;  (* owning service, for the crash-teardown sweep *)
   reply_src : Net.Frame.endpoint;
   reply_dst : Net.Frame.endpoint;
   mutable full_body : bytes;
 }
 
 type worker = {
-  wthread : Osmodel.Proc.thread;
+  mutable wthread : Osmodel.Proc.thread;  (* replaced on restart *)
   wep : Endpoint.t;
   mutable cpu_idx : int;
+  limbo : Message.request Queue.t;
+      (* NIC-SRAM survivors of a crash, redelivered on restart *)
 }
 
 type t = {
@@ -27,7 +30,14 @@ type t = {
   inflight : (int64, inflight) Hashtbl.t;
   by_service : (int, worker) Hashtbl.t;
   core_map : (int, int) Hashtbl.t;
+  dead : (int, unit) Hashtbl.t;  (* crashed service ids *)
   metrics : Obs.Metrics.t;
+  m_kills : Obs.Metrics.counter;
+  m_respawns : Obs.Metrics.counter;
+  m_stale : Obs.Metrics.counter;
+  m_crash_nacks : Obs.Metrics.counter;
+  m_requeues : Obs.Metrics.counter;
+  m_drop_full : Obs.Metrics.counter;
   tracer : Obs.Tracer.t;
   trk : int;
   trk_detail : int;
@@ -83,11 +93,16 @@ let respond_line t w ~rpc_id ~body =
        })
 
 let rec worker_loop t w () =
-  Osmodel.Kernel.stall_begin t.kern w.wthread;
+  (* Bind the thread at park time: a fill completing after a kill must
+     be judged against the thread that parked, not a respawned one. *)
+  let th = w.wthread in
+  Osmodel.Kernel.stall_begin t.kern th;
   Coherence.Home_agent.cpu_load t.ha
     (Endpoint.ctrl_line w.wep w.cpu_idx)
     (fun fill ->
-      Osmodel.Kernel.stall_end t.kern w.wthread;
+      if th.Osmodel.Proc.state = Osmodel.Proc.Exited then ()
+      else begin
+      Osmodel.Kernel.stall_end t.kern th;
       match fill with
       | Coherence.Home_agent.Tryagain ->
           (* Share the core with any colocated pinned service: yield
@@ -100,7 +115,8 @@ let rec worker_loop t w () =
           | Ok (Message.Tryagain | Message.Retire | Message.Kernel_dispatch _)
           | Error _ ->
               Sim.Counter.incr (ctr t "worker_bad_line");
-              worker_loop t w ()))
+              worker_loop t w ())
+      end)
 
 and handle t w (r : Message.request) =
   match Hashtbl.find_opt t.inflight r.Message.rpc_id with
@@ -154,6 +170,24 @@ let on_endpoint_response t (resp : Message.response) =
                (Sim.Engine.now t.engine);
              t.egress frame))
 
+(* Explicit transport-level reject (see Stack.nack). *)
+let nack t ~rpc_id ~service_id ~src ~dst ~code =
+  let reply =
+    {
+      Rpc.Wire_format.rpc_id;
+      service_id;
+      method_id = 0;
+      kind = Rpc.Wire_format.Error_reply code;
+      body = Bytes.empty;
+    }
+  in
+  let frame = Net.Frame.make ~src ~dst (Rpc.Wire_format.encode reply) in
+  ignore
+    (Sim.Engine.schedule_after t.engine ~after:tx_mac_delay (fun () ->
+         Sim.Counter.incr (ctr t "tx_frames");
+         Obs.Tracer.rpc_end t.tracer ~rpc:rpc_id (Sim.Engine.now t.engine);
+         t.egress frame))
+
 let rec nic_rx t frame =
   Sim.Counter.incr (ctr t "rx_frames");
   match Rpc.Wire_format.decode frame.Net.Frame.payload with
@@ -195,6 +229,14 @@ and dispatch t (entry : Demux.entry) frame (wire : Rpc.Wire_format.t) mdef
   let rpc_id = wire.Rpc.Wire_format.rpc_id in
   if Hashtbl.mem t.inflight rpc_id then
     Sim.Counter.incr (ctr t "duplicate_rpc_id")
+  else if Hashtbl.mem t.dead entry.Demux.service.Rpc.Interface.service_id
+  then begin
+    (* Statically-bound target is down: refuse on the wire. *)
+    Obs.Metrics.incr t.m_crash_nacks;
+    nack t ~rpc_id ~service_id:entry.Demux.service.Rpc.Interface.service_id
+      ~src:(Net.Frame.dst_endpoint frame) ~dst:(Net.Frame.src_endpoint frame)
+      ~code:Rpc.Wire_format.err_dead
+  end
   else begin
     let body = wire.Rpc.Wire_format.body in
     let arg_bytes = Bytes.length body in
@@ -214,6 +256,7 @@ and dispatch t (entry : Demux.entry) frame (wire : Rpc.Wire_format.t) mdef
       {
         mdef;
         args;
+        svc_id = entry.Demux.service.Rpc.Interface.service_id;
         reply_src = Net.Frame.dst_endpoint frame;
         reply_dst = Net.Frame.src_endpoint frame;
         full_body = Bytes.empty;
@@ -237,9 +280,89 @@ and dispatch t (entry : Demux.entry) frame (wire : Rpc.Wire_format.t) mdef
     in
     if not (Endpoint.deliver w.wep msg) then begin
       Hashtbl.remove t.inflight rpc_id;
-      Sim.Counter.incr (ctr t "nic_queue_drop")
+      Sim.Counter.incr (ctr t "nic_queue_drop");
+      Obs.Metrics.incr t.m_drop_full
     end
   end
+
+(* ---------- Crash/restart lifecycle ---------- *)
+
+(* The ablation has no scheduler mirror, so there is no push lag to
+   model: the kill both tears the process down and sweeps the NIC side
+   in one step. NIC-SRAM survivors go to limbo for redelivery; staged
+   requests are NACKed — never silently lost. *)
+let kill_service t ~service_id =
+  match Hashtbl.find_opt t.by_service service_id with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Static_stack: unknown service %d" service_id)
+  | Some w ->
+      let proc = w.wthread.Osmodel.Proc.proc in
+      if proc.Osmodel.Proc.alive then begin
+        Obs.Metrics.incr t.m_kills;
+        Osmodel.Kernel.kill t.kern proc;
+        Hashtbl.replace t.dead service_id ();
+        let limbo_ids = Hashtbl.create 16 in
+        List.iter
+          (fun ((msg : Message.request), _kd) ->
+            Hashtbl.replace limbo_ids msg.Message.rpc_id ();
+            Queue.add msg w.limbo)
+          (Endpoint.reset w.wep);
+        let doomed = ref [] in
+        Hashtbl.iter
+          (fun id (inf : inflight) ->
+            if inf.svc_id = service_id && not (Hashtbl.mem limbo_ids id) then
+              doomed := (id, inf.reply_src, inf.reply_dst) :: !doomed)
+          t.inflight;
+        List.iter
+          (fun (id, reply_src, reply_dst) ->
+            Hashtbl.remove t.inflight id;
+            Obs.Metrics.incr t.m_stale;
+            nack t ~rpc_id:id ~service_id ~src:reply_src ~dst:reply_dst
+              ~code:Rpc.Wire_format.err_dead)
+          !doomed
+      end
+
+let restart_service t ~service_id =
+  match Hashtbl.find_opt t.by_service service_id with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Static_stack: unknown service %d" service_id)
+  | Some w ->
+      let proc = w.wthread.Osmodel.Proc.proc in
+      if not proc.Osmodel.Proc.alive then begin
+        Obs.Metrics.incr t.m_respawns;
+        Osmodel.Kernel.respawn t.kern proc;
+        Hashtbl.remove t.dead service_id;
+        let name = w.wthread.Osmodel.Proc.tname in
+        let affinity =
+          match Hashtbl.find_opt t.core_map service_id with
+          | Some c -> c
+          | None -> 0
+        in
+        let th =
+          Osmodel.Kernel.spawn t.kern proc ~name ~affinity (fun () ->
+              worker_loop t w ())
+        in
+        w.wthread <- th;
+        w.cpu_idx <- 0;
+        Osmodel.Kernel.wake t.kern th;
+        (* Redeliver the crash survivors. *)
+        while not (Queue.is_empty w.limbo) do
+          let msg = Queue.pop w.limbo in
+          if Endpoint.deliver w.wep msg then Obs.Metrics.incr t.m_requeues
+          else begin
+            Obs.Metrics.incr t.m_crash_nacks;
+            match Hashtbl.find_opt t.inflight msg.Message.rpc_id with
+            | Some inf ->
+                Hashtbl.remove t.inflight msg.Message.rpc_id;
+                nack t ~rpc_id:msg.Message.rpc_id ~service_id
+                  ~src:inf.reply_src ~dst:inf.reply_dst
+                  ~code:Rpc.Wire_format.err_dead
+            | None -> ()
+          end
+        done
+      end
 
 (* ---------- Construction ---------- *)
 
@@ -296,7 +419,14 @@ let create engine ~cfg ~ncores ?kernel_costs ?(fault = Fault.Plan.none)
       inflight = Hashtbl.create 4096;
       by_service = Hashtbl.create 32;
       core_map = Hashtbl.create 32;
+      dead = Hashtbl.create 8;
       metrics;
+      m_kills = Obs.Metrics.counter metrics "kills";
+      m_respawns = Obs.Metrics.counter metrics "respawns";
+      m_stale = Obs.Metrics.counter metrics "stale_dispatch_caught";
+      m_crash_nacks = Obs.Metrics.counter metrics "crash_nacks";
+      m_requeues = Obs.Metrics.counter metrics "requeues";
+      m_drop_full = Obs.Metrics.counter metrics "drop_full";
       tracer;
       trk = Obs.Tracer.track tracer "ccnic-static";
       trk_detail = Obs.Tracer.track tracer "nic-pipeline";
@@ -326,7 +456,7 @@ let create engine ~cfg ~ncores ?kernel_costs ?(fault = Fault.Plan.none)
           ~name:(svc.Rpc.Interface.service_name ^ "-pinned")
           ~affinity:core body
       in
-      let w = { wthread; wep; cpu_idx = 0 } in
+      let w = { wthread; wep; cpu_idx = 0; limbo = Queue.create () } in
       w_ref := Some w;
       Hashtbl.replace t.by_service svc.Rpc.Interface.service_id w;
       Hashtbl.replace t.core_map svc.Rpc.Interface.service_id core;

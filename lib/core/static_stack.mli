@@ -48,4 +48,17 @@ val counters : t -> Sim.Counter.group
 val metrics : t -> Obs.Metrics.t
 val tracer : t -> Obs.Tracer.t
 val core_of_service : t -> service_id:int -> int
+
+val kill_service : t -> service_id:int -> unit
+(** Crash the service's pinned process. With no scheduler mirror in
+    this ablation there is no push lag to model: the kill tears down
+    kernel state and sweeps the NIC side in one step — NIC-SRAM queue
+    contents are kept for redelivery, staged requests are NACKed
+    [err_dead], and subsequent arrivals are refused on the wire.
+    @raise Invalid_argument on an unknown service. *)
+
+val restart_service : t -> service_id:int -> unit
+(** Respawn a killed service on its original core and redeliver the
+    crash survivors. @raise Invalid_argument on an unknown service. *)
+
 val driver : t -> Harness.Driver.t

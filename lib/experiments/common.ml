@@ -26,6 +26,9 @@ type server = {
   setup : Workload.Scenario.setup;
   flush : unit -> unit;  (* finalize ledgers (bypass spin windows) *)
   lauberhorn : Lauberhorn.Stack.t option;
+  kill_service : service_id:int -> unit;
+      (* crash the process hosting the service, flavour-appropriately *)
+  restart_service : service_id:int -> unit;
 }
 
 (* Build a server hosting [setup]'s services under the given flavour.
@@ -39,7 +42,7 @@ type server = {
    disabled; enable it to collect per-RPC stage spans. *)
 let make_server ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)
     ?(linux_threads = 2) ?engine ?(fault = Fault.Plan.none) ?egress ?tap
-    flavour setup =
+    ?metrics flavour setup =
   let engine =
     match engine with Some e -> e | None -> Sim.Engine.create ()
   in
@@ -53,12 +56,12 @@ let make_server ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)
     | None -> egress
     | Some tap -> fun f -> tap f; egress f
   in
-  let driver, flush, lauberhorn =
+  let driver, flush, lauberhorn, kill_service, restart_service =
     match flavour with
     | Lauberhorn (cfg, mirror_mode) ->
         let s =
           Lauberhorn.Stack.create engine ~cfg ~ncores ~mirror_mode ~fault
-            ~tracer
+            ?metrics ~tracer
             ~services:
               (List.mapi
                  (fun i def ->
@@ -67,10 +70,15 @@ let make_server ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)
                  setup.Workload.Scenario.defs)
             ~egress ()
         in
-        (Lauberhorn.Stack.driver s, (fun () -> ()), Some s)
+        ( Lauberhorn.Stack.driver s,
+          (fun () -> ()),
+          Some s,
+          (fun ~service_id -> Lauberhorn.Stack.kill_service s ~service_id),
+          fun ~service_id -> Lauberhorn.Stack.restart_service s ~service_id )
     | Linux profile ->
         let s =
-          Baseline.Linux_stack.create engine ~profile ~ncores ~fault ~tracer
+          Baseline.Linux_stack.create engine ~profile ~ncores ~fault ?metrics
+            ~tracer
             ~services:
               (List.mapi
                  (fun i def ->
@@ -79,10 +87,16 @@ let make_server ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)
                  setup.Workload.Scenario.defs)
             ~egress ()
         in
-        (Baseline.Linux_stack.driver s, (fun () -> ()), None)
+        ( Baseline.Linux_stack.driver s,
+          (fun () -> ()),
+          None,
+          (fun ~service_id -> Baseline.Linux_stack.kill_service s ~service_id),
+          fun ~service_id ->
+            Baseline.Linux_stack.restart_service s ~service_id )
     | Bypass profile ->
         let s =
-          Baseline.Bypass_stack.create engine ~profile ~ncores ~fault ~tracer
+          Baseline.Bypass_stack.create engine ~profile ~ncores ~fault ?metrics
+            ~tracer
             ~services:
               (List.mapi
                  (fun i def ->
@@ -93,10 +107,14 @@ let make_server ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)
         in
         ( Baseline.Bypass_stack.driver s,
           (fun () -> Baseline.Bypass_stack.flush_spin s),
-          None )
+          None,
+          (fun ~service_id -> Baseline.Bypass_stack.kill_service s ~service_id),
+          fun ~service_id ->
+            Baseline.Bypass_stack.restart_service s ~service_id )
     | Static cfg ->
         let s =
-          Lauberhorn.Static_stack.create engine ~cfg ~ncores ~fault ~tracer
+          Lauberhorn.Static_stack.create engine ~cfg ~ncores ~fault ?metrics
+            ~tracer
             ~services:
               (List.mapi
                  (fun i def ->
@@ -105,7 +123,13 @@ let make_server ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)
                  setup.Workload.Scenario.defs)
             ~egress ()
         in
-        (Lauberhorn.Static_stack.driver s, (fun () -> ()), None)
+        ( Lauberhorn.Static_stack.driver s,
+          (fun () -> ()),
+          None,
+          (fun ~service_id ->
+            Lauberhorn.Static_stack.kill_service s ~service_id),
+          fun ~service_id ->
+            Lauberhorn.Static_stack.restart_service s ~service_id )
   in
   let driver =
     match tap with
@@ -114,7 +138,17 @@ let make_server ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)
         let inner = driver.Harness.Driver.ingress in
         { driver with Harness.Driver.ingress = (fun f -> tap f; inner f) }
   in
-  { engine; driver; recorder; tracer; setup; flush; lauberhorn }
+  {
+    engine;
+    driver;
+    recorder;
+    tracer;
+    setup;
+    flush;
+    lauberhorn;
+    kill_service;
+    restart_service;
+  }
 
 let inject_blob server ~seq ~service_idx ~bytes =
   let setup = server.setup in

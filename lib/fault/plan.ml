@@ -32,12 +32,38 @@ let link ?(drop = 0.) ?(duplicate = 0.) ?(corrupt = 0.) ?(reorder = 0.)
     invalid_arg "Fault.Plan: drop_nth ordinals are 1-based";
   { drop; duplicate; corrupt; reorder; reorder_delay; drop_nth }
 
+type server_fault = {
+  crash_at : Sim.Units.time option;
+  crash_after_rpcs : int option;
+  downtime : Sim.Units.duration;
+  restart : bool;
+}
+
+let no_server_fault =
+  { crash_at = None; crash_after_rpcs = None; downtime = 0; restart = false }
+
+let server_fault ?crash_at ?crash_after_rpcs ?(downtime = Sim.Units.ms 2)
+    ?(restart = true) () =
+  (match crash_at with
+  | Some at when at < 0 -> invalid_arg "Fault.Plan: negative crash_at"
+  | Some _ | None -> ());
+  (match crash_after_rpcs with
+  | Some n when n <= 0 ->
+      invalid_arg "Fault.Plan: crash_after_rpcs must be positive"
+  | Some _ | None -> ());
+  if downtime < 0 then invalid_arg "Fault.Plan: negative downtime";
+  { crash_at; crash_after_rpcs; downtime; restart }
+
+let server_fault_is_none s =
+  s.crash_at = None && s.crash_after_rpcs = None
+
 type t = {
   seed : int;
   wire : link;
   nic : link;
   fill_delay : float;
   fill_delay_ns : Sim.Units.duration;
+  server : server_fault;
 }
 
 let none =
@@ -47,13 +73,15 @@ let none =
     nic = perfect_link;
     fill_delay = 0.;
     fill_delay_ns = 0;
+    server = no_server_fault;
   }
 
 let make ?(seed = 0x5eed) ?(wire = perfect_link) ?(nic = perfect_link)
-    ?(fill_delay = 0.) ?(fill_delay_ns = Sim.Units.ms 20) () =
+    ?(fill_delay = 0.) ?(fill_delay_ns = Sim.Units.ms 20)
+    ?(server = no_server_fault) () =
   check_prob "fill_delay" fill_delay;
   if fill_delay_ns < 0 then invalid_arg "Fault.Plan: negative fill_delay_ns";
-  { seed; wire; nic; fill_delay; fill_delay_ns }
+  { seed; wire; nic; fill_delay; fill_delay_ns; server }
 
 let link_is_perfect l =
   l.drop = 0. && l.duplicate = 0. && l.corrupt = 0. && l.reorder = 0.
@@ -61,6 +89,7 @@ let link_is_perfect l =
 
 let is_none t =
   link_is_perfect t.wire && link_is_perfect t.nic && t.fill_delay = 0.
+  && server_fault_is_none t.server
 
 let derived_seed t ~salt = t.seed + (salt * 0x61c88647)
 let derived_rng t ~salt = Sim.Rng.create ~seed:(derived_seed t ~salt)

@@ -40,6 +40,37 @@ val link :
     @raise Invalid_argument on probabilities outside [0,1], a negative
     delay, or non-positive scripted ordinals. *)
 
+type server_fault = {
+  crash_at : Sim.Units.time option;
+      (** absolute simulation time of the crash, if time-triggered *)
+  crash_after_rpcs : int option;
+      (** crash once the server has handled this many RPCs, if
+          count-triggered (whichever trigger fires first wins) *)
+  downtime : Sim.Units.duration;
+      (** how long the process stays dead before a restart *)
+  restart : bool;  (** whether the process comes back at all *)
+}
+(** A scripted server-process crash (and optional restart). Pure data,
+    deterministic by construction — no RNG involved. *)
+
+val no_server_fault : server_fault
+(** Never crashes. *)
+
+val server_fault :
+  ?crash_at:Sim.Units.time ->
+  ?crash_after_rpcs:int ->
+  ?downtime:Sim.Units.duration ->
+  ?restart:bool ->
+  unit ->
+  server_fault
+(** A server crash spec; [downtime] defaults to 2 ms, [restart] to
+    [true]. With neither trigger given the spec is inert.
+    @raise Invalid_argument on negative times or a non-positive RPC
+    count. *)
+
+val server_fault_is_none : server_fault -> bool
+(** No trigger armed — the injector is a no-op. *)
+
 type t = {
   seed : int;  (** root seed all injector streams derive from *)
   wire : link;  (** client harness <-> server MAC, both directions *)
@@ -54,6 +85,8 @@ type t = {
           stack's TRYAGAIN timeout this forces real TRYAGAIN recovery
           under load *)
   fill_delay_ns : Sim.Units.duration;
+  server : server_fault;
+      (** scripted server-process crash/restart (see {!Server_fault}) *)
 }
 
 val none : t
@@ -65,6 +98,7 @@ val make :
   ?nic:link ->
   ?fill_delay:float ->
   ?fill_delay_ns:Sim.Units.duration ->
+  ?server:server_fault ->
   unit ->
   t
 (** @raise Invalid_argument on out-of-range probabilities/delays. *)

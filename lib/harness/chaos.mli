@@ -21,10 +21,13 @@ val create :
   ?max_timeout:Sim.Units.duration ->
   ?jitter:float ->
   ?retry_budget:int ->
+  ?metrics:Obs.Metrics.t ->
   unit ->
   t
 (** Defaults: 200 us initial timeout, 20 retries, backoff 2.0 capped at
-    2 ms, jitter 0.25, unlimited budget. *)
+    2 ms, jitter 0.25, unlimited budget. [metrics] is forwarded to
+    {!Client.create} so the client's tallies export as [client_*]
+    derived gauges alongside the server's. *)
 
 val connect : t -> Driver.t -> unit
 (** Point the forward (request) link at a server's ingress. Frames sent
@@ -52,4 +55,6 @@ val timeline_digest : t -> int
 
 val stats : t -> (string * int) list
 (** Client retry/suppression counters plus both links' fault counters
-    (prefixed [req_] and [rep_]). *)
+    (prefixed [req_] and [rep_]). A [rejected] entry (explicit
+    shed/dead NACKs converted into retries) appears only when
+    nonzero. *)

@@ -9,11 +9,13 @@ type t = {
   mutable next_epoch : int;
   schemas : (int * int, Rpc.Schema.t) Hashtbl.t;
   rng : Sim.Rng.t;  (* backoff jitter; only drawn when jitter > 0 *)
+  mutable sent : int;
   mutable completed : int;
   mutable errors : int;
   mutable retransmits : int;
   mutable abandoned : int;
   mutable duplicates : int;
+  mutable rejected : int;
   mutable retry_budget : int;
   mutable budget_exhausted : int;
 }
@@ -30,29 +32,46 @@ let split_rpc_id id =
   ( Int64.to_int (Int64.shift_right_logical id cont_bits),
     Int64.to_int (Int64.logand id (Int64.of_int ((1 lsl cont_bits) - 1))) )
 
-let create engine ~send ?endpoint ?(seed = 0x7e7) ?(retry_budget = max_int) ()
-    =
+let create engine ~send ?endpoint ?(seed = 0x7e7) ?(retry_budget = max_int)
+    ?metrics () =
   let endpoint =
     match endpoint with Some e -> e | None -> Traffic.client_endpoint ()
   in
   if retry_budget < 0 then invalid_arg "Client.create: negative retry_budget";
-  {
-    engine;
-    send;
-    endpoint;
-    continuations = Rpc.Continuation.create ();
-    epochs = Hashtbl.create 64;
-    next_epoch = 1;
-    schemas = Hashtbl.create 16;
-    rng = Sim.Rng.create ~seed;
-    completed = 0;
-    errors = 0;
-    retransmits = 0;
-    abandoned = 0;
-    duplicates = 0;
-    retry_budget;
-    budget_exhausted = 0;
-  }
+  let t =
+    {
+      engine;
+      send;
+      endpoint;
+      continuations = Rpc.Continuation.create ();
+      epochs = Hashtbl.create 64;
+      next_epoch = 1;
+      schemas = Hashtbl.create 16;
+      rng = Sim.Rng.create ~seed;
+      sent = 0;
+      completed = 0;
+      errors = 0;
+      retransmits = 0;
+      abandoned = 0;
+      duplicates = 0;
+      rejected = 0;
+      retry_budget;
+      budget_exhausted = 0;
+    }
+  in
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      Obs.Metrics.derive m "client_sent" (fun () -> t.sent);
+      Obs.Metrics.derive m "client_completed" (fun () -> t.completed);
+      Obs.Metrics.derive m "client_errors" (fun () -> t.errors);
+      Obs.Metrics.derive m "client_retransmits" (fun () -> t.retransmits);
+      Obs.Metrics.derive m "client_abandoned" (fun () -> t.abandoned);
+      Obs.Metrics.derive m "client_rejected" (fun () -> t.rejected);
+      Obs.Metrics.derive m "client_duplicates" (fun () -> t.duplicates);
+      Obs.Metrics.derive m "client_budget_exhausted" (fun () ->
+          t.budget_exhausted));
+  t
 
 let expect t ~service_id ~method_id schema =
   Hashtbl.replace t.schemas (service_id, method_id) schema
@@ -88,6 +107,7 @@ let call_id ?timeout ?(retries = 3) ?(backoff = 1.) ?(max_timeout = max_int)
       ~rpc_id:(rpc_id_of ~epoch ~cont)
       ~service_id ~method_id ~port ~client:t.endpoint args
   in
+  t.sent <- t.sent + 1;
   t.send (frame ());
   (match timeout with
   | None -> ()
@@ -130,13 +150,22 @@ let on_reply t frame =
   | Ok msg -> (
       match msg.Rpc.Wire_format.kind with
       | Rpc.Wire_format.Request -> ()
-      | Rpc.Wire_format.Error_reply _ ->
+      | Rpc.Wire_format.Error_reply code ->
           let epoch, cont = split_rpc_id msg.Rpc.Wire_format.rpc_id in
-          if Hashtbl.find_opt t.epochs cont = Some epoch then begin
-            t.errors <- t.errors + 1;
-            Hashtbl.remove t.epochs cont;
-            ignore (Rpc.Continuation.cancel t.continuations cont)
-          end
+          if Hashtbl.find_opt t.epochs cont = Some epoch then
+            if Rpc.Wire_format.retriable_error code then
+              (* An explicit transport-level reject (shed under
+                 overload, dead service): keep the call armed — the
+                 backoff timer already running for it will retransmit,
+                 exactly as if the request had been lost, except the
+                 client learns immediately instead of burning a
+                 timeout. *)
+              t.rejected <- t.rejected + 1
+            else begin
+              t.errors <- t.errors + 1;
+              Hashtbl.remove t.epochs cont;
+              ignore (Rpc.Continuation.cancel t.continuations cont)
+            end
       | Rpc.Wire_format.Response ->
           let epoch, cont = split_rpc_id msg.Rpc.Wire_format.rpc_id in
           if Hashtbl.find_opt t.epochs cont <> Some epoch then
@@ -168,8 +197,10 @@ let outstanding t = Rpc.Continuation.live t.continuations
 let completed t = t.completed
 let errors t = t.errors
 
+let sent t = t.sent
 let retransmits t = t.retransmits
 let abandoned t = t.abandoned
 let duplicates t = t.duplicates
+let rejected t = t.rejected
 let budget_exhausted t = t.budget_exhausted
 let retry_budget_left t = t.retry_budget

@@ -11,11 +11,17 @@ type t
 
 val create :
   Sim.Engine.t -> send:(Net.Frame.t -> unit) ->
-  ?endpoint:Net.Frame.endpoint -> ?seed:int -> ?retry_budget:int -> unit -> t
+  ?endpoint:Net.Frame.endpoint -> ?seed:int -> ?retry_budget:int ->
+  ?metrics:Obs.Metrics.t -> unit -> t
 (** [seed] feeds the backoff-jitter stream (drawn from only when a call
     uses [jitter > 0]). [retry_budget] caps the total number of
     retransmissions across all calls (default: unlimited); once spent,
-    timed-out calls are abandoned instead of retried. *)
+    timed-out calls are abandoned instead of retried.
+
+    With [metrics], the client's tallies register as [client_*] derived
+    gauges (sent, completed, errors, retransmits, abandoned, rejected,
+    duplicates, budget_exhausted) so experiment reports carry them
+    uniformly with the server-side counters. *)
 
 val call :
   ?timeout:Sim.Units.duration -> ?retries:int -> t -> service_id:int ->
@@ -40,9 +46,19 @@ val call_id :
     reproduce {!call}'s fixed-interval behaviour exactly.
     @raise Invalid_argument if [backoff < 1] or [jitter] outside [0,1). *)
 
+val sent : t -> int
+(** First transmissions (excludes retransmits). *)
+
 val retransmits : t -> int
 val abandoned : t -> int
 (** Calls given up after exhausting retries (or the retry budget). *)
+
+val rejected : t -> int
+(** Explicit transport-level rejects received ({!Rpc.Wire_format}
+    [err_shed]/[err_dead] error replies). A rejected call stays armed:
+    the running backoff timer retransmits it like a lost packet, so
+    rejects convert into retries, not errors — calls issued without a
+    [timeout] have no such timer and simply stay outstanding. *)
 
 val duplicates : t -> int
 (** Response frames suppressed by rpc-id/epoch matching: duplicates of

@@ -47,7 +47,10 @@ type t = {
   mutable next_tid : int;
   mutable hooks : hook list;
   mutable wake_hooks : (core:int -> Proc.thread -> unit) list;
+  mutable proc_exit_hooks : (Proc.process -> unit) list;
+  mutable proc_respawn_hooks : (Proc.process -> unit) list;
   mutable ctx_switches : int;
+  mutable kills : int;
   mutable irq_rr : int;
 }
 
@@ -190,7 +193,10 @@ let create engine ~ncores ?(costs = default_costs) ?(work_stealing = true) ()
       next_tid = 1;
       hooks = [];
       wake_hooks = [];
+      proc_exit_hooks = [];
+      proc_respawn_hooks = [];
       ctx_switches = 0;
+      kills = 0;
       irq_rr = 0;
     }
   in
@@ -234,7 +240,9 @@ let pick_wake_core t th =
 let wake t th =
   match th.Proc.state with
   | Proc.Ready | Proc.Running _ -> ()
-  | Proc.Exited -> invalid_arg "Kernel.wake: thread has exited"
+  (* Tolerated no-op: a timer or I/O completion may race with a crash
+     (a sleep's wake firing after the process was killed). *)
+  | Proc.Exited -> ()
   | Proc.Blocked ->
       let c = pick_wake_core t th in
       th.Proc.state <- Proc.Ready;
@@ -250,6 +258,52 @@ let exit_thread t th =
   th.Proc.resume <- None;
   release_core t c th
 
+(* Crash a whole process: every thread transitions to Exited wherever
+   it is. Running threads release their cores (closing an open memory
+   stall first, so the ledger balances); Ready threads become stale
+   run-queue entries that [Runqueue.pop] skips; Blocked threads simply
+   never wake. Context-switch hooks fire for each vacated core, so the
+   NIC mirror learns about the death with its usual push lag. *)
+let kill t proc =
+  if proc.Proc.alive then begin
+    proc.Proc.alive <- false;
+    t.kills <- t.kills + 1;
+    List.iter
+      (fun (th : Proc.thread) ->
+        match th.Proc.state with
+        | Proc.Exited -> ()
+        | Proc.Ready | Proc.Blocked ->
+            th.Proc.state <- Proc.Exited;
+            th.Proc.resume <- None
+        | Proc.Running cid ->
+            let c = core t cid in
+            (match (c.running, c.stall_start) with
+            | Some cur, Some start when cur == th ->
+                c.stall_start <- None;
+                Cpu_account.charge c.acct Cpu_account.Stall
+                  (Sim.Engine.now t.engine - start)
+            | _ -> ());
+            th.Proc.state <- Proc.Exited;
+            th.Proc.resume <- None;
+            (match c.running with
+            | Some cur when cur == th ->
+                c.running <- None;
+                fire_hooks t c.cid ~prev:(Some th) ~next:None;
+                dispatch t c
+            | Some _ | None -> ()))
+      proc.Proc.members;
+    List.iter (fun h -> h proc) t.proc_exit_hooks
+  end
+
+(* Bring a killed process back. Old thread bodies were consumed
+   closures, so the caller must [spawn] fresh threads into the process
+   afterwards; the pid is stable across the cycle. *)
+let respawn t proc =
+  if not proc.Proc.alive then begin
+    proc.Proc.alive <- true;
+    List.iter (fun h -> h proc) t.proc_respawn_hooks
+  end
+
 let preempt t c th k =
   c.need_resched <- false;
   th.Proc.resume <- Some k;
@@ -264,10 +318,16 @@ let run_for t th ~kind d k =
   let c = running_core t th in
   ignore
     (Sim.Engine.schedule_after t.engine ~after:d (fun () ->
-         Cpu_account.charge c.acct kind d;
-         if c.need_resched && not (Runqueue.is_empty c.rq) then
-           preempt t c th k
-         else k ()))
+         match th.Proc.state with
+         | Proc.Exited ->
+             (* Killed mid-segment: the continuation dies with the
+                thread (the core was already released by [kill]). *)
+             ()
+         | Proc.Ready | Proc.Running _ | Proc.Blocked ->
+             Cpu_account.charge c.acct kind d;
+             if c.need_resched && not (Runqueue.is_empty c.rq) then
+               preempt t c th k
+             else k ()))
 
 let yield t th k =
   let c = running_core t th in
@@ -350,4 +410,10 @@ let account t ~core:cid = (core t cid).acct
 let accounts t = Array.to_list t.cores |> List.map (fun c -> c.acct)
 let on_context_switch t h = t.hooks <- t.hooks @ [ h ]
 let on_wake_enqueue t h = t.wake_hooks <- t.wake_hooks @ [ h ]
+let on_process_exit t h = t.proc_exit_hooks <- t.proc_exit_hooks @ [ h ]
+
+let on_process_respawn t h =
+  t.proc_respawn_hooks <- t.proc_respawn_hooks @ [ h ]
+
 let context_switches t = t.ctx_switches
+let kills t = t.kills

@@ -64,10 +64,36 @@ val spawn :
 val wake : t -> Proc.thread -> unit
 (** Make a blocked thread runnable and place it: pinned core if any,
     else its last core when idle, else any idle core, else the shortest
-    run queue. No-op if already runnable.  Charged [costs.wake] to the
-    kernel of the target core. *)
+    run queue. No-op if already runnable, and a tolerated no-op on an
+    exited thread (a timer or I/O completion racing with {!kill}).
+    Charged [costs.wake] to the kernel of the target core. *)
 
 val exit_thread : t -> Proc.thread -> unit
+
+(** {1 Process lifecycle — the server-side failure domain} *)
+
+val kill : t -> Proc.process -> unit
+(** Crash the process: all its threads exit wherever they are. Running
+    threads release their cores immediately (open memory stalls are
+    closed and charged); Ready threads become stale run-queue entries
+    that the scheduler skips; Blocked threads never wake. A segment in
+    flight under {!run_for} is abandoned when its timer fires. The
+    context-switch hooks fire for each vacated core — the NIC's
+    scheduling mirror therefore sees the death with the same push lag
+    as any other occupancy change. Fires the {!on_process_exit} hooks
+    synchronously. Idempotent. *)
+
+val respawn : t -> Proc.process -> unit
+(** Mark a killed process alive again (same pid) and fire the
+    {!on_process_respawn} hooks. Thread bodies are one-shot
+    continuation chains, so the caller spawns fresh threads into the
+    process afterwards. No-op if the process is alive. *)
+
+val on_process_exit : t -> (Proc.process -> unit) -> unit
+val on_process_respawn : t -> (Proc.process -> unit) -> unit
+
+val kills : t -> int
+(** Total {!kill}s that found a live process. *)
 
 (** {1 Execution primitives — call only from the running thread} *)
 

@@ -1,8 +1,14 @@
 type thread_state = Ready | Running of int | Blocked | Exited
 
-type process = { pid : int; pname : string; mutable thread_count : int }
+type process = {
+  pid : int;
+  pname : string;
+  mutable thread_count : int;
+  mutable alive : bool;
+  mutable members : thread list;  (* most-recently-spawned first *)
+}
 
-type thread = {
+and thread = {
   tid : int;
   tname : string;
   proc : process;
@@ -14,21 +20,29 @@ type thread = {
   mutable quantum_start : Sim.Units.time;
 }
 
-let make_process ~pid ~name = { pid; pname = name; thread_count = 0 }
+let make_process ~pid ~name =
+  { pid; pname = name; thread_count = 0; alive = true; members = [] }
 
 let make_thread ~tid ~name ~proc ?affinity ?(kernel_thread = false) () =
   proc.thread_count <- proc.thread_count + 1;
-  {
-    tid;
-    tname = name;
-    proc;
-    state = Blocked;
-    resume = None;
-    affinity;
-    last_core = None;
-    kernel_thread;
-    quantum_start = 0;
-  }
+  let th =
+    {
+      tid;
+      tname = name;
+      proc;
+      state = Blocked;
+      resume = None;
+      affinity;
+      last_core = None;
+      kernel_thread;
+      quantum_start = 0;
+    }
+  in
+  proc.members <- th :: proc.members;
+  th
+
+let live_members p =
+  List.filter (fun th -> th.state <> Exited) p.members
 
 let is_runnable t =
   match t.state with

@@ -15,9 +15,14 @@ type process = {
   pid : int;
   pname : string;
   mutable thread_count : int;
+  mutable alive : bool;
+      (** Cleared by {!Kernel.kill}; restored by {!Kernel.respawn}. *)
+  mutable members : thread list;
+      (** Every thread ever spawned into the process, newest first
+          (exited ones included — see {!live_members}). *)
 }
 
-type thread = {
+and thread = {
   tid : int;
   tname : string;
   proc : process;
@@ -38,6 +43,9 @@ val make_process : pid:int -> name:string -> process
 val make_thread :
   tid:int -> name:string -> proc:process -> ?affinity:int ->
   ?kernel_thread:bool -> unit -> thread
+
+val live_members : process -> thread list
+(** The process's threads that have not exited. *)
 
 val is_runnable : thread -> bool
 val state_name : thread_state -> string

@@ -11,9 +11,15 @@ let create kern () =
 let enqueue t v =
   Queue.add v t.q;
   t.total <- t.total + 1;
-  match Queue.take_opt t.waiting with
-  | Some th -> Kernel.wake t.kern th
-  | None -> ()
+  (* Waiters that died (their process was killed) while parked here are
+     discarded; the datagram stays queued for the next live receiver. *)
+  let rec wake_waiter () =
+    match Queue.take_opt t.waiting with
+    | Some th when th.Proc.state = Proc.Exited -> wake_waiter ()
+    | Some th -> Kernel.wake t.kern th
+    | None -> ()
+  in
+  wake_waiter ()
 
 let recv t th k =
   let rec try_take () =

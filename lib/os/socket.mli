@@ -12,7 +12,9 @@ val create : Kernel.t -> unit -> 'a t
 val enqueue : 'a t -> 'a -> unit
 (** Deliver a datagram. Never blocks; unbounded (the ring ahead of it
     is the bounded element, as in real kernels the socket buffer limit
-    rarely binds for small RPCs). *)
+    rarely binds for small RPCs). Waiters whose process has been killed
+    are skipped and discarded; the datagram remains queued until a live
+    thread receives it (crash/restart keeps the backlog). *)
 
 val recv : 'a t -> Proc.thread -> ('a -> unit) -> unit
 (** Blocking receive from the calling thread's context. *)

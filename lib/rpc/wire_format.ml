@@ -12,6 +12,14 @@ let magic = 0x4c42 (* "LB" *)
 let version = 1
 let header_size = 20
 
+(* Transport-level NACK codes (carried in an Error_reply). Codes below
+   0xff00 stay free for application errors. *)
+let err_shed = 0xff01
+let err_dead = 0xff02
+let retriable_error = function
+  | c when c = err_shed || c = err_dead -> true
+  | _ -> false
+
 let kind_tag = function Request -> 0 | Response -> 1 | Error_reply _ -> 2
 let err_code = function Error_reply c -> c | Request | Response -> 0
 

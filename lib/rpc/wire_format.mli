@@ -19,6 +19,20 @@ type t = {
 
 val header_size : int
 
+val err_shed : int
+(** [Error_reply] code: the NIC shed the request under overload
+    (admission control). The server never saw it; retry after backoff. *)
+
+val err_dead : int
+(** [Error_reply] code: the target process was dead (crashed) when the
+    request arrived or while it held the request. Retriable — the
+    process may be restarted. *)
+
+val retriable_error : int -> bool
+(** Whether an [Error_reply] code is a transport-level NACK the client
+    should treat as retriable ({!err_shed}, {!err_dead}) rather than a
+    terminal application error. *)
+
 val encode : t -> bytes
 
 type error =

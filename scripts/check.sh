@@ -24,4 +24,11 @@ diff "$a" "$b"
 for f in "$da"/*; do
   diff "$f" "$db/$(basename "$f")"
 done
+# Failover determinism: E15 kills and restarts a server mid-sweep and
+# sweeps overload with shedding on/off; under the fixed plan seed two
+# runs must be byte-identical (recovery times, shed counts, timeline
+# digests and all).
+dune exec bin/figures.exe -- failover > "$a"
+dune exec bin/figures.exe -- failover > "$b"
+diff "$a" "$b"
 dune exec bench/main.exe

@@ -384,6 +384,57 @@ let test_nic_sched_release_when_idle () =
        ~handler_time:500
     = Lauberhorn.Nic_sched.Release_worker)
 
+let test_nic_sched_shed_hysteresis () =
+  let s =
+    Lauberhorn.Nic_sched.create ~shed:true ~shed_hi:16 ~shed_lo:4 ()
+  in
+  let d depth =
+    Lauberhorn.Nic_sched.decide s ~service:1 ~queue_depth:depth ~workers:1
+      ~handler_time:500
+  in
+  (* In the band but below the high watermark: never sheds, and a
+     constant arrival rate gives a constant decision — no flapping. *)
+  let first = d 10 in
+  for _ = 1 to 50 do
+    checkb "constant depth, constant decision" true (d 10 = first)
+  done;
+  checkb "no shed below hi" true (first <> Lauberhorn.Nic_sched.Shed);
+  (* Cross the high watermark: shed latches... *)
+  checkb "sheds at hi" true (d 20 = Lauberhorn.Nic_sched.Shed);
+  (* ...and stays latched while the queue sits inside the band. *)
+  for _ = 1 to 50 do
+    checkb "still shedding in band" true (d 10 = Lauberhorn.Nic_sched.Shed)
+  done;
+  (* Only draining to the low watermark clears it. *)
+  checkb "clears at lo" true (d 4 <> Lauberhorn.Nic_sched.Shed);
+  checkb "stays clear in band" true (d 10 <> Lauberhorn.Nic_sched.Shed);
+  (* Watermark validation. *)
+  checkb "inverted watermarks rejected" true
+    (try
+       ignore (Lauberhorn.Nic_sched.create ~shed:true ~shed_hi:4 ~shed_lo:8 ());
+       false
+     with Invalid_argument _ -> true)
+
+let nic_sched_shed_hysteresis_property =
+  QCheck.Test.make
+    ~name:"shed follows the hysteresis model; never sheds when disabled"
+    ~count:300
+    QCheck.(pair bool (list (int_bound 32)))
+    (fun (shed, depths) ->
+      let s = Lauberhorn.Nic_sched.create ~shed ~shed_hi:16 ~shed_lo:4 () in
+      let shedding = ref false in
+      List.for_all
+        (fun depth ->
+          let d =
+            Lauberhorn.Nic_sched.decide s ~service:1 ~queue_depth:depth
+              ~workers:1 ~handler_time:500
+          in
+          (if shed then
+             if !shedding then (if depth <= 4 then shedding := false)
+             else if depth >= 16 then shedding := true);
+          (d = Lauberhorn.Nic_sched.Shed) = (shed && !shedding))
+        depths)
+
 (* ---------- Pipeline ---------- *)
 
 let test_pipeline_breakdown () =
@@ -934,6 +985,38 @@ let test_stack_tryagain_idle_traffic () =
   in
   checkb "tryagains bounded" true (tries > 10 && tries < 500)
 
+let test_stack_kill_restart_lifecycle () =
+  let env = make_stack ~services:[ echo_spec ~port:7000 ~id:1 () ] () in
+  let inject n at =
+    ignore
+      (Sim.Engine.schedule_after env.sengine ~after:at (fun () ->
+           Harness.Traffic.inject env.recorder env.driver
+             ~rpc_id:(Int64.of_int n) ~service_id:1 ~method_id:0 ~port:7000
+             (Rpc.Value.Blob (Bytes.of_string "x"))))
+  in
+  inject 1 (Sim.Units.us 10);
+  ignore
+    (Sim.Engine.schedule_after env.sengine ~after:(Sim.Units.us 100)
+       (fun () -> Lauberhorn.Stack.kill_service env.stack ~service_id:1));
+  (* Arrives well after the death push landed: refused on the wire. *)
+  inject 2 (Sim.Units.us 300);
+  ignore
+    (Sim.Engine.schedule_after env.sengine ~after:(Sim.Units.us 500)
+       (fun () -> Lauberhorn.Stack.restart_service env.stack ~service_id:1));
+  inject 3 (Sim.Units.us 800);
+  Sim.Engine.run env.sengine ~until:(Sim.Units.ms 5);
+  (* All three got a wire answer — the dead-window arrival an err_dead
+     NACK rather than silence (the recorder counts error replies as
+     completions: a response was produced). *)
+  checki "every arrival answered on the wire" 3
+    (Harness.Recorder.completed env.recorder);
+  let mv name =
+    Obs.Metrics.counter_value (Lauberhorn.Stack.metrics env.stack) name
+  in
+  checki "kill counted" 1 (mv "kills");
+  checki "respawn counted" 1 (mv "respawns");
+  checki "dead-window arrival refused" 1 (mv "crash_nacks")
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -984,7 +1067,10 @@ let () =
             test_nic_sched_rate_estimation;
           Alcotest.test_case "release when idle" `Quick
             test_nic_sched_release_when_idle;
-        ] );
+          Alcotest.test_case "shed hysteresis" `Quick
+            test_nic_sched_shed_hysteresis;
+        ]
+        @ qsuite [ nic_sched_shed_hysteresis_property ] );
       ( "pipeline",
         [ Alcotest.test_case "breakdown" `Quick test_pipeline_breakdown ] );
       ( "stack",
@@ -1018,5 +1104,7 @@ let () =
             test_stack_cross_machine_nested;
           Alcotest.test_case "idle tryagain bounded" `Quick
             test_stack_tryagain_idle_traffic;
+          Alcotest.test_case "kill/restart lifecycle" `Quick
+            test_stack_kill_restart_lifecycle;
         ] );
     ]

@@ -439,6 +439,88 @@ let test_socket_immediate_recv () =
   Sim.Engine.run e ~until:(Sim.Units.ms 100);
   checki "got it" 7 !got
 
+(* ---------- Crash / restart lifecycle ---------- *)
+
+let test_kill_and_respawn_lifecycle () =
+  let e, k = make ~ncores:1 ~costs:zero_costs () in
+  let proc = Osmodel.Kernel.new_process k ~name:"victim" in
+  let woke = ref 0 and exited = ref 0 and back = ref 0 in
+  Osmodel.Kernel.on_process_exit k (fun _ -> incr exited);
+  Osmodel.Kernel.on_process_respawn k (fun _ -> incr back);
+  let th_ref = ref None in
+  let th =
+    Osmodel.Kernel.spawn k proc ~name:"w" (fun () ->
+        Osmodel.Kernel.block k (Option.get !th_ref) (fun () -> incr woke))
+  in
+  th_ref := Some th;
+  Osmodel.Kernel.wake k th;
+  ignore
+    (Sim.Engine.schedule_after e ~after:(Sim.Units.us 10) (fun () ->
+         Osmodel.Kernel.kill k proc;
+         (* A second kill of a dead process is a no-op. *)
+         Osmodel.Kernel.kill k proc));
+  ignore
+    (Sim.Engine.schedule_after e ~after:(Sim.Units.us 20) (fun () ->
+         (* Waking a killed thread must be a silent no-op, not a
+            resurrection. *)
+         Osmodel.Kernel.wake k th));
+  ignore
+    (Sim.Engine.schedule_after e ~after:(Sim.Units.us 30) (fun () ->
+         Osmodel.Kernel.respawn k proc;
+         let th2_ref = ref None in
+         let th2 =
+           Osmodel.Kernel.spawn k proc ~name:"w2" (fun () ->
+               Osmodel.Kernel.exit_thread k (Option.get !th2_ref))
+         in
+         th2_ref := Some th2;
+         Osmodel.Kernel.wake k th2));
+  Sim.Engine.run e ~until:(Sim.Units.ms 1);
+  checkb "old thread exited" true
+    (th.Osmodel.Proc.state = Osmodel.Proc.Exited);
+  checki "blocked continuation never ran" 0 !woke;
+  checki "exit hook fired once" 1 !exited;
+  checki "respawn hook fired once" 1 !back;
+  checki "kills counted once" 1 (Osmodel.Kernel.kills k);
+  checkb "process alive again" true proc.Osmodel.Proc.alive
+
+let test_socket_backlog_survives_crash () =
+  let e, k = make ~ncores:1 ~costs:zero_costs () in
+  let proc = Osmodel.Kernel.new_process k ~name:"srv" in
+  let sock : string Osmodel.Socket.t = Osmodel.Socket.create k () in
+  let got = ref [] in
+  let th_ref = ref None in
+  let th =
+    Osmodel.Kernel.spawn k proc ~name:"rx" (fun () ->
+        Osmodel.Socket.recv sock (Option.get !th_ref) (fun v ->
+            got := v :: !got))
+  in
+  th_ref := Some th;
+  Osmodel.Kernel.wake k th;
+  ignore
+    (Sim.Engine.schedule_after e ~after:(Sim.Units.us 10) (fun () ->
+         Osmodel.Kernel.kill k proc));
+  (* Deliver while the only waiter is dead: the waiter is skipped and
+     the datagram stays queued — the kernel owns the buffer. *)
+  ignore
+    (Sim.Engine.schedule_after e ~after:(Sim.Units.us 20) (fun () ->
+         Osmodel.Socket.enqueue sock "survivor"));
+  ignore
+    (Sim.Engine.schedule_after e ~after:(Sim.Units.us 30) (fun () ->
+         Osmodel.Kernel.respawn k proc;
+         let th2_ref = ref None in
+         let th2 =
+           Osmodel.Kernel.spawn k proc ~name:"rx2" (fun () ->
+               Osmodel.Socket.recv sock (Option.get !th2_ref) (fun v ->
+                   got := v :: !got))
+         in
+         th2_ref := Some th2;
+         Osmodel.Kernel.wake k th2));
+  Sim.Engine.run e ~until:(Sim.Units.ms 1);
+  check
+    (Alcotest.list Alcotest.string)
+    "backlog served after restart" [ "survivor" ] !got;
+  checki "queue drained" 0 (Osmodel.Socket.depth sock)
+
 let () =
   Alcotest.run "os"
     [
@@ -486,5 +568,12 @@ let () =
           Alcotest.test_case "blocking recv" `Quick test_socket_blocking_recv;
           Alcotest.test_case "immediate recv" `Quick
             test_socket_immediate_recv;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "kill and respawn" `Quick
+            test_kill_and_respawn_lifecycle;
+          Alcotest.test_case "socket backlog survives crash" `Quick
+            test_socket_backlog_survives_crash;
         ] );
     ]
