@@ -1,0 +1,28 @@
+(* Repro: kill a process whose Running thread's core dispatches a
+   not-yet-Exited Ready sibling of the same process. *)
+let () =
+  let e = Sim.Engine.create () in
+  let k = Osmodel.Kernel.create e ~ncores:1 ~work_stealing:false () in
+  let proc = Osmodel.Kernel.new_process k ~name:"victim" in
+  (* Thread B: spawned FIRST (so it sits LAST in members newest-first).
+     Body parks itself Ready via preempt-like yield... simplest: B gets
+     woken, runs briefly, then we arrange it Ready in runqueue while A runs. *)
+  let ran_after_kill = ref false in
+  let b = Osmodel.Kernel.spawn k proc ~name:"B" (fun () ->
+      ran_after_kill := true;
+      print_endline "B body ran (after kill?)") in
+  let a = Osmodel.Kernel.spawn k proc ~name:"A" (fun () ->
+      (* A occupies the core forever-ish via run_for *)
+      Osmodel.Kernel.run_for k (match Osmodel.Kernel.current k ~core:0 with Some t -> t | None -> assert false)
+        ~kind:Osmodel.Cpu_account.User (Sim.Units.us 100) (fun () -> ())) in
+  ignore a;
+  (* wake A first so it runs; then wake B so it's Ready in the runqueue *)
+  Osmodel.Kernel.wake k a;
+  Osmodel.Kernel.wake k b;
+  (* at t=1us, kill the process while A Running and B Ready *)
+  ignore (Sim.Engine.schedule_at e ~at:(Sim.Units.us 1) (fun () ->
+      Osmodel.Kernel.kill k proc;
+      Printf.printf "killed; B state=%s\n"
+        (Osmodel.Proc.state_name b.Osmodel.Proc.state)));
+  Sim.Engine.run e;
+  Printf.printf "ran_after_kill=%b\n" !ran_after_kill
