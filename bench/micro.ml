@@ -113,6 +113,28 @@ let test_pooled_frame =
          | Error _ -> assert false);
          Net.Pool.release pool buf))
 
+(* The sanitizer tax when it is armed: the same pooled hot path with a
+   [Sanitize.Pool_watch] attached, so every acquire is identity-tracked
+   and every release poisons the buffer. Compare against the row above:
+   the delta is what LAUBERHORN_SANITIZE=1 costs per packet, and the
+   row above doubles as the proof that the disarmed hooks (a single
+   [None] branch per crossing) shifted nothing. *)
+let test_pooled_frame_sanitized =
+  let src = Harness.Traffic.client_endpoint () in
+  let dst = Harness.Traffic.server_endpoint ~port:7000 in
+  let frame = Net.Frame.make ~src ~dst (Bytes.make 64 'x') in
+  let pool = Net.Pool.create ~prealloc:1 ~buffer_bytes:2048 () in
+  let z = Sanitize.create ~mode:Sanitize.Collect (Sim.Engine.create ()) in
+  let _w = Sanitize.Pool_watch.attach z pool in
+  Test.make ~name:"pooled frame encode_into+parse_slice (sanitized)"
+    (Staged.stage (fun () ->
+         let buf = Net.Pool.acquire pool in
+         let wire = Net.Frame.encode_into frame buf in
+         (match Net.Frame.parse_slice wire with
+         | Ok v -> ignore (Sys.opaque_identity v.Net.Frame.payload)
+         | Error _ -> assert false);
+         Net.Pool.release pool buf))
+
 (* The observability tax when nobody is watching: every stack hot path
    now carries span-emission calls, which must compile down to a single
    load-and-branch while the tracer is disabled (the default). The
@@ -154,6 +176,7 @@ let tests =
     test_ctrl_line;
     test_frame;
     test_pooled_frame;
+    test_pooled_frame_sanitized;
     test_span_disabled;
     test_span_enabled;
     test_modelcheck;

@@ -1,0 +1,4 @@
+(* simlint CLI: `simlint_cli [paths...]` (default: lib). Exits 1 on any
+   finding. The analysis lives in lib/simlint so tests can drive it on
+   fixture sources directly. *)
+let () = Simlint.main ()

@@ -177,7 +177,7 @@ let resume_from_spin t p () =
 
 let create engine ~profile ~ncores ?pollers ?kernel_costs
     ?(sw_costs = Costs.default) ?(fault = Fault.Plan.none) ?metrics ?tracer
-    ~services ~egress () =
+    ?sanitize ~services ~egress () =
   if services = [] then invalid_arg "Bypass_stack.create: no services";
   let npollers = match pollers with Some n -> n | None -> ncores in
   if npollers < 1 || npollers > ncores then
@@ -229,6 +229,18 @@ let create engine ~profile ~ncores ?pollers ?kernel_costs
     Nic.Dma_nic.mask_irq dnic ~queue:q
   done;
   t.nic <- Some dnic;
+  (match sanitize with
+  | None -> ()
+  | Some z ->
+      ignore
+        (Sanitize.Pool_watch.attach z ~name:"bypass-rx-pool"
+           ~in_flight:(fun () ->
+             let occ = ref 0 in
+             for q = 0 to npollers - 1 do
+               occ := !occ + Nic.Ring.occupancy (Nic.Dma_nic.rx_ring dnic ~queue:q)
+             done;
+             !occ)
+           (Nic.Dma_nic.pool dnic)));
   (* Static service -> poller assignment, round robin. *)
   List.iteri
     (fun i sspec ->

@@ -25,6 +25,7 @@ val create :
   Sim.Engine.t -> profile:Coherence.Interconnect.profile -> ncores:int ->
   ?pollers:int -> ?kernel_costs:Osmodel.Kernel.costs -> ?sw_costs:Costs.t ->
   ?fault:Fault.Plan.t -> ?metrics:Obs.Metrics.t -> ?tracer:Obs.Tracer.t ->
+  ?sanitize:Sanitize.t ->
   services:service_spec list -> egress:(Net.Frame.t -> unit) -> unit -> t
 (** [pollers] defaults to [ncores]. [fault] (default {!Fault.Plan.none})
     is forwarded to the DMA NIC as in {!Linux_stack.create}, with its

@@ -247,7 +247,8 @@ let restart_service t ~service_id =
   | Some _ | None -> ()
 
 let create engine ~profile ~ncores ?kernel_costs ?(sw_costs = Costs.default)
-    ?nic_config ?(fault = Fault.Plan.none) ?metrics ?tracer ~services ~egress
+    ?nic_config ?(fault = Fault.Plan.none) ?metrics ?tracer ?sanitize
+    ~services ~egress
     () =
   if services = [] then invalid_arg "Linux_stack.create: no services";
   let kern =
@@ -280,11 +281,26 @@ let create engine ~profile ~ncores ?kernel_costs ?(sw_costs = Costs.default)
   let nic_config =
     match nic_config with Some c -> c | None -> Nic.Dma_nic.default_config
   in
-  t.nic <-
-    Some
-      (Nic.Dma_nic.create engine profile ~config:nic_config ~fault ~metrics
-         ~on_rx_interrupt:(fun ~queue -> on_rx_interrupt t ~queue)
-         ());
+  let dnic =
+    Nic.Dma_nic.create engine profile ~config:nic_config ~fault ~metrics
+      ~on_rx_interrupt:(fun ~queue -> on_rx_interrupt t ~queue)
+      ()
+  in
+  t.nic <- Some dnic;
+  (match sanitize with
+  | None -> ()
+  | Some z ->
+      (* Buffers parked in un-consumed ring descriptors at cutoff are
+         accounted, not leaked. *)
+      ignore
+        (Sanitize.Pool_watch.attach z ~name:"linux-rx-pool"
+           ~in_flight:(fun () ->
+             let occ = ref 0 in
+             for q = 0 to nic_config.Nic.Dma_nic.nqueues - 1 do
+               occ := !occ + Nic.Ring.occupancy (Nic.Dma_nic.rx_ring dnic ~queue:q)
+             done;
+             !occ)
+           (Nic.Dma_nic.pool dnic)));
   List.iter
     (fun sspec ->
       let rt =

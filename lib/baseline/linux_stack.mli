@@ -27,6 +27,7 @@ val create :
   ?kernel_costs:Osmodel.Kernel.costs -> ?sw_costs:Costs.t ->
   ?nic_config:Nic.Dma_nic.config -> ?fault:Fault.Plan.t ->
   ?metrics:Obs.Metrics.t -> ?tracer:Obs.Tracer.t ->
+  ?sanitize:Sanitize.t ->
   services:service_spec list ->
   egress:(Net.Frame.t -> unit) -> unit -> t
 (** [fault] (default {!Fault.Plan.none}) is forwarded to the DMA NIC

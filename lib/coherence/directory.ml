@@ -31,14 +31,14 @@ let read t ~line ~agent =
       set t ~line (Shared [ agent ]);
       { latency = Miss_clean; invalidated = []; writeback_from = None }
   | Shared sharers ->
-      if List.mem agent sharers then
+      if List.exists (Int.equal agent) sharers then
         { latency = Hit; invalidated = []; writeback_from = None }
       else begin
         set t ~line (Shared (List.sort_uniq Int.compare (agent :: sharers)));
         { latency = Miss_clean; invalidated = []; writeback_from = None }
       end
   | Modified owner ->
-      if owner = agent then
+      if Int.equal owner agent then
         { latency = Hit; invalidated = []; writeback_from = None }
       else begin
         (* Owner is downgraded to sharer after writing back. *)
@@ -52,12 +52,14 @@ let write t ~line ~agent =
       set t ~line (Modified agent);
       { latency = Miss_clean; invalidated = []; writeback_from = None }
   | Shared sharers ->
-      let others = List.filter (fun a -> a <> agent) sharers in
+      let others = List.filter (fun a -> not (Int.equal a agent)) sharers in
       set t ~line (Modified agent);
-      let latency = if List.mem agent sharers then Hit else Miss_clean in
+      let latency =
+        if List.exists (Int.equal agent) sharers then Hit else Miss_clean
+      in
       { latency; invalidated = others; writeback_from = None }
   | Modified owner ->
-      if owner = agent then
+      if Int.equal owner agent then
         { latency = Hit; invalidated = []; writeback_from = None }
       else begin
         set t ~line (Modified agent);
@@ -72,10 +74,10 @@ let evict t ~line ~agent =
   match state t ~line with
   | Invalid -> ()
   | Shared sharers -> (
-      match List.filter (fun a -> a <> agent) sharers with
+      match List.filter (fun a -> not (Int.equal a agent)) sharers with
       | [] -> set t ~line Invalid
       | rest -> set t ~line (Shared rest))
-  | Modified owner -> if owner = agent then set t ~line Invalid
+  | Modified owner -> if Int.equal owner agent then set t ~line Invalid
 
 let holders t ~line =
   match state t ~line with
@@ -89,8 +91,8 @@ let lines_held_by t ~agent =
       let held =
         match s with
         | Invalid -> false
-        | Shared sharers -> List.mem agent sharers
-        | Modified owner -> owner = agent
+        | Shared sharers -> List.exists (Int.equal agent) sharers
+        | Modified owner -> Int.equal owner agent
       in
       if held then line :: acc else acc)
     t.lines []
@@ -103,7 +105,7 @@ let check_invariants t =
     | Shared [] -> Error (Printf.sprintf "line %d: empty sharer list" line)
     | Shared sharers ->
         let sorted = List.sort_uniq Int.compare sharers in
-        if sorted <> sharers then
+        if not (List.equal Int.equal sorted sharers) then
           Error (Printf.sprintf "line %d: unsorted/duplicate sharers" line)
         else Ok ()
     | Modified _ -> Ok ()

@@ -1,12 +1,22 @@
 type line_id = int
 type fill = Data of bytes | Tryagain
 
+type sanitizer_event =
+  | Fill of {
+      line : line_id;
+      gen_at_issue : int;
+      gen_now : int;
+      tryagain : bool;
+    }
+  | Reset of { line : line_id; new_gen : int }
+
 type parked = {
   callback : fill -> unit;
   timer : Sim.Engine.handle;
 }
 
 type line = {
+  id : line_id;
   mutable staged : bytes option;
   mutable parked : parked option;
   mutable cpu_copy : bytes option;  (* last CPU store, until fetched *)
@@ -33,6 +43,7 @@ type t = {
   mutable delayed_stages : int;
   mutable line_resets : int;
   mutable stale_loads : int;
+  mutable sanitizer : (sanitizer_event -> unit) option;
 }
 
 let create engine prof ?stage_delay ~timeout () =
@@ -42,9 +53,9 @@ let create engine prof ?stage_delay ~timeout () =
     prof;
     timeout;
     stage_delay;
-    lines = Array.init 16 (fun _ ->
-        { staged = None; parked = None; cpu_copy = None; on_load = None;
-          on_store = None; gen = 0 });
+    lines = Array.init 16 (fun i ->
+        { id = i; staged = None; parked = None; cpu_copy = None;
+          on_load = None; on_store = None; gen = 0 });
     n_lines = 0;
     loads = 0;
     fills = 0;
@@ -54,19 +65,21 @@ let create engine prof ?stage_delay ~timeout () =
     delayed_stages = 0;
     line_resets = 0;
     stale_loads = 0;
+    sanitizer = None;
   }
 
 let profile t = t.prof
 let engine t = t.engine
+let set_sanitizer t f = t.sanitizer <- f
 
 let alloc_line t =
-  if t.n_lines = Array.length t.lines then begin
+  if Int.equal t.n_lines (Array.length t.lines) then begin
     let bigger =
       Array.init (2 * t.n_lines) (fun i ->
           if i < t.n_lines then t.lines.(i)
           else
-            { staged = None; parked = None; cpu_copy = None; on_load = None;
-              on_store = None; gen = 0 })
+            { id = i; staged = None; parked = None; cpu_copy = None;
+              on_load = None; on_store = None; gen = 0 })
     in
     t.lines <- bigger
   end;
@@ -86,10 +99,23 @@ let respond t ln k fill =
   (match fill with
   | Data _ -> t.fills <- t.fills + 1
   | Tryagain -> t.tryagains <- t.tryagains + 1);
-  ignore ln;
+  let gen_at_issue = ln.gen in
   ignore
     (Sim.Engine.schedule_after t.engine ~after:t.prof.Interconnect.load_response
-       (fun () -> k fill))
+       (fun () ->
+         (match t.sanitizer with
+         | None -> ()
+         | Some observe ->
+             observe
+               (Fill
+                  {
+                    line = ln.id;
+                    gen_at_issue;
+                    gen_now = ln.gen;
+                    tryagain =
+                      (match fill with Tryagain -> true | Data _ -> false);
+                  }));
+         k fill))
 
 let complete_parked t ln fill =
   match ln.parked with
@@ -107,7 +133,7 @@ let cpu_load t id k =
   ignore
     (Sim.Engine.schedule_after t.engine ~after:t.prof.Interconnect.load_request
        (fun () ->
-         if ln.gen <> gen then
+         if not (Int.equal ln.gen gen) then
            (* The line was reset while this load request was on the
               interconnect: the loader's process is gone, so the
               request dies at the directory instead of parking. *)
@@ -119,7 +145,7 @@ let cpu_load t id k =
              respond t ln k (Data data);
              (match ln.on_load with Some f -> f ~served:true | None -> ())
          | None ->
-             if ln.parked <> None then
+             if Option.is_some ln.parked then
                invalid_arg
                  (Printf.sprintf
                     "Home_agent.cpu_load: line %d already has a parked load"
@@ -161,8 +187,8 @@ let stage t id data =
         ignore (Sim.Engine.schedule_after t.engine ~after:d apply)
       end
 
-let stage_pending t id = (line t id).staged <> None
-let load_parked t id = (line t id).parked <> None
+let stage_pending t id = Option.is_some (line t id).staged
+let load_parked t id = Option.is_some (line t id).parked
 
 let kick t id =
   let ln = line t id in
@@ -180,7 +206,10 @@ let reset_line t id =
       t.line_resets <- t.line_resets + 1);
   ln.gen <- ln.gen + 1;
   ln.staged <- None;
-  ln.cpu_copy <- None
+  ln.cpu_copy <- None;
+  match t.sanitizer with
+  | None -> ()
+  | Some observe -> observe (Reset { line = ln.id; new_gen = ln.gen })
 
 let cpu_store t id data =
   let ln = line t id in

@@ -43,6 +43,25 @@ val create :
 val profile : t -> Interconnect.profile
 val engine : t -> Sim.Engine.t
 
+(** {1 Sanitizer hook} *)
+
+type sanitizer_event =
+  | Fill of {
+      line : line_id;
+      gen_at_issue : int;  (** Line generation when the fill left the agent. *)
+      gen_now : int;  (** Line generation when it reached the core. *)
+      tryagain : bool;
+    }
+      (** A fill (real or TRYAGAIN) delivered to a waiting core. A
+          mismatch between the two generations means the line was
+          {!reset_line} while the fill crossed the interconnect. *)
+  | Reset of { line : line_id; new_gen : int }
+      (** {!reset_line} ran; generations must only ever grow. *)
+
+val set_sanitizer : t -> (sanitizer_event -> unit) option -> unit
+(** Install (or clear) the protocol observer. With [None] — the
+    default — fills pay one branch and behaviour is unchanged. *)
+
 val alloc_line : t -> line_id
 (** Allocate a fresh device-homed line. *)
 

@@ -24,7 +24,8 @@ let lookup_service t ~service_id =
       match acc with
       | Some _ -> acc
       | None ->
-          if e.service.Rpc.Interface.service_id = service_id then Some e
+          if Int.equal e.service.Rpc.Interface.service_id service_id then
+            Some e
           else None)
     t.by_port None
 
@@ -34,7 +35,8 @@ let port_of_service t ~service_id =
       match acc with
       | Some _ -> acc
       | None ->
-          if e.service.Rpc.Interface.service_id = service_id then Some port
+          if Int.equal e.service.Rpc.Interface.service_id service_id then
+            Some port
           else None)
     t.by_port None
 

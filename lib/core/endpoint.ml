@@ -120,7 +120,7 @@ let collect t c =
 
 let on_ctrl_load t j ~served =
   (match Queue.peek_opt t.to_collect with
-  | Some c when c = 1 - j ->
+  | Some c when Int.equal c (1 - j) ->
       ignore (Queue.pop t.to_collect);
       collect t c
   | Some _ | None -> ());

@@ -124,11 +124,11 @@ let decode b =
   match
     let r = Net.Buf.reader b in
     let tag = Net.Buf.read_u8 r in
-    if tag = tag_request then Ok (Request (decode_request_body r))
-    else if tag = tag_kernel_dispatch then
+    if Int.equal tag tag_request then Ok (Request (decode_request_body r))
+    else if Int.equal tag tag_kernel_dispatch then
       Ok (Kernel_dispatch (decode_request_body r))
-    else if tag = tag_tryagain then Ok Tryagain
-    else if tag = tag_retire then Ok Retire
+    else if Int.equal tag tag_tryagain then Ok Tryagain
+    else if Int.equal tag tag_retire then Ok Retire
     else Error (Printf.sprintf "unknown control-line tag %d" tag)
   with
   | result -> result
@@ -138,7 +138,7 @@ let decode_response b =
   match
     let r = Net.Buf.reader b in
     let tag = Net.Buf.read_u8 r in
-    if tag <> tag_response then
+    if not (Int.equal tag tag_response) then
       Error (Printf.sprintf "not a response line (tag %d)" tag)
     else begin
       let _flags = Net.Buf.read_u8 r in
@@ -155,17 +155,22 @@ let decode_response b =
   | exception Net.Buf.Out_of_bounds msg -> Error ("truncated line: " ^ msg)
 
 let equal_request (a : request) (b : request) =
-  a.rpc_id = b.rpc_id && a.service_id = b.service_id
-  && a.method_id = b.method_id && a.code_ptr = b.code_ptr
-  && a.data_ptr = b.data_ptr && a.total_args = b.total_args
+  Int64.equal a.rpc_id b.rpc_id
+  && Int.equal a.service_id b.service_id
+  && Int.equal a.method_id b.method_id
+  && Int64.equal a.code_ptr b.code_ptr
+  && Int64.equal a.data_ptr b.data_ptr
+  && Int.equal a.total_args b.total_args
   && Net.Slice.equal a.inline_args b.inline_args
-  && a.aux_count = b.aux_count && a.via_dma = b.via_dma
+  && Int.equal a.aux_count b.aux_count
+  && Bool.equal a.via_dma b.via_dma
 
 let equal_response (a : response) (b : response) =
-  a.resp_rpc_id = b.resp_rpc_id && a.status = b.status
-  && a.total_len = b.total_len
+  Int64.equal a.resp_rpc_id b.resp_rpc_id
+  && Int.equal a.status b.status
+  && Int.equal a.total_len b.total_len
   && Net.Slice.equal a.inline_body b.inline_body
-  && a.resp_aux_count = b.resp_aux_count
+  && Int.equal a.resp_aux_count b.resp_aux_count
 
 let equal a b =
   match (a, b) with

@@ -9,6 +9,7 @@ type t = {
   mutable on_pid_dead : (int -> unit) list;
   mutable on_pid_respawn : (int -> unit) list;
   mutable pushes : int;
+  mutable pending : int;  (* pushes scheduled but not yet landed *)
 }
 
 let create ~mode prof kernel =
@@ -22,6 +23,7 @@ let create ~mode prof kernel =
       on_pid_dead = [];
       on_pid_respawn = [];
       pushes = 0;
+      pending = 0;
     }
   in
   (match mode with
@@ -34,11 +36,13 @@ let create ~mode prof kernel =
               next
           in
           (* The push crosses the interconnect before the NIC sees it. *)
+          t.pending <- t.pending + 1;
           ignore
             (Sim.Engine.schedule_after
                (Osmodel.Kernel.engine kernel)
                ~after:prof.Coherence.Interconnect.store_release
                (fun () ->
+                 t.pending <- t.pending - 1;
                  t.pushes <- t.pushes + 1;
                  t.view.(core) <- entry)))
   | Query -> ());
@@ -57,11 +61,14 @@ let create ~mode prof kernel =
       match mode with
       | Query -> land_death ()
       | Push ->
+          t.pending <- t.pending + 1;
           ignore
             (Sim.Engine.schedule_after
                (Osmodel.Kernel.engine kernel)
                ~after:prof.Coherence.Interconnect.store_release
-               (fun () -> land_death ())));
+               (fun () ->
+                 t.pending <- t.pending - 1;
+                 land_death ())));
   Osmodel.Kernel.on_process_respawn kernel (fun proc ->
       let pid = proc.Osmodel.Proc.pid in
       let land_respawn () =
@@ -72,11 +79,14 @@ let create ~mode prof kernel =
       match mode with
       | Query -> land_respawn ()
       | Push ->
+          t.pending <- t.pending + 1;
           ignore
             (Sim.Engine.schedule_after
                (Osmodel.Kernel.engine kernel)
                ~after:prof.Coherence.Interconnect.store_release
-               (fun () -> land_respawn ())));
+               (fun () ->
+                 t.pending <- t.pending - 1;
+                 land_respawn ())));
   t
 
 let mode t = t.mmode
@@ -92,6 +102,8 @@ let truth t core =
       (th.Osmodel.Proc.proc.Osmodel.Proc.pid, th.Osmodel.Proc.tid))
     (Osmodel.Kernel.current t.kernel ~core)
 
+let kernel_truth t ~core = truth t core
+
 let core_occupant t ~core =
   match t.mmode with Push -> t.view.(core) | Query -> truth t core
 
@@ -101,14 +113,15 @@ let cores_running t ~pid =
     if core >= n then List.rev acc
     else
       match core_occupant t ~core with
-      | Some (p, _) when p = pid -> go (core + 1) (core :: acc)
+      | Some (p, _) when Int.equal p pid -> go (core + 1) (core :: acc)
       | Some _ | None -> go (core + 1) acc
   in
   go 0 []
 
-let is_running t ~pid = cores_running t ~pid <> []
+let is_running t ~pid = not (List.is_empty (cores_running t ~pid))
 
 let pid_alive t ~pid = not (Hashtbl.mem t.dead pid)
+let in_flight_pushes t = t.pending
 let on_pid_dead t f = t.on_pid_dead <- f :: t.on_pid_dead
 let on_pid_respawn t f = t.on_pid_respawn <- f :: t.on_pid_respawn
 let pushes t = t.pushes

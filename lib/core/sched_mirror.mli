@@ -26,6 +26,10 @@ val lookup_cost : t -> Sim.Units.duration
 val core_occupant : t -> core:int -> (int * int) option
 (** The NIC's belief about the [(pid, tid)] on a core. *)
 
+val kernel_truth : t -> core:int -> (int * int) option
+(** The kernel's actual [(pid, tid)] on a core, bypassing the mirror —
+    the reference the sanitizer compares {!core_occupant} against. *)
+
 val cores_running : t -> pid:int -> int list
 (** Cores believed to run threads of the process. *)
 
@@ -53,3 +57,9 @@ val on_pid_respawn : t -> (int -> unit) -> unit
 val pushes : t -> int
 (** State-update messages received (Push mode: occupancy, death, and
     respawn pushes; Query mode counts lifecycle notifications only). *)
+
+val in_flight_pushes : t -> int
+(** Pushes scheduled but not yet landed — nonzero exactly during the
+    stale window. The sanitizer's convergence check only compares
+    mirror and kernel once this is zero (lag quiesced). Always 0 in
+    [Query] mode. *)

@@ -95,6 +95,9 @@ type t = {
   m_sheds : Obs.Metrics.counter;
   m_drop_full : Obs.Metrics.counter;
   m_drop_shed : Obs.Metrics.counter;
+  sanitize : Sanitize.t option;
+  mutable mwatch : Sanitize.Mirror_watch.watch option;
+      (* installed after [t] exists (its closures render [t]'s state) *)
 }
 
 let kernel t = t.kern
@@ -102,6 +105,19 @@ let home_agent t = t.ha
 let mirror t = t.smirror
 let counters t = t.counters
 let config t = t.cfg
+let sanitizer t = t.sanitize
+
+(* Sanitizer probe at the moment a request is handed to a worker
+   endpoint: the mirror must still believe the target pid alive —
+   a dispatch after the death push landed would target a swept
+   process. One branch when no sanitizer is attached. *)
+let sanitize_dispatch t sv =
+  match t.mwatch with
+  | None -> ()
+  | Some mw ->
+      let pid = sv.sproc.Osmodel.Proc.pid in
+      Sanitize.Mirror_watch.dispatch mw ~pid
+        ~alive:(Sched_mirror.pid_alive t.smirror ~pid)
 
 let ctr t name = Sim.Counter.counter t.counters name
 
@@ -202,7 +218,7 @@ and park_worker t sv w =
   Coherence.Home_agent.cpu_load t.ha
     (Endpoint.ctrl_line w.wep w.cpu_idx)
     (fun fill ->
-      if th.Osmodel.Proc.state = Osmodel.Proc.Exited then
+      if Osmodel.Proc.is_exited th then
         (* Killed while parked; the kill already closed the stall and
            the teardown sweep owns whatever this fill carried. *)
         ()
@@ -391,7 +407,7 @@ and nested_call t w ~service_id ~method_id v k =
 
 let activate_worker t sv w =
   w.starting <- false;
-  if w.wthread.Osmodel.Proc.state = Osmodel.Proc.Exited then
+  if Osmodel.Proc.is_exited w.wthread then
     (* An activation raced the kill: by the time the dispatcher ran the
        KERNEL_DISPATCH, the target process was dead. *)
     Sim.Counter.incr (ctr t "dispatch_to_dead")
@@ -516,7 +532,7 @@ let choose_worker sv =
   Array.iter
     (fun w ->
       if w.active then begin
-        if Endpoint.parked w.wep && !best_parked = None then
+        if Endpoint.parked w.wep && Option.is_none !best_parked then
           best_parked := Some w;
         let load = Endpoint.in_flight w.wep + Endpoint.queue_depth w.wep in
         match !best_active with
@@ -658,6 +674,7 @@ let dispatch_request t (entry : Demux.entry) frame
              | `Queued -> Telemetry.Queued
              | `Inactive -> Telemetry.Cold);
          });
+    sanitize_dispatch t sv;
     if Endpoint.deliver w.wep msg then begin
       emit t ~cat:"dispatch" (fun () ->
           Format.asprintf "rpc %Ld -> svc %d worker %d (%s)" rpc_id
@@ -707,7 +724,7 @@ let nic_rx t frame =
       Sim.Counter.incr (ctr t "rx_bad_rpc");
       if t.fault_active then Telemetry.incr_fault t.telemetry "rx_bad_rpc"
   | Ok wire
-    when wire.Rpc.Wire_format.kind <> Rpc.Wire_format.Request -> (
+    when not (Rpc.Wire_format.is_request wire) -> (
       (* A response from a remote machine to one of our nested calls. *)
       match nested_cont_of wire.Rpc.Wire_format.rpc_id with
       | Some cont -> (
@@ -772,7 +789,7 @@ let on_endpoint_response t (resp : Message.response) =
   | Some (Dispatch_ack _) ->
       Hashtbl.remove t.inflight resp.Message.resp_rpc_id
   | Some (App app)
-    when nested_cont_of resp.Message.resp_rpc_id <> None
+    when Option.is_some (nested_cont_of resp.Message.resp_rpc_id)
          && Net.Ip_addr.equal app.reply_dst.Net.Frame.ip
               (self_address t).Net.Frame.ip ->
       (* A reply to one of OUR nested calls, hairpinned locally. A
@@ -889,9 +906,10 @@ let sweep_dead_service t sv =
     (fun id entry ->
       match entry with
       | App { svc_id; reply_src; reply_dst; _ }
-        when svc_id = sid && not (Hashtbl.mem limbo_ids id) ->
+        when Int.equal svc_id sid && not (Hashtbl.mem limbo_ids id) ->
           doomed := (id, Some (reply_src, reply_dst)) :: !doomed
-      | Dispatch_ack d when d.svc_id = sid -> doomed := (id, None) :: !doomed
+      | Dispatch_ack d when Int.equal d.svc_id sid ->
+          doomed := (id, None) :: !doomed
       | App _ | Dispatch_ack _ -> ())
     t.inflight;
   List.iter
@@ -928,6 +946,7 @@ let drain_limbo t sv =
   while not (Queue.is_empty sv.limbo) do
     let msg = Queue.pop sv.limbo in
     let w, _path = choose_worker sv in
+    sanitize_dispatch t sv;
     if Endpoint.deliver w.wep msg then begin
       Obs.Metrics.incr t.m_requeues;
       if t.fault_active then Telemetry.incr_fault t.telemetry "requeue"
@@ -1004,9 +1023,16 @@ let fresh_code_ptrs n =
 
 let create engine ~cfg ~ncores ?kernel_costs
     ?(mirror_mode = Sched_mirror.Push) ?(dispatchers = 2)
-    ?(fault = Fault.Plan.none) ?metrics ?tracer ~services ~egress () =
-  if services = [] then invalid_arg "Stack.create: no services";
+    ?(fault = Fault.Plan.none) ?metrics ?tracer ?sanitize ~services ~egress
+    () =
+  if List.is_empty services then invalid_arg "Stack.create: no services";
   if dispatchers < 1 then invalid_arg "Stack.create: need a dispatcher";
+  let sanitize =
+    match sanitize with
+    | Some _ -> sanitize
+    | None ->
+        if cfg.Config.sanitize then Some (Sanitize.create engine) else None
+  in
   let kern =
     match kernel_costs with
     | Some costs -> Osmodel.Kernel.create engine ~ncores ~costs ()
@@ -1078,8 +1104,51 @@ let create engine ~cfg ~ncores ?kernel_costs
       m_sheds = Obs.Metrics.counter metrics "sheds";
       m_drop_full = Obs.Metrics.counter metrics "drop_full";
       m_drop_shed = Obs.Metrics.counter metrics "drop_shed";
+      sanitize;
+      mwatch = None;
     }
   in
+  (match sanitize with
+  | None -> ()
+  | Some z ->
+      Sanitize.Coherence_watch.attach z ha;
+      (* Render both sides of the scheduling state — per-core occupancy
+         and per-service liveness — for the end-of-run convergence
+         check. Compared only once no push is in flight. *)
+      let render occupant alive =
+        let b = Buffer.create 64 in
+        for core = 0 to ncores - 1 do
+          (match occupant ~core with
+          | Some (pid, tid) -> Buffer.add_string b (Printf.sprintf "%d.%d" pid tid)
+          | None -> Buffer.add_char b '-');
+          Buffer.add_char b ' '
+        done;
+        Hashtbl.fold (fun sid sv acc -> (sid, sv) :: acc) t.services []
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+        |> List.iter (fun (sid, sv) ->
+               Buffer.add_string b
+                 (Printf.sprintf "svc%d=%s "
+                    sid
+                    (if alive sv then "alive" else "dead")));
+        Buffer.contents b
+      in
+      t.mwatch <-
+        Some
+          (Sanitize.Mirror_watch.attach z
+             ~quiesced:(fun () ->
+               Int.equal (Sched_mirror.in_flight_pushes smirror) 0)
+             ~name:"sched-mirror"
+             ~truth:(fun () ->
+               render
+                 (fun ~core -> Sched_mirror.kernel_truth smirror ~core)
+                 (fun sv -> sv.sproc.Osmodel.Proc.alive))
+             ~view:(fun () ->
+               render
+                 (fun ~core -> Sched_mirror.core_occupant smirror ~core)
+                 (fun sv ->
+                   Sched_mirror.pid_alive smirror
+                     ~pid:sv.sproc.Osmodel.Proc.pid))
+             ()));
   let next_ep_id = ref 0 in
   let new_endpoint ?owner () =
     let id = !next_ep_id in
@@ -1215,12 +1284,13 @@ let create engine ~cfg ~ncores ?kernel_costs
   Sched_mirror.on_pid_dead smirror (fun pid ->
       Hashtbl.iter
         (fun _sid sv ->
-          if sv.sproc.Osmodel.Proc.pid = pid then sweep_dead_service t sv)
+          if Int.equal sv.sproc.Osmodel.Proc.pid pid then
+            sweep_dead_service t sv)
         t.services);
   Sched_mirror.on_pid_respawn smirror (fun pid ->
       Hashtbl.iter
         (fun _sid sv ->
-          if sv.sproc.Osmodel.Proc.pid = pid then drain_limbo t sv)
+          if Int.equal sv.sproc.Osmodel.Proc.pid pid then drain_limbo t sv)
         t.services);
   (* Preemption: a thread queued behind a parked occupant gets the core
      via a TRYAGAIN kick (paper Â§5.1). *)
@@ -1249,7 +1319,7 @@ let ingress t frame =
      The wire-format decode is only paid when tracing. *)
   if Obs.Tracer.is_enabled t.tracer then begin
     match Rpc.Wire_format.decode frame.Net.Frame.payload with
-    | Ok w when w.Rpc.Wire_format.kind = Rpc.Wire_format.Request ->
+    | Ok w when Rpc.Wire_format.is_request w ->
         Obs.Tracer.rpc_begin t.tracer ~rpc:w.Rpc.Wire_format.rpc_id
           ~track:t.trk (Sim.Engine.now t.engine)
     | Ok _ | Error _ -> ()
@@ -1267,7 +1337,7 @@ let attach_trace t trace = t.trace <- Some trace
 let set_address t address = t.address <- Some address
 
 let add_remote_service t ~service_id ~server ~response_schema =
-  if Demux.port_of_service t.dmx ~service_id <> None then
+  if Option.is_some (Demux.port_of_service t.dmx ~service_id) then
     invalid_arg "Stack.add_remote_service: service is local";
   Hashtbl.replace t.remotes service_id { server; response_schema }
 let dispatcher_count t = Array.length t.dispatchers

@@ -38,6 +38,7 @@ val create :
   ?kernel_costs:Osmodel.Kernel.costs ->
   ?mirror_mode:Sched_mirror.mode -> ?dispatchers:int ->
   ?fault:Fault.Plan.t -> ?metrics:Obs.Metrics.t -> ?tracer:Obs.Tracer.t ->
+  ?sanitize:Sanitize.t ->
   services:service_spec list -> egress:(Net.Frame.t -> unit) -> unit -> t
 (** Builds kernel, home agent, endpoints, demux table, mirror,
     dispatcher kernel threads and service worker threads; services with
@@ -60,7 +61,14 @@ val create :
     tx, with parse/demux/unmarshal detail spans on their own track),
     closed at egress. Stage durations telescope: they sum exactly to
     the recorder-measured end-system latency. Disabled, every emission
-    is one branch. *)
+    is one branch.
+
+    [sanitize] attaches the runtime sanitizers: home-agent generation
+    discipline ({!Sanitize.Coherence_watch}) and scheduler-mirror
+    convergence plus swept-pid dispatch checks
+    ({!Sanitize.Mirror_watch}). When absent and [cfg.sanitize] is set,
+    the stack creates its own session (retrieve it with {!sanitizer}
+    and call {!Sanitize.finish} after the run). *)
 
 val ingress : t -> Net.Frame.t -> unit
 (** Connect as the wire's deliver callback. *)
@@ -68,6 +76,11 @@ val ingress : t -> Net.Frame.t -> unit
 val kernel : t -> Osmodel.Kernel.t
 val home_agent : t -> Coherence.Home_agent.t
 val mirror : t -> Sched_mirror.t
+
+val sanitizer : t -> Sanitize.t option
+(** The attached sanitizer session, if any. *)
+
+
 val counters : t -> Sim.Counter.group
 val config : t -> Config.t
 

@@ -100,7 +100,7 @@ let rec worker_loop t w () =
   Coherence.Home_agent.cpu_load t.ha
     (Endpoint.ctrl_line w.wep w.cpu_idx)
     (fun fill ->
-      if th.Osmodel.Proc.state = Osmodel.Proc.Exited then ()
+      if Osmodel.Proc.is_exited th then ()
       else begin
       Osmodel.Kernel.stall_end t.kern th;
       match fill with
@@ -311,7 +311,10 @@ let kill_service t ~service_id =
         let doomed = ref [] in
         Hashtbl.iter
           (fun id (inf : inflight) ->
-            if inf.svc_id = service_id && not (Hashtbl.mem limbo_ids id) then
+            if
+              Int.equal inf.svc_id service_id
+              && not (Hashtbl.mem limbo_ids id)
+            then
               doomed := (id, inf.reply_src, inf.reply_dst) :: !doomed)
           t.inflight;
         List.iter
@@ -375,8 +378,15 @@ let fresh_code_ptrs n =
       Int64.add base (Int64.of_int (i * 64)))
 
 let create engine ~cfg ~ncores ?kernel_costs ?(fault = Fault.Plan.none)
-    ?metrics ?tracer ~services ~egress () =
-  if services = [] then invalid_arg "Static_stack.create: no services";
+    ?metrics ?tracer ?sanitize ~services ~egress () =
+  if List.is_empty services then
+    invalid_arg "Static_stack.create: no services";
+  let sanitize =
+    match sanitize with
+    | Some _ -> sanitize
+    | None ->
+        if cfg.Config.sanitize then Some (Sanitize.create engine) else None
+  in
   let kern =
     match kernel_costs with
     | Some costs -> Osmodel.Kernel.create engine ~ncores ~costs ()
@@ -407,6 +417,9 @@ let create engine ~cfg ~ncores ?kernel_costs ?(fault = Fault.Plan.none)
       Coherence.Home_agent.delayed_stages ha);
   Obs.Metrics.derive metrics "ha_tryagains" (fun () ->
       Coherence.Home_agent.tryagains ha);
+  (match sanitize with
+  | None -> ()
+  | Some z -> Sanitize.Coherence_watch.attach z ha);
   let t =
     {
       engine;
@@ -483,7 +496,7 @@ let create engine ~cfg ~ncores ?kernel_costs ?(fault = Fault.Plan.none)
 let ingress t frame =
   if Obs.Tracer.is_enabled t.tracer then begin
     match Rpc.Wire_format.decode frame.Net.Frame.payload with
-    | Ok w when w.Rpc.Wire_format.kind = Rpc.Wire_format.Request ->
+    | Ok w when Rpc.Wire_format.is_request w ->
         Obs.Tracer.rpc_begin t.tracer ~rpc:w.Rpc.Wire_format.rpc_id
           ~track:t.trk (Sim.Engine.now t.engine)
     | Ok _ | Error _ -> ()

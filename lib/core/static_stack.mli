@@ -31,6 +31,7 @@ val create :
   Sim.Engine.t -> cfg:Config.t -> ncores:int ->
   ?kernel_costs:Osmodel.Kernel.costs -> ?fault:Fault.Plan.t ->
   ?metrics:Obs.Metrics.t -> ?tracer:Obs.Tracer.t ->
+  ?sanitize:Sanitize.t ->
   services:service_spec list ->
   egress:(Net.Frame.t -> unit) -> unit -> t
 (** Services are assigned to cores round-robin; more services than
@@ -39,7 +40,9 @@ val create :
 
     [metrics] and [tracer] as in {!Stack.create}: home-agent tallies
     register as derived gauges; per-RPC stage spans (same stage names
-    as {!Stack}) telescope to the measured latency.
+    as {!Stack}) telescope to the measured latency. [sanitize] attaches
+    the coherence sanitizer to the home agent (also implied by
+    [cfg.sanitize]).
     @raise Invalid_argument if [services] is empty. *)
 
 val ingress : t -> Net.Frame.t -> unit

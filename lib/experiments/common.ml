@@ -26,10 +26,21 @@ type server = {
   setup : Workload.Scenario.setup;
   flush : unit -> unit;  (* finalize ledgers (bypass spin windows) *)
   lauberhorn : Lauberhorn.Stack.t option;
+  sanitize : Sanitize.t option;
   kill_service : service_id:int -> unit;
       (* crash the process hosting the service, flavour-appropriately *)
   restart_service : service_id:int -> unit;
 }
+
+(* [LAUBERHORN_SANITIZE=1] arms the runtime sanitizers for every
+   server built through this harness without touching experiment code:
+   CI runs the determinism-critical experiments once normally and once
+   sanitized. Reading an env var is deterministic for a fixed
+   environment, so sanitized runs are as reproducible as plain ones. *)
+let sanitize_env_enabled () =
+  match Sys.getenv_opt "LAUBERHORN_SANITIZE" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
 
 (* Build a server hosting [setup]'s services under the given flavour.
    [engine]/[egress] default to a private engine recording into the
@@ -42,10 +53,20 @@ type server = {
    disabled; enable it to collect per-RPC stage spans. *)
 let make_server ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)
     ?(linux_threads = 2) ?engine ?(fault = Fault.Plan.none) ?egress ?tap
-    ?metrics flavour setup =
+    ?metrics ?sanitize flavour setup =
   let engine =
     match engine with Some e -> e | None -> Sim.Engine.create ()
   in
+  let sanitize =
+    match sanitize with
+    | Some _ -> sanitize
+    | None ->
+        if sanitize_env_enabled () then Some (Sanitize.create engine)
+        else None
+  in
+  (match sanitize with
+  | None -> ()
+  | Some z -> Sanitize.Engine_watch.attach z engine);
   let recorder = Harness.Recorder.create engine in
   let tracer = Obs.Tracer.create () in
   let egress =
@@ -61,7 +82,7 @@ let make_server ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)
     | Lauberhorn (cfg, mirror_mode) ->
         let s =
           Lauberhorn.Stack.create engine ~cfg ~ncores ~mirror_mode ~fault
-            ?metrics ~tracer
+            ?metrics ?sanitize ~tracer
             ~services:
               (List.mapi
                  (fun i def ->
@@ -78,7 +99,7 @@ let make_server ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)
     | Linux profile ->
         let s =
           Baseline.Linux_stack.create engine ~profile ~ncores ~fault ?metrics
-            ~tracer
+            ?sanitize ~tracer
             ~services:
               (List.mapi
                  (fun i def ->
@@ -96,7 +117,7 @@ let make_server ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)
     | Bypass profile ->
         let s =
           Baseline.Bypass_stack.create engine ~profile ~ncores ~fault ?metrics
-            ~tracer
+            ?sanitize ~tracer
             ~services:
               (List.mapi
                  (fun i def ->
@@ -114,7 +135,7 @@ let make_server ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)
     | Static cfg ->
         let s =
           Lauberhorn.Static_stack.create engine ~cfg ~ncores ~fault ?metrics
-            ~tracer
+            ?sanitize ~tracer
             ~services:
               (List.mapi
                  (fun i def ->
@@ -146,6 +167,7 @@ let make_server ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)
     setup;
     flush;
     lauberhorn;
+    sanitize;
     kill_service;
     restart_service;
   }
@@ -180,6 +202,7 @@ type measurement = {
 let measure ?(drain = Sim.Units.ms 10) ~name ~horizon server =
   Sim.Engine.run server.engine ~until:(horizon + drain);
   server.flush ();
+  (match server.sanitize with None -> () | Some z -> Sanitize.finish z);
   let h = Harness.Recorder.latencies server.recorder in
   let completed = Harness.Recorder.completed server.recorder in
   let acct =
@@ -272,6 +295,7 @@ let lossy_run_full ?(ncores = 4) ?(nservices = 1) ?(min_workers = 1)
         (Rpc.Value.Blob (Bytes.make payload 'w')));
   Sim.Engine.run engine ~until:(horizon + drain);
   server.flush ();
+  (match server.sanitize with None -> () | Some z -> Sanitize.finish z);
   let recorder = Harness.Chaos.recorder chaos in
   let h = Harness.Recorder.latencies recorder in
   let completed = Harness.Recorder.completed recorder in

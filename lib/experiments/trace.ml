@@ -13,14 +13,18 @@
    (open in Perfetto / chrome://tracing) and every frame crossing the
    server edge is captured to a nanosecond pcap; both artefacts are
    re-parsed here as a self-check. Output files land in $E14_OUT_DIR
-   (default: the working directory). *)
+   (default: artifacts/, created on demand). *)
 
 let rtts = 64
 let payload = 64
 let propagation = Sim.Units.ns 500
 
 let out_dir () =
-  match Sys.getenv_opt "E14_OUT_DIR" with Some d -> d | None -> "."
+  let dir =
+    match Sys.getenv_opt "E14_OUT_DIR" with Some d -> d | None -> "artifacts"
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  dir
 
 let sanitize name =
   String.map (function '/' | ' ' -> '-' | c -> c) name

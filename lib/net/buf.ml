@@ -78,7 +78,7 @@ let patch_u16 w ~pos v =
 let contents w = Bytes.sub w.wbuf 0 w.wpos
 
 let filled w =
-  if w.wpos <> Bytes.length w.wbuf then
+  if not (Int.equal w.wpos (Bytes.length w.wbuf)) then
     fail "filled: %d bytes written of %d capacity" w.wpos
       (Bytes.length w.wbuf);
   w.wbuf

@@ -1,4 +1,4 @@
-let fold_carries sum =
+let[@hot_path] fold_carries sum =
   let rec go s = if s lsr 16 = 0 then s else go ((s land 0xffff) + (s lsr 16)) in
   go sum
 
@@ -6,7 +6,7 @@ let check_range name b ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length b then
     invalid_arg (Printf.sprintf "Checksum.%s: range out of bounds" name)
 
-let ones_complement_sum_bytewise ?(init = 0) b ~pos ~len =
+let[@hot_path] ones_complement_sum_bytewise ?(init = 0) b ~pos ~len =
   check_range "ones_complement_sum_bytewise" b ~pos ~len;
   let sum = ref init in
   let i = ref pos in
@@ -18,7 +18,7 @@ let ones_complement_sum_bytewise ?(init = 0) b ~pos ~len =
   if !i < stop then sum := !sum + (Char.code (Bytes.get b !i) lsl 8);
   fold_carries !sum
 
-let swap16 v = ((v land 0xff) lsl 8) lor ((v lsr 8) land 0xff)
+let[@hot_path] swap16 v = ((v land 0xff) lsl 8) lor ((v lsr 8) land 0xff)
 
 external get16u : bytes -> int -> int = "%caml_bytes_get16u"
 (* Unchecked native-endian 16-bit load. Safe here: [check_range]
@@ -34,7 +34,7 @@ external get16u : bytes -> int -> int = "%caml_bytes_get16u"
    loop therefore consumes 8 bytes per iteration as four unchecked
    native lane loads with no per-lane byte swap; only the sub-word tail
    falls back to the checked big-endian byte loop. *)
-let ones_complement_sum ?(init = 0) b ~pos ~len =
+let[@hot_path] ones_complement_sum ?(init = 0) b ~pos ~len =
   check_range "ones_complement_sum" b ~pos ~len;
   let stop = pos + len in
   let sum = ref init in
@@ -64,8 +64,8 @@ let ones_complement_sum ?(init = 0) b ~pos ~len =
   if !i < stop then sum := !sum + (Char.code (Bytes.get b !i) lsl 8);
   fold_carries !sum
 
-let finish sum = lnot (fold_carries sum) land 0xffff
-let compute b ~pos ~len = finish (ones_complement_sum b ~pos ~len)
+let[@hot_path] finish sum = lnot (fold_carries sum) land 0xffff
+let[@hot_path] compute b ~pos ~len = finish (ones_complement_sum b ~pos ~len)
 
-let verify b ~pos ~len =
+let[@hot_path] verify b ~pos ~len =
   fold_carries (ones_complement_sum b ~pos ~len) = 0xffff

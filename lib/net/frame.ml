@@ -49,7 +49,7 @@ let wire_size t = max Ethernet.min_frame_size (unpadded_size t)
    may be larger than the frame and its contents are arbitrary — the
    minimum-size padding is therefore written explicitly rather than
    assumed pre-zeroed. *)
-let encode_into (t : t) buf =
+let[@hot_path] encode_into (t : t) buf =
   let size = wire_size t in
   if Bytes.length buf < size then
     invalid_arg "Frame.encode_into: buffer smaller than wire size";
@@ -73,16 +73,16 @@ type error =
   | Ip_error of Ipv4.error
   | Udp_error of Udp.error
 
-let parse_slice s =
+let[@hot_path] parse_slice s =
   let r = Buf.reader_of_slice s in
   let eth = Ethernet.read r in
-  if eth.Ethernet.ethertype <> Ethernet.ethertype_ipv4 then
+  if not (Int.equal eth.Ethernet.ethertype Ethernet.ethertype_ipv4) then
     Error (Not_ipv4 eth.Ethernet.ethertype)
   else
     match Ipv4.read r with
     | Error e -> Error (Ip_error e)
     | Ok ip ->
-        if ip.Ipv4.protocol <> Ipv4.protocol_udp then
+        if not (Int.equal ip.Ipv4.protocol Ipv4.protocol_udp) then
           Error (Not_udp ip.Ipv4.protocol)
         else
           (* Restrict the view to the IP payload so Ethernet padding is
@@ -92,7 +92,7 @@ let parse_slice s =
              Udp.read_slice sub ~src_ip:ip.Ipv4.src ~dst_ip:ip.Ipv4.dst
            with
           | Error e -> Error (Udp_error e)
-          | Ok (udp, payload) -> Ok ({ eth; ip; udp; payload } : view))
+          | Ok (udp, payload) -> Ok (({ eth; ip; udp; payload } [@alloc_ok]) : view))
 
 let of_view (v : view) : t =
   { eth = v.eth; ip = v.ip; udp = v.udp; payload = Slice.to_bytes v.payload }

@@ -33,7 +33,7 @@ let in_subnet t ~network ~prefix_len =
   if prefix_len = 0 then true
   else
     let mask = lnot ((1 lsl (32 - prefix_len)) - 1) land 0xffff_ffff in
-    t land mask = network land mask
+    Int.equal (t land mask) (network land mask)
 
 let write w t = Buf.write_u32 w t
 let read r = Buf.read_u32 r

@@ -29,7 +29,7 @@ let to_string t =
     (List.init 6 (fun i -> Printf.sprintf "%02x" (octet_at t i)))
 
 let broadcast = 0xffff_ffff_ffff
-let is_broadcast t = t = broadcast
+let is_broadcast t = Int.equal t broadcast
 let is_multicast t = octet_at t 0 land 1 = 1
 
 let write w t =

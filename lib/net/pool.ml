@@ -1,3 +1,8 @@
+type monitor = {
+  on_acquire : bytes -> unit;
+  on_release : bytes -> unit;
+}
+
 type t = {
   buffer_bytes : int;
   mutable free : bytes array;  (* stack of idle buffers; [0, top) valid *)
@@ -6,6 +11,7 @@ type t = {
   mutable released : int;
   mutable created : int;
   mutable high_water : int;
+  mutable monitor : monitor option;
 }
 
 let create ?(prealloc = 0) ~buffer_bytes () =
@@ -20,6 +26,7 @@ let create ?(prealloc = 0) ~buffer_bytes () =
       released = 0;
       created = 0;
       high_water = 0;
+      monitor = None;
     }
   in
   for i = 0 to prealloc - 1 do
@@ -30,31 +37,39 @@ let create ?(prealloc = 0) ~buffer_bytes () =
   t
 
 let buffer_bytes t = t.buffer_bytes
+let set_monitor t m = t.monitor <- m
 
-let acquire t =
+let[@hot_path] acquire t =
   t.acquired <- t.acquired + 1;
   let outstanding = t.acquired - t.released in
   if outstanding > t.high_water then t.high_water <- outstanding;
-  if t.top > 0 then begin
-    t.top <- t.top - 1;
-    let b = t.free.(t.top) in
-    t.free.(t.top) <- Bytes.empty;
-    b
-  end
-  else begin
-    t.created <- t.created + 1;
-    Bytes.create t.buffer_bytes
-  end
+  let b =
+    if t.top > 0 then begin
+      t.top <- t.top - 1;
+      let b = t.free.(t.top) in
+      t.free.(t.top) <- Bytes.empty;
+      b
+    end
+    else begin
+      t.created <- t.created + 1;
+      (Bytes.create t.buffer_bytes [@alloc_ok])
+    end
+  in
+  (match t.monitor with None -> () | Some m -> m.on_acquire b);
+  b
 
-let release t b =
-  if Bytes.length b <> t.buffer_bytes then
+let[@hot_path] release t b =
+  if not (Int.equal (Bytes.length b) t.buffer_bytes) then
     invalid_arg
       (Printf.sprintf "Pool.release: buffer of %d bytes into a %dB pool"
          (Bytes.length b) t.buffer_bytes);
   if t.released >= t.acquired then
     invalid_arg "Pool.release: more releases than acquires";
+  (* The monitor sees the buffer before it returns to the freelist, so
+     a sanitizer can record identity and poison the contents. *)
+  (match t.monitor with None -> () | Some m -> m.on_release b);
   t.released <- t.released + 1;
-  if t.top = Array.length t.free then begin
+  if Int.equal t.top (Array.length t.free) then begin
     let bigger = Array.make (2 * max 1 t.top) Bytes.empty in
     Array.blit t.free 0 bigger 0 t.top;
     t.free <- bigger

@@ -10,11 +10,23 @@
 
 type t
 
+type monitor = {
+  on_acquire : bytes -> unit;
+  on_release : bytes -> unit;
+}
+(** Observation hooks for sanitizers: [on_acquire] runs after a buffer
+    leaves the pool, [on_release] just before one re-enters the
+    freelist (so the monitor may poison its contents). *)
+
 val create : ?prealloc:int -> buffer_bytes:int -> unit -> t
 (** A pool handing out buffers of exactly [buffer_bytes], with
     [prealloc] of them allocated up front (default 0). *)
 
 val buffer_bytes : t -> int
+
+val set_monitor : t -> monitor option -> unit
+(** Install (or clear) the monitor. With [None] — the default — the
+    hot path pays a single branch per acquire/release. *)
 
 val acquire : t -> bytes
 (** A buffer from the freelist, or a fresh one if the list is empty.

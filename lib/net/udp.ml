@@ -13,7 +13,7 @@ let pseudo_header_sum ~src_ip ~dst_ip ~udp_len =
    then the checksum is computed in place over the written region and
    back-patched — no scratch segment buffer. *)
 let write_slice w t ~src_ip ~dst_ip ~payload =
-  if Slice.length payload <> t.payload_len then
+  if not (Int.equal (Slice.length payload) t.payload_len) then
     invalid_arg "Udp.write_slice: payload length mismatch";
   let udp_len = header_size + t.payload_len in
   let start = Buf.writer_pos w in
@@ -36,7 +36,7 @@ let write_slice w t ~src_ip ~dst_ip ~payload =
   Buf.patch_u16 w ~pos:csum_pos csum
 
 let write w t ~src_ip ~dst_ip ~payload =
-  if Bytes.length payload <> t.payload_len then
+  if not (Int.equal (Bytes.length payload) t.payload_len) then
     invalid_arg "Udp.write: payload length mismatch";
   write_slice w t ~src_ip ~dst_ip ~payload:(Slice.of_bytes payload)
 

@@ -49,6 +49,8 @@ let is_runnable t =
   | Ready | Running _ -> true
   | Blocked | Exited -> false
 
+let is_exited t = match t.state with Exited -> true | _ -> false
+
 let state_name = function
   | Ready -> "ready"
   | Running c -> Printf.sprintf "running@%d" c

@@ -48,5 +48,10 @@ val live_members : process -> thread list
 (** The process's threads that have not exited. *)
 
 val is_runnable : thread -> bool
+
+val is_exited : thread -> bool
+(** The thread's state is [Exited] (typed stand-in for a polymorphic
+    state compare). *)
+
 val state_name : thread_state -> string
 val pp_thread : Format.formatter -> thread -> unit

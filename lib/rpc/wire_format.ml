@@ -21,6 +21,7 @@ let retriable_error = function
   | _ -> false
 
 let kind_tag = function Request -> 0 | Response -> 1 | Error_reply _ -> 2
+let is_request t = match t.kind with Request -> true | Response | Error_reply _ -> false
 let err_code = function Error_reply c -> c | Request | Response -> 0
 
 let encode t =

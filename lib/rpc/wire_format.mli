@@ -28,6 +28,10 @@ val err_dead : int
     request arrived or while it held the request. Retriable — the
     process may be restarted. *)
 
+val is_request : t -> bool
+(** The message's kind is [Request] (typed stand-in for a polymorphic
+    kind compare). *)
+
 val retriable_error : int -> bool
 (** Whether an [Error_reply] code is a transport-level NACK the client
     should treat as retriable ({!err_shed}, {!err_dead}) rather than a

@@ -2,31 +2,37 @@ type t = {
   mutable clock : Units.time;
   queue : (unit -> unit) Event_heap.t;
   mutable fired : int;
+  mutable monitor : (Units.time -> unit) option;
 }
 
 type handle = (unit -> unit) Event_heap.handle
 
-let create () = { clock = 0; queue = Event_heap.create (); fired = 0 }
+let create () =
+  { clock = 0; queue = Event_heap.create (); fired = 0; monitor = None }
+
+let set_monitor t m = t.monitor <- m
+let validate t = Event_heap.validate t.queue
 let now t = t.clock
 
-let schedule_at t ~at f =
+let[@hot_path] schedule_at t ~at f =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %d is before now (%d)" at
          t.clock);
   Event_heap.push t.queue ~time:at f
 
-let schedule_after t ~after f =
+let[@hot_path] schedule_after t ~after f =
   if after < 0 then invalid_arg "Engine.schedule_after: negative delay";
   Event_heap.push t.queue ~time:(t.clock + after) f
 
-let cancel t h = Event_heap.cancel t.queue h
+let[@hot_path] cancel t h = Event_heap.cancel t.queue h
 let pending t = Event_heap.live_count t.queue
 
-let step t =
+let[@hot_path] step t =
   match Event_heap.pop t.queue with
   | None -> false
   | Some (time, f) ->
+      (match t.monitor with None -> () | Some m -> m time);
       t.clock <- time;
       t.fired <- t.fired + 1;
       f ();

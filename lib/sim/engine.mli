@@ -44,3 +44,12 @@ val step : t -> bool
 
 val events_processed : t -> int
 (** Total callbacks fired so far (simulation-effort metric). *)
+
+val set_monitor : t -> (Units.time -> unit) option -> unit
+(** Install (or clear) a per-event observer, called with the event's
+    timestamp just before its callback runs. With [None] — the
+    default — {!step} pays a single branch. Sanitizers use this to
+    prove the clock never moves backwards. *)
+
+val validate : t -> (unit, string) result
+(** Structural self-check of the event queue ({!Event_heap.validate}). *)

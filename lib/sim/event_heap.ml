@@ -27,14 +27,14 @@ let create () =
 let is_empty t = t.live = 0
 let live_count t = t.live
 
-let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let[@hot_path] entry_lt a b = a.time < b.time || (Int.equal a.time b.time && a.seq < b.seq)
 
-let swap t i j =
+let[@hot_path] swap t i j =
   let tmp = t.arr.(i) in
   t.arr.(i) <- t.arr.(j);
   t.arr.(j) <- tmp
 
-let rec sift_up t i =
+let[@hot_path] rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
     if entry_lt t.arr.(i) t.arr.(parent) then begin
@@ -43,25 +43,25 @@ let rec sift_up t i =
     end
   end
 
-let rec sift_down t i =
+let[@hot_path] rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
   if l < t.size && entry_lt t.arr.(l) t.arr.(!smallest) then smallest := l;
   if r < t.size && entry_lt t.arr.(r) t.arr.(!smallest) then smallest := r;
-  if !smallest <> i then begin
+  if not (Int.equal !smallest i) then begin
     swap t i !smallest;
     sift_down t !smallest
   end
 
-let push t ~time payload =
-  let e = { time; seq = t.next_seq; payload; cancelled = false } in
+let[@hot_path] push t ~time payload =
+  let e = ({ time; seq = t.next_seq; payload; cancelled = false } [@alloc_ok]) in
   t.next_seq <- t.next_seq + 1;
-  if t.size = Array.length t.arr then begin
+  if Int.equal t.size (Array.length t.arr) then begin
     let s =
       match t.sentinel with
       | Some s -> s
       | None ->
-          let s = { time = 0; seq = -1; payload; cancelled = true } in
+          let s = ({ time = 0; seq = -1; payload; cancelled = true } [@alloc_ok]) in
           t.sentinel <- Some s;
           s
     in
@@ -97,14 +97,14 @@ let compact t =
     sift_down t i
   done
 
-let cancel t h =
+let[@hot_path] cancel t h =
   if not h.cancelled then begin
     h.cancelled <- true;
     t.live <- t.live - 1;
     if t.size >= 64 && 2 * (t.size - t.live) > t.size then compact t
   end
 
-let pop_root t =
+let[@hot_path] pop_root t =
   let e = t.arr.(0) in
   t.size <- t.size - 1;
   t.arr.(0) <- t.arr.(t.size);
@@ -117,7 +117,7 @@ let pop_root t =
 (* Discard cancelled entries as they surface; only live pops touch
    [live]. A popped entry is marked cancelled so a later [cancel] on
    its handle is a genuine no-op. *)
-let rec pop t =
+let[@hot_path] rec pop t =
   if t.size = 0 then None
   else
     let e = pop_root t in
@@ -125,10 +125,49 @@ let rec pop t =
     else begin
       e.cancelled <- true;
       t.live <- t.live - 1;
-      Some (e.time, e.payload)
+      Some ((e.time, e.payload) [@alloc_ok])
     end
 
-let rec peek_time t =
+(* Structural self-check for sanitizer builds: the array prefix
+   [0, size) must satisfy the heap order (parent not later than either
+   child) and the cancelled-entry bookkeeping must agree with [live].
+   O(size); never called on the hot path. *)
+let validate t =
+  if t.size > Array.length t.arr then
+    Error
+      (Printf.sprintf "Event_heap: size %d exceeds capacity %d" t.size
+         (Array.length t.arr))
+  else begin
+    let err = ref None in
+    for i = 1 to t.size - 1 do
+      if Option.is_none !err then begin
+        let parent = (i - 1) / 2 in
+        if entry_lt t.arr.(i) t.arr.(parent) then
+          err :=
+            Some
+              (Printf.sprintf
+                 "Event_heap: order violated at slot %d (t=%d seq=%d) vs \
+                  parent %d (t=%d seq=%d)"
+                 i t.arr.(i).time t.arr.(i).seq parent t.arr.(parent).time
+                 t.arr.(parent).seq)
+      end
+    done;
+    match !err with
+    | Some e -> Error e
+    | None ->
+        let live = ref 0 in
+        for i = 0 to t.size - 1 do
+          if not t.arr.(i).cancelled then incr live
+        done;
+        if not (Int.equal !live t.live) then
+          Error
+            (Printf.sprintf
+               "Event_heap: live count drifted (%d stored, %d counted)"
+               t.live !live)
+        else Ok ()
+  end
+
+let[@hot_path] rec peek_time t =
   if t.size = 0 then None
   else
     let e = t.arr.(0) in

@@ -37,3 +37,8 @@ val pop : 'a t -> (Units.time * 'a) option
 
 val peek_time : 'a t -> Units.time option
 (** Timestamp of the earliest live entry without removing it. *)
+
+val validate : 'a t -> (unit, string) result
+(** Structural self-check: heap order over the stored prefix and
+    agreement between the cancelled flags and {!live_count}. O(n);
+    meant for sanitizer builds and tests, not the hot path. *)

@@ -87,7 +87,7 @@ let quantile t q =
   go 0 0
 
 let merge_into ~src ~dst =
-  if src.sub_bucket_bits <> dst.sub_bucket_bits then
+  if not (Int.equal src.sub_bucket_bits dst.sub_bucket_bits) then
     invalid_arg "Histogram.merge_into: differing sub_bucket_bits";
   Array.iteri
     (fun i c -> if c > 0 then dst.counts.(i) <- dst.counts.(i) + c)

@@ -1,0 +1,453 @@
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  msg : string;
+}
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.msg
+
+type rules = {
+  nondet : bool;
+  poly_compare : bool;
+  hot_path : bool;
+  pool : bool;
+}
+
+let all_rules =
+  { nondet = true; poly_compare = true; hot_path = true; pool = true }
+
+(* Path classification is purely textual so the linter behaves the same
+   from the repo root, from a dune sandbox, and on test fixtures. *)
+let has_segment path seg =
+  let norm = String.concat "/" (String.split_on_char '\\' path) in
+  let parts = String.split_on_char '/' norm in
+  List.exists (fun p -> String.equal p seg) parts
+
+let rules_for_path path =
+  if Filename.check_suffix path ".mli" then
+    { nondet = false; poly_compare = false; hot_path = true; pool = true }
+  else
+    let in_lib = has_segment path "lib" in
+    let nondet = in_lib && not (has_segment path "fault") in
+    let poly_compare =
+      in_lib
+      && (has_segment path "core" || has_segment path "coherence"
+         || has_segment path "net" || has_segment path "sim")
+    in
+    { nondet; poly_compare; hot_path = true; pool = true }
+
+(* ---------- AST helpers ---------- *)
+
+open Parsetree
+
+let lid_parts lid = Longident.flatten lid
+
+let has_attr name attrs =
+  List.exists (fun a -> String.equal a.attr_name.Location.txt name) attrs
+
+(* A [Module.fn] reference, matched on its last module component and
+   value name so aliases like [Net.Pool.acquire] still match. *)
+let is_mod_fn lid ~m ~fn =
+  match lid with
+  | Longident.Ldot (path, f) when String.equal f fn -> (
+      match List.rev (Longident.flatten path) with
+      | last :: _ -> String.equal last m
+      | [] -> false)
+  | _ -> false
+
+(* ---------- per-file analysis ---------- *)
+
+type ctx = {
+  path : string;
+  rules : rules;
+  mutable findings : finding list;
+  (* arities of this file's top-level functions, for the syntactic
+     partial-application check inside [@hot_path] bodies *)
+  arities : (string, int) Hashtbl.t;
+  (* character offsets of =/<> uses exempted by a literal operand *)
+  exempt : (int, unit) Hashtbl.t;
+}
+
+let report ctx ~loc ~rule fmt =
+  let pos = loc.Location.loc_start in
+  Format.kasprintf
+    (fun msg ->
+      ctx.findings <-
+        {
+          file = ctx.path;
+          line = pos.Lexing.pos_lnum;
+          col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+          rule;
+          msg;
+        }
+        :: ctx.findings)
+    fmt
+
+(* ---------- rule: nondeterminism ---------- *)
+
+let nondet_diagnosis lid =
+  match lid_parts lid with
+  | "Unix" :: _ ->
+      Some "Unix.* (wall clock / ambient OS state) is off-limits in lib/"
+  | [ "Sys"; "time" ] -> Some "Sys.time reads the wall clock"
+  | [ "Hashtbl"; "randomize" ] -> Some "Hashtbl.randomize breaks determinism"
+  | "Random" :: rest -> (
+      match rest with
+      | "State" :: more ->
+          if List.exists (String.equal "make_self_init") more then
+            Some "Random.State.make_self_init seeds from ambient entropy"
+          else None
+      | _ ->
+          Some
+            "the global Random PRNG is ambient mutable state; use a seeded \
+             Sim.Rng (or a lib/fault plan stream)")
+  | _ -> None
+
+let check_nondet ctx ~loc lid =
+  match nondet_diagnosis lid with
+  | Some why -> report ctx ~loc ~rule:"nondeterminism" "%s" why
+  | None -> ()
+
+let check_nondet_apply ctx ~loc lid args =
+  (* Hashtbl.create ~random:true — randomized bucket order. *)
+  let is_hashtbl_create =
+    match lid with
+    | Longident.Lident "create" -> false
+    | _ -> is_mod_fn lid ~m:"Hashtbl" ~fn:"create"
+  in
+  if is_hashtbl_create then
+    List.iter
+      (fun (label, (arg : expression)) ->
+        match (label, arg.pexp_desc) with
+        | ( Asttypes.Labelled "random",
+            Pexp_construct
+              ({ Location.txt = Longident.Lident "false"; _ }, None) ) ->
+            ()
+        | Asttypes.Labelled "random", _ ->
+            report ctx ~loc ~rule:"nondeterminism"
+              "Hashtbl.create ~random randomizes iteration order"
+        | _ -> ())
+      args
+
+(* ---------- rule: polymorphic compare ---------- *)
+
+let is_literal (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constant _ -> true
+  | Pexp_construct
+      ({ Location.txt = Longident.Lident ("true" | "false"); _ }, None) ->
+      true
+  | _ -> false
+
+let poly_fn_name lid =
+  match lid with
+  | Longident.Lident (("=" | "<>" | "compare") as n) -> Some n
+  | Longident.Ldot (Longident.Lident "Stdlib", (("=" | "<>" | "compare") as n))
+    ->
+      Some n
+  | _ -> if is_mod_fn lid ~m:"Hashtbl" ~fn:"hash" then Some "Hashtbl.hash"
+         else None
+
+let list_poly_fn lid =
+  match lid with
+  | Longident.Ldot (Longident.Lident "List", f)
+    when List.exists (String.equal f)
+           [ "mem"; "assoc"; "assoc_opt"; "mem_assoc"; "remove_assoc" ] ->
+      Some ("List." ^ f)
+  | _ -> None
+
+let check_poly_use ctx ~loc lid =
+  match poly_fn_name lid with
+  | Some (("=" | "<>") as op) ->
+      report ctx ~loc ~rule:"polymorphic-compare"
+        "polymorphic (%s): use a typed comparator (Int.equal, String.equal, \
+         Option.is_none, ...)"
+        op
+  | Some fn ->
+      report ctx ~loc ~rule:"polymorphic-compare"
+        "%s is the polymorphic structural %s; use a typed one" fn
+        (if String.equal fn "Hashtbl.hash" then "hash" else "compare")
+  | None -> (
+      match list_poly_fn lid with
+      | Some fn ->
+          report ctx ~loc ~rule:"polymorphic-compare"
+            "%s compares with polymorphic equality internally; use \
+             List.exists/List.find with a typed comparator"
+            fn
+      | None -> ())
+
+(* ---------- rule: hot-path allocation discipline ---------- *)
+
+let string_builders =
+  [
+    ( "String",
+      [ "make"; "init"; "concat"; "sub"; "cat"; "of_bytes"; "map" ] );
+    ( "Bytes",
+      [
+        "create"; "make"; "init"; "sub"; "sub_string"; "cat"; "concat";
+        "of_string"; "to_string"; "copy"; "extend";
+      ] );
+    ("Printf", [ "sprintf" ]);
+    ("Format", [ "sprintf"; "asprintf" ]);
+  ]
+
+let alloc_call_diagnosis lid =
+  match lid with
+  | Longident.Lident "^" -> Some "string concatenation (^) allocates"
+  | Longident.Lident "@" -> Some "list append (@) allocates"
+  | Longident.Ldot (Longident.Lident m, f) -> (
+      match List.assoc_opt m string_builders with
+      | Some fns when List.exists (String.equal f) fns ->
+          Some (Printf.sprintf "%s.%s builds a fresh string/bytes" m f)
+      | _ -> None)
+  | _ -> None
+
+let is_error_path lid =
+  match lid with
+  | Longident.Lident ("raise" | "raise_notrace" | "invalid_arg" | "failwith")
+    ->
+      true
+  | Longident.Ldot (_, ("raise" | "invalid_arg" | "failwith")) -> true
+  | _ -> false
+
+(* Strip the leading parameter chain of a function body: those [fun]
+   nodes are the function itself, not closures it builds. *)
+let rec strip_params (e : expression) =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, _, body) -> strip_params body
+  | Pexp_newtype (_, body) -> strip_params body
+  | _ -> e
+
+(* Optional parameters are excluded: omitting one at a call site goes
+   through default elimination, not closure construction. *)
+let rec arity_of (e : expression) =
+  match e.pexp_desc with
+  | Pexp_fun (Asttypes.Optional _, _, _, body) -> arity_of body
+  | Pexp_fun (_, _, _, body) -> 1 + arity_of body
+  | Pexp_newtype (_, body) -> arity_of body
+  | _ -> 0
+
+let rec check_hot ctx (e : expression) =
+  let loc = e.pexp_loc in
+  if has_attr "alloc_ok" e.pexp_attributes then ()
+  else
+    match e.pexp_desc with
+    | Pexp_fun _ | Pexp_function _ ->
+        report ctx ~loc ~rule:"hot-path"
+          "anonymous closure allocated in a [@hot_path] body (let-bind it, \
+           hoist it, or mark [@alloc_ok])"
+    | Pexp_tuple parts ->
+        report ctx ~loc ~rule:"hot-path"
+          "tuple construction allocates in a [@hot_path] body";
+        List.iter (check_hot ctx) parts
+    | Pexp_record (fields, base) ->
+        report ctx ~loc ~rule:"hot-path"
+          "record construction allocates in a [@hot_path] body";
+        List.iter (fun (_, v) -> check_hot ctx v) fields;
+        Option.iter (check_hot ctx) base
+    | Pexp_construct ({ Location.txt = Longident.Lident "::"; _ }, Some arg) ->
+        report ctx ~loc ~rule:"hot-path"
+          "list cell construction allocates in a [@hot_path] body";
+        check_hot ctx arg
+    | Pexp_apply ({ pexp_desc = Pexp_ident { Location.txt = lid; _ }; _ }, _)
+      when is_error_path lid ->
+        ()  (* error paths may allocate their diagnostics *)
+    | Pexp_apply
+        (({ pexp_desc = Pexp_ident { Location.txt = lid; _ }; _ } as fn), args)
+      ->
+        (match alloc_call_diagnosis lid with
+        | Some why -> report ctx ~loc ~rule:"hot-path" "%s" why
+        | None -> ());
+        (match lid with
+        | Longident.Lident name -> (
+            match Hashtbl.find_opt ctx.arities name with
+            | Some arity when List.length args < arity ->
+                report ctx ~loc ~rule:"hot-path"
+                  "partial application of %s (%d of %d args) allocates a \
+                   closure"
+                  name (List.length args) arity
+            | _ -> ())
+        | _ -> ());
+        check_hot ctx fn;
+        List.iter (fun (_, a) -> check_hot ctx a) args
+    | Pexp_let (_, bindings, body) ->
+        (* Named local helpers are fine (closed local functions are
+           statically allocated); still lint their bodies. *)
+        List.iter (fun vb -> check_hot ctx (strip_params vb.pvb_expr)) bindings;
+        check_hot ctx body
+    | _ ->
+        let it =
+          {
+            Ast_iterator.default_iterator with
+            expr = (fun _ sub -> check_hot ctx sub);
+          }
+        in
+        Ast_iterator.default_iterator.expr it e
+
+(* ---------- rule: pool acquire/release pairing ---------- *)
+
+type pool_scan = {
+  mutable acquires : Location.t list;
+  mutable releases : int;
+  mutable transfer : bool;
+}
+
+let scan_pool scan vb =
+  if has_attr "ownership_transfer" vb.pvb_attributes then scan.transfer <- true;
+  let expr it (e : expression) =
+    if has_attr "ownership_transfer" e.pexp_attributes then
+      scan.transfer <- true;
+    (match e.pexp_desc with
+    | Pexp_ident { Location.txt = lid; _ } ->
+        if is_mod_fn lid ~m:"Pool" ~fn:"acquire" then
+          scan.acquires <- e.pexp_loc :: scan.acquires
+        else if is_mod_fn lid ~m:"Pool" ~fn:"release" then
+          scan.releases <- scan.releases + 1
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it vb.pvb_expr
+
+(* ---------- traversal ---------- *)
+
+let binding_name vb =
+  match vb.pvb_pat.ppat_desc with
+  | Ppat_var { Location.txt = name; _ } -> Some name
+  | _ -> None
+
+let check_structure ctx (str : structure) =
+  (* First pass: top-level function arities for the partial-application
+     heuristic. *)
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, bindings) ->
+          List.iter
+            (fun vb ->
+              match binding_name vb with
+              | Some name ->
+                  let a = arity_of vb.pvb_expr in
+                  if a > 0 then Hashtbl.replace ctx.arities name a
+              | None -> ())
+            bindings
+      | _ -> ())
+    str;
+  let expr it (e : expression) =
+    (match e.pexp_desc with
+    | Pexp_apply
+        ({ pexp_desc = Pexp_ident { Location.txt = lid; _ }; pexp_loc = loc; _ },
+         args) ->
+        if ctx.rules.nondet then check_nondet_apply ctx ~loc lid args;
+        (* [x = 0]-style tests against a literal compile to immediate
+           comparisons — exempt them before the ident pass sees the
+           operator. *)
+        if ctx.rules.poly_compare then (
+          match poly_fn_name lid with
+          | Some ("=" | "<>")
+            when List.length args = 2
+                 && List.exists (fun (_, a) -> is_literal a) args ->
+              Hashtbl.replace ctx.exempt loc.Location.loc_start.Lexing.pos_cnum
+                ()
+          | _ -> ())
+    | Pexp_ident { Location.txt = lid; _ } ->
+        let loc = e.pexp_loc in
+        if ctx.rules.nondet then check_nondet ctx ~loc lid;
+        if
+          ctx.rules.poly_compare
+          && not (Hashtbl.mem ctx.exempt loc.Location.loc_start.Lexing.pos_cnum)
+        then check_poly_use ctx ~loc lid
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let structure_item it item =
+    (match item.pstr_desc with
+    | Pstr_value (_, bindings) ->
+        List.iter
+          (fun vb ->
+            if ctx.rules.hot_path && has_attr "hot_path" vb.pvb_attributes then
+              check_hot ctx (strip_params vb.pvb_expr);
+            if ctx.rules.pool then begin
+              let scan = { acquires = []; releases = 0; transfer = false } in
+              scan_pool scan vb;
+              if scan.acquires <> [] && scan.releases = 0 && not scan.transfer
+              then
+                List.iter
+                  (fun loc ->
+                    report ctx ~loc ~rule:"pool-discipline"
+                      "Pool.acquire with no lexically paired Pool.release in \
+                       %s and no [@ownership_transfer] annotation"
+                      (match binding_name vb with
+                      | Some n -> n
+                      | None -> "this binding"))
+                  scan.acquires
+            end)
+          bindings
+    | _ -> ());
+    Ast_iterator.default_iterator.structure_item it item
+  in
+  let it = { Ast_iterator.default_iterator with expr; structure_item } in
+  it.structure it str
+
+let check_source ?rules ~path source =
+  let rules = match rules with Some r -> r | None -> rules_for_path path in
+  if Filename.check_suffix path ".mli" then []
+  else begin
+    let lexbuf = Lexing.from_string source in
+    lexbuf.Lexing.lex_curr_p <-
+      { lexbuf.Lexing.lex_curr_p with Lexing.pos_fname = path };
+    Location.input_name := path;
+    let str = Parse.implementation lexbuf in
+    let ctx =
+      {
+        path;
+        rules;
+        findings = [];
+        arities = Hashtbl.create 16;
+        exempt = Hashtbl.create 16;
+      }
+    in
+    check_structure ctx str;
+    List.rev ctx.findings
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_file ?rules path = check_source ?rules ~path (read_file path)
+
+let rec walk acc path =
+  if Sys.is_directory path then begin
+    let entries = Sys.readdir path in
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc entry -> walk acc (Filename.concat path entry))
+      acc entries
+  end
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let run paths =
+  let files = List.rev (List.fold_left walk [] paths) in
+  List.concat_map (fun f -> check_file f) files
+
+let main () =
+  let paths =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as rest) -> rest
+    | _ -> [ "lib" ]
+  in
+  let findings = run paths in
+  List.iter (fun f -> Format.eprintf "%a@." pp_finding f) findings;
+  match findings with
+  | [] -> ()
+  | fs ->
+      Format.eprintf "simlint: %d finding%s@." (List.length fs)
+        (match fs with [ _ ] -> "" | _ -> "s");
+      exit 1

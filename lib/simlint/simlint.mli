@@ -1,0 +1,70 @@
+(** Project-law static analysis over the simulator's sources.
+
+    Four rules, applied per-file according to its path:
+
+    - {b nondeterminism} (all of [lib/] except [lib/fault]): no ambient
+      entropy or wall-clock sources — [Random.*] (the global PRNG and
+      any [self_init]), [Unix.*], [Sys.time], randomized hash tables.
+      Seeded randomness belongs in [lib/fault] plans and [Sim.Rng].
+    - {b polymorphic-compare} ([lib/core], [lib/coherence], [lib/net],
+      [lib/sim]): no structural [=]/[<>]/[compare]/[Hashtbl.hash], and
+      no [List.mem]/[List.assoc]-family calls that smuggle one in.
+      Comparison against a literal constant ([0], ['c'], [1L], [true])
+      is exempt — the compiler specializes those to immediate
+      comparisons. Use typed comparators ([Int.equal], [String.equal],
+      [Option.is_none], …).
+    - {b hot-path} (everywhere): the body of a [let f ... = e
+      [@@hot_path]] binding must not construct: anonymous closures,
+      tuples, records, list cells, strings/bytes (the
+      [^]/[String.*]/[Bytes.*]/[*printf] builders), and must not
+      partially apply a function defined in the same file. Named local
+      [let]-bound helpers are allowed (closed local functions are
+      statically allocated). An expression wrapped [(e [@alloc_ok])] is
+      exempt, as is everything under [raise]/[invalid_arg]/[failwith]
+      (error paths may allocate).
+    - {b pool-discipline} (everywhere): a top-level binding that calls
+      [Pool.acquire] must also call [Pool.release] lexically, or carry
+      an [[@ownership_transfer]] annotation (on the binding or on the
+      acquire expression) documenting that the buffer escapes to
+      another owner. *)
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;  (** [nondeterminism] | [polymorphic-compare] | [hot-path] | [pool-discipline] *)
+  msg : string;
+}
+
+val pp_finding : Format.formatter -> finding -> unit
+
+type rules = {
+  nondet : bool;
+  poly_compare : bool;
+  hot_path : bool;
+  pool : bool;
+}
+
+val all_rules : rules
+
+val rules_for_path : string -> rules
+(** The rule set the project applies to a source file at this path
+    (see module doc). [.mli] files and paths outside [lib/] get only
+    the hot-path and pool rules. *)
+
+val check_source : ?rules:rules -> path:string -> string -> finding list
+(** Lint one compilation unit given as a string. [rules] defaults to
+    [rules_for_path path]. Findings come back in source order.
+    @raise Syntaxerr.Error (or other parser exceptions) on unparsable
+    input. *)
+
+val check_file : ?rules:rules -> string -> finding list
+(** [check_source] over the file's contents. *)
+
+val run : string list -> finding list
+(** Walk the given files/directories (recursively, [*.ml] only),
+    linting each with its path-derived rule set. *)
+
+val main : unit -> unit
+(** CLI entry point: lint [Sys.argv] paths, print findings to stderr,
+    exit 1 if any. *)

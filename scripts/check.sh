@@ -6,6 +6,10 @@
 set -eu
 cd "$(dirname "$0")/.."
 dune build
+# Project-law static analysis (lib/simlint): determinism, polymorphic
+# compare, [@hot_path] allocation discipline, pool acquire/release
+# pairing. Zero findings or the build fails.
+dune build @lint
 dune runtest
 # Chaos determinism: the loss sweep under a fixed seed, twice, must be
 # byte-identical — completion-timeline digests included.
@@ -30,5 +34,20 @@ done
 # digests and all).
 dune exec bin/figures.exe -- failover > "$a"
 dune exec bin/figures.exe -- failover > "$b"
+diff "$a" "$b"
+# Sanitized re-runs: LAUBERHORN_SANITIZE=1 arms the runtime protocol
+# sanitizers (pool leak/double-release/poisoning, event-loop
+# monotonicity, coherence generation discipline, sched-mirror
+# convergence) in fail-fast mode. The runs must complete with zero
+# trips AND stay byte-identical to the unsanitized outputs — the
+# checkers observe without perturbing.
+dune exec bin/figures.exe -- fig2 > "$a"
+LAUBERHORN_SANITIZE=1 dune exec bin/figures.exe -- fig2 > "$b"
+diff "$a" "$b"
+dune exec bin/figures.exe -- losssweep > "$a"
+LAUBERHORN_SANITIZE=1 dune exec bin/figures.exe -- losssweep > "$b"
+diff "$a" "$b"
+dune exec bin/figures.exe -- failover > "$a"
+LAUBERHORN_SANITIZE=1 dune exec bin/figures.exe -- failover > "$b"
 diff "$a" "$b"
 dune exec bench/main.exe

@@ -351,8 +351,14 @@ let test_pooled_roundtrip_allocation_budget () =
       in
       for _ = 1 to 100 do round frame done (* warm-up *);
       let n = 5_000 in
+      (* [Gc.allocated_bytes] only reflects the domain's allocation
+         pointer at minor-collection boundaries; force a minor GC at
+         both ends so the delta is exact rather than quantized to
+         minor-heap segments (which made this test flaky). *)
+      Gc.minor ();
       let before = Gc.allocated_bytes () in
       for _ = 1 to n do round frame done;
+      Gc.minor ();
       let after = Gc.allocated_bytes () in
       let per_round = (after -. before) /. float_of_int n in
       checkb

@@ -1,0 +1,245 @@
+(* Seeded-regression suite for the simlint static checker (lib/simlint).
+   Each test feeds a small fixture through [Simlint.check_source] at a
+   path chosen to trigger (or suppress) the path-sensitive rule sets,
+   and asserts the precise rule that must fire — so a future edit that
+   silently disables a rule fails here, not in review. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let rules_of findings = List.map (fun f -> f.Simlint.rule) findings
+
+let count rule findings =
+  List.length (List.filter (fun f -> String.equal f.Simlint.rule rule) findings)
+
+let lint ~path src = Simlint.check_source ~path src
+
+(* --- nondeterminism ------------------------------------------------ *)
+
+let test_nondet_random () =
+  let fs = lint ~path:"lib/core/thing.ml" "let roll () = Random.int 6\n" in
+  checki "one finding" 1 (List.length fs);
+  checki "nondeterminism" 1 (count "nondeterminism" fs)
+
+let test_nondet_unix_clock () =
+  let fs = lint ~path:"lib/sim/clock.ml" "let now () = Unix.gettimeofday ()\n" in
+  checki "nondeterminism" 1 (count "nondeterminism" fs)
+
+let test_nondet_randomized_hashtbl () =
+  let fs =
+    lint ~path:"lib/net/demux.ml"
+      "let tbl () = Hashtbl.create ~random:true 16\n"
+  in
+  checki "nondeterminism" 1 (count "nondeterminism" fs)
+
+let test_nondet_allowed_in_fault () =
+  (* lib/fault owns seeded randomness; the same source must pass there. *)
+  let src = "let roll () = Random.int 6\n" in
+  checki "flagged in lib/core" 1
+    (count "nondeterminism" (lint ~path:"lib/core/thing.ml" src));
+  checki "allowed in lib/fault" 0
+    (count "nondeterminism" (lint ~path:"lib/fault/plan.ml" src))
+
+let test_nondet_sim_rng_clean () =
+  let fs =
+    lint ~path:"lib/sim/gen.ml"
+      "let next rng = Sim.Rng.int rng 100\nlet seeded () = 42\n"
+  in
+  checki "clean" 0 (List.length fs)
+
+(* --- polymorphic compare ------------------------------------------- *)
+
+let test_poly_eq_flagged () =
+  let fs = lint ~path:"lib/core/sched.ml" "let same a b = a = b\n" in
+  checki "polymorphic-compare" 1 (count "polymorphic-compare" fs)
+
+let test_poly_literal_exempt () =
+  (* [x = 0] compiles to an immediate comparison — must not be flagged. *)
+  let fs = lint ~path:"lib/core/sched.ml" "let zero x = x = 0\n" in
+  checki "literal compare exempt" 0 (count "polymorphic-compare" fs)
+
+let test_poly_list_mem () =
+  let fs =
+    lint ~path:"lib/coherence/dir.ml" "let has x xs = List.mem x xs\n"
+  in
+  checki "List.mem flagged" 1 (count "polymorphic-compare" fs)
+
+let test_poly_scoped_to_core_dirs () =
+  (* The poly rule applies to lib/{core,coherence,net,sim} only. *)
+  let src = "let same a b = a = b\n" in
+  checki "not applied in lib/harness" 0
+    (count "polymorphic-compare" (lint ~path:"lib/harness/chaos.ml" src));
+  checki "applied in lib/net" 1
+    (count "polymorphic-compare" (lint ~path:"lib/net/frame.ml" src))
+
+(* --- hot-path allocation discipline -------------------------------- *)
+
+let test_hot_closure () =
+  let fs =
+    lint ~path:"lib/net/fast.ml"
+      "let[@hot_path] f xs = List.map (fun x -> x + 1) xs\n"
+  in
+  checkb "closure flagged" true (count "hot-path" fs >= 1)
+
+let test_hot_tuple_record_list () =
+  let fs =
+    lint ~path:"lib/net/fast.ml"
+      "type r = { a : int; b : int }\n\
+       let[@hot_path] f x = ((x, x), { a = x; b = x }, [ x ])\n"
+  in
+  checkb "tuple flagged" true (count "hot-path" fs >= 3)
+
+let test_hot_string_building () =
+  let fs =
+    lint ~path:"lib/net/fast.ml"
+      "let[@hot_path] f a b = a ^ Printf.sprintf \"%d\" b\n"
+  in
+  checki "both builders flagged" 2 (count "hot-path" fs)
+
+let test_hot_partial_application () =
+  let fs =
+    lint ~path:"lib/net/fast.ml"
+      "let add3 a b c = a + b + c\nlet[@hot_path] f x = add3 x 1\n"
+  in
+  checki "partial application flagged" 1 (count "hot-path" fs)
+
+let test_hot_optional_args_not_partial () =
+  (* Omitting an optional argument is default elimination, not closure
+     construction — the arity table must not count it. *)
+  let fs =
+    lint ~path:"lib/net/fast.ml"
+      "let sum ?(init = 0) a b = init + a + b\n\
+       let[@hot_path] f x = sum x x\n"
+  in
+  checki "no finding" 0 (List.length fs)
+
+let test_hot_alloc_ok_escape () =
+  let fs =
+    lint ~path:"lib/net/fast.ml"
+      "type r = { a : int }\nlet[@hot_path] f x = ({ a = x } [@alloc_ok])\n"
+  in
+  checki "alloc_ok honoured" 0 (List.length fs)
+
+let test_hot_error_path_exempt () =
+  let fs =
+    lint ~path:"lib/net/fast.ml"
+      "let[@hot_path] f x =\n\
+      \  if x < 0 then invalid_arg (Printf.sprintf \"bad %d\" x) else x\n"
+  in
+  checki "error path exempt" 0 (List.length fs)
+
+let test_hot_untagged_ignored () =
+  let fs =
+    lint ~path:"lib/net/slow.ml" "let f xs = List.map (fun x -> x + 1) xs\n"
+  in
+  checki "untagged function unrestricted" 0 (List.length fs)
+
+(* --- pool discipline ----------------------------------------------- *)
+
+let test_pool_unpaired_acquire () =
+  let fs =
+    lint ~path:"lib/nic/drv.ml" "let grab pool = Pool.acquire pool\n"
+  in
+  checki "pool-discipline" 1 (count "pool-discipline" fs)
+
+let test_pool_paired_ok () =
+  let fs =
+    lint ~path:"lib/nic/drv.ml"
+      "let use pool f =\n\
+      \  let b = Pool.acquire pool in\n\
+      \  let r = f b in\n\
+      \  Pool.release pool b;\n\
+      \  r\n"
+  in
+  checki "paired acquire/release clean" 0 (count "pool-discipline" fs)
+
+let test_pool_ownership_transfer () =
+  let fs =
+    lint ~path:"lib/nic/drv.ml"
+      "let grab pool = (Pool.acquire pool [@ownership_transfer])\n"
+  in
+  checki "ownership_transfer honoured" 0 (count "pool-discipline" fs)
+
+(* --- the repo itself is lint-clean --------------------------------- *)
+
+let test_repo_lib_clean () =
+  (* The dune @lint alias enforces this at build time; this test pins it
+     from the test suite too so `dune runtest` alone catches drift.
+     Resolve lib/ relative to the dune workspace root. *)
+  let rec find_lib dir depth =
+    if depth > 6 then None
+    else
+      let cand = Filename.concat dir "lib" in
+      if
+        Sys.file_exists cand && Sys.is_directory cand
+        && Sys.file_exists (Filename.concat cand "simlint")
+      then Some cand
+      else find_lib (Filename.concat dir "..") (depth + 1)
+  in
+  match find_lib (Sys.getcwd ()) 0 with
+  | None -> ()  (* sandboxed layout without sources; @lint still covers it *)
+  | Some lib ->
+      let fs = Simlint.run [ lib ] in
+      List.iter
+        (fun f -> Format.eprintf "%a@." Simlint.pp_finding f)
+        fs;
+      checki "lib/ is lint-clean" 0 (List.length fs)
+
+(* --- finding metadata ---------------------------------------------- *)
+
+let test_finding_positions () =
+  let fs =
+    lint ~path:"lib/core/x.ml" "let a = 1\nlet same a b = a = b\n"
+  in
+  match fs with
+  | [ f ] ->
+      checki "line" 2 f.Simlint.line;
+      Alcotest.check Alcotest.string "rule" "polymorphic-compare"
+        f.Simlint.rule
+  | fs ->
+      Alcotest.failf "expected exactly one finding, got %d (%s)"
+        (List.length fs)
+        (String.concat ", " (rules_of fs))
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "simlint"
+    [
+      ( "nondeterminism",
+        [
+          tc "global Random flagged" test_nondet_random;
+          tc "Unix clock flagged" test_nondet_unix_clock;
+          tc "randomized Hashtbl flagged" test_nondet_randomized_hashtbl;
+          tc "lib/fault exempt" test_nondet_allowed_in_fault;
+          tc "seeded Sim.Rng clean" test_nondet_sim_rng_clean;
+        ] );
+      ( "polymorphic-compare",
+        [
+          tc "= flagged" test_poly_eq_flagged;
+          tc "literal operand exempt" test_poly_literal_exempt;
+          tc "List.mem flagged" test_poly_list_mem;
+          tc "scoped to core dirs" test_poly_scoped_to_core_dirs;
+        ] );
+      ( "hot-path",
+        [
+          tc "anonymous closure" test_hot_closure;
+          tc "tuple/record/list cells" test_hot_tuple_record_list;
+          tc "string building" test_hot_string_building;
+          tc "partial application" test_hot_partial_application;
+          tc "optional args are not partial" test_hot_optional_args_not_partial;
+          tc "[@alloc_ok] escape" test_hot_alloc_ok_escape;
+          tc "error paths exempt" test_hot_error_path_exempt;
+          tc "untagged unrestricted" test_hot_untagged_ignored;
+        ] );
+      ( "pool-discipline",
+        [
+          tc "unpaired acquire" test_pool_unpaired_acquire;
+          tc "paired clean" test_pool_paired_ok;
+          tc "[@ownership_transfer]" test_pool_ownership_transfer;
+        ] );
+      ( "repo",
+        [
+          tc "lib/ lint-clean" test_repo_lib_clean;
+          tc "finding positions" test_finding_positions;
+        ] );
+    ]
