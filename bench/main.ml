@@ -61,6 +61,7 @@ let sections =
     ("losssweep", Experiments.Losssweep.run);
     ("trace", Experiments.Trace.run);
     ("failover", Experiments.Failover.run);
+    ("parallel", Experiments.Parallel.run);
     ("micro", Micro.run);
   ]
 

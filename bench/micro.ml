@@ -26,6 +26,84 @@ let test_event_heap =
          in
          drain ()))
 
+(* Same schedule as the heap row, through the hierarchical timing
+   wheel: O(1) insert vs the heap's O(log n), identical pop order. *)
+let test_timing_wheel =
+  Test.make ~name:"timing_wheel push+pop x1000"
+    (Staged.stage (fun () ->
+         let w = Sim.Timing_wheel.create () in
+         for i = 0 to 999 do
+           ignore (Sim.Timing_wheel.push w ~time:((i * 7919) mod 1000) i)
+         done;
+         let rec drain () =
+           match Sim.Timing_wheel.pop w with
+           | Some _ -> drain ()
+           | None -> ()
+         in
+         drain ()))
+
+(* Timer-dominated workload: the retransmit-timer pattern where almost
+   every armed timer is cancelled before it fires (ack arrives first).
+   8192 arms, half cancelled, half fire — through the [Scheduler]
+   dispatch layer, once per backend, so the rows are comparable. At
+   this population the heap pays O(log n) sift-downs to drain a queue
+   that is half dead weight; the wheel's O(1) insert and bucket-level
+   reclamation of cancelled entries is where it earns its row. *)
+let timer_churn kind () =
+  let s = Sim.Scheduler.create kind in
+  let handles = Array.make 8192 None in
+  for i = 0 to 8191 do
+    let h = Sim.Scheduler.push s ~time:(1 + ((i * 7919) mod 16_384)) i in
+    handles.(i) <- Some h
+  done;
+  for i = 0 to 8191 do
+    if i mod 2 = 0 then
+      match handles.(i) with
+      | Some h -> Sim.Scheduler.cancel s h
+      | None -> ()
+  done;
+  let rec drain () =
+    match Sim.Scheduler.pop s with Some _ -> drain () | None -> ()
+  in
+  drain ()
+
+let test_timer_churn_heap =
+  Test.make ~name:"timer arm+cancel x8192 (heap)"
+    (Staged.stage (timer_churn Sim.Scheduler.Heap))
+
+let test_timer_churn_wheel =
+  Test.make ~name:"timer arm+cancel x8192 (wheel)"
+    (Staged.stage (timer_churn Sim.Scheduler.Wheel))
+
+(* Windowed (sharded) stepping tax: the same periodic event chain run
+   directly on an engine, then through a 1-shard [Shard_engine] — the
+   delta is the per-window plan/merge/complete bookkeeping that
+   LAUBERHORN_SHARDS>1 adds around the inner engine. *)
+let periodic_chain e =
+  let rec tick () =
+    if Sim.Engine.now e < 100_000 then
+      ignore (Sim.Engine.schedule_after e ~after:100 tick)
+  in
+  ignore (Sim.Engine.schedule_after e ~after:100 tick)
+
+let test_engine_direct_stepping =
+  Test.make ~name:"engine run 1000 events (direct)"
+    (Staged.stage (fun () ->
+         let e = Sim.Engine.create () in
+         periodic_chain e;
+         Sim.Engine.run e ~until:100_000))
+
+let test_sharded_stepping =
+  Test.make ~name:"engine run 1000 events (sharded windows)"
+    (Staged.stage (fun () ->
+         let e = Sim.Engine.create () in
+         periodic_chain e;
+         let t =
+           Sim.Shard_engine.create ~domains:1 ~lookahead:(Sim.Units.us 50)
+             [| e |]
+         in
+         Sim.Shard_engine.run t ~until:100_000))
+
 let test_checksum =
   let buf = Bytes.init 1500 (fun i -> Char.chr (i land 0xff)) in
   Test.make ~name:"internet checksum 1500B"
@@ -169,6 +247,11 @@ let test_modelcheck =
 let tests =
   [
     test_event_heap;
+    test_timing_wheel;
+    test_timer_churn_heap;
+    test_timer_churn_wheel;
+    test_engine_direct_stepping;
+    test_sharded_stepping;
     test_checksum;
     test_checksum_bytewise;
     test_codec;
@@ -190,12 +273,17 @@ let run () =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = [ Instance.monotonic_clock ] in
+  (* Pinned quota + GC stabilization: each row gets the same measuring
+     budget, and a fresh minor heap before its samples are taken, so a
+     prior row's garbage can't show up as noise in this one. *)
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true
+      ~compaction:false ~kde:(Some 1000) ()
   in
   let measured =
     List.concat_map
       (fun test ->
+        Gc.minor ();
         let results =
           Benchmark.all cfg instances (Test.make_grouped ~name:"" [ test ])
         in

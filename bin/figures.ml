@@ -19,6 +19,7 @@ let sections =
     ("losssweep", Experiments.Losssweep.run);
     ("trace", Experiments.Trace.run);
     ("failover", Experiments.Failover.run);
+    ("parallel", Experiments.Parallel.run);
   ]
 
 let section_arg =

@@ -11,6 +11,7 @@ type t = {
   encrypt : bool;
   shed : bool;
   sanitize : bool;
+  scheduler : Sim.Scheduler.kind;
 }
 
 let enzian =
@@ -27,6 +28,7 @@ let enzian =
     encrypt = false;
     shed = false;
     sanitize = false;
+    scheduler = Sim.Scheduler.Heap;
   }
 
 let modern =
@@ -39,6 +41,7 @@ let modern =
   }
 
 let with_encryption t encrypt = { t with encrypt }
+let with_scheduler t scheduler = { t with scheduler }
 let with_shed t shed = { t with shed }
 let with_sanitize t sanitize = { t with sanitize }
 

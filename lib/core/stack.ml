@@ -1013,12 +1013,15 @@ let on_handled t f = t.handled_hook <- Some f
 
 (* ---------- Construction --------------------------------------------- *)
 
-let next_code_ptr = ref 0x4000_0000L
+(* Process-wide so every service across every simulated host gets a
+   distinct fake code page; atomic so stacks built for different
+   shards can never tear it. Shard setup runs on the coordinator in
+   shard order, so the assignment stays deterministic. *)
+let[@nondet_ok] next_code_ptr = Atomic.make 0x4000_0000
 
-let fresh_code_ptrs n =
+let[@nondet_ok] fresh_code_ptrs n =
   Array.init n (fun i ->
-      let base = !next_code_ptr in
-      next_code_ptr := Int64.add base 0x1000L;
+      let base = Int64.of_int (Atomic.fetch_and_add next_code_ptr 0x1000) in
       Int64.add base (Int64.of_int (i * 64)))
 
 let create engine ~cfg ~ncores ?kernel_costs

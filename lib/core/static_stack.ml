@@ -369,12 +369,13 @@ let restart_service t ~service_id =
 
 (* ---------- Construction ---------- *)
 
-let next_code_ptr = ref 0x5000_0000L
+(* Atomic for the same reason as [Stack.next_code_ptr]: shard-safe,
+   still deterministic because shard setup is coordinator-sequential. *)
+let[@nondet_ok] next_code_ptr = Atomic.make 0x5000_0000
 
-let fresh_code_ptrs n =
+let[@nondet_ok] fresh_code_ptrs n =
   Array.init n (fun i ->
-      let base = !next_code_ptr in
-      next_code_ptr := Int64.add base 0x1000L;
+      let base = Int64.of_int (Atomic.fetch_and_add next_code_ptr 0x1000) in
       Int64.add base (Int64.of_int (i * 64)))
 
 let create engine ~cfg ~ncores ?kernel_costs ?(fault = Fault.Plan.none)

@@ -55,7 +55,22 @@ let make_server ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)
     ?(linux_threads = 2) ?engine ?(fault = Fault.Plan.none) ?egress ?tap
     ?metrics ?sanitize flavour setup =
   let engine =
-    match engine with Some e -> e | None -> Sim.Engine.create ()
+    match engine with
+    | Some e -> e
+    | None ->
+        (* Backend precedence: LAUBERHORN_SCHED, then the flavour's
+           config, then the heap. Either way the run is byte-identical;
+           only its wall-clock cost moves. *)
+        let sched =
+          match Sim.Scheduler.env_kind_opt () with
+          | Some k -> k
+          | None -> (
+              match flavour with
+              | Lauberhorn (cfg, _) | Static cfg ->
+                  cfg.Lauberhorn.Config.scheduler
+              | Linux _ | Bypass _ -> Sim.Scheduler.Heap)
+        in
+        Sim.Engine.create ~sched ()
   in
   let sanitize =
     match sanitize with
@@ -199,8 +214,32 @@ type measurement = {
   counters : (string * int) list;
 }
 
+(* [LAUBERHORN_SHARDS>1] (or a forced test override) routes whole-run
+   stepping through the sharded engine: the harness's single engine
+   becomes a one-shard PDES instance executed as barrier-delimited
+   conservative windows instead of one long [Engine.run]. The
+   simulation is byte-identical either way — CI diffs the two — so
+   this seam proves the windowed stepping discipline on every
+   pre-existing experiment, not just E16. *)
+let forced_shards = ref None
+let set_forced_shards n = forced_shards := n
+
+let shards_enabled () =
+  match !forced_shards with
+  | Some n -> n
+  | None -> Sim.Shard_engine.env_domains ()
+
+let run_to engine ~until =
+  if shards_enabled () > 1 then
+    let t =
+      Sim.Shard_engine.create ~domains:1 ~lookahead:(Sim.Units.us 50)
+        [| engine |]
+    in
+    Sim.Shard_engine.run t ~until
+  else Sim.Engine.run engine ~until
+
 let measure ?(drain = Sim.Units.ms 10) ~name ~horizon server =
-  Sim.Engine.run server.engine ~until:(horizon + drain);
+  run_to server.engine ~until:(horizon + drain);
   server.flush ();
   (match server.sanitize with None -> () | Some z -> Sanitize.finish z);
   let h = Harness.Recorder.latencies server.recorder in
@@ -293,7 +332,7 @@ let lossy_run_full ?(ncores = 4) ?(nservices = 1) ?(min_workers = 1)
         ~method_id:0
         ~port:(Workload.Scenario.port_of setup ~service_idx)
         (Rpc.Value.Blob (Bytes.make payload 'w')));
-  Sim.Engine.run engine ~until:(horizon + drain);
+  run_to engine ~until:(horizon + drain);
   server.flush ();
   (match server.sanitize with None -> () | Some z -> Sanitize.finish z);
   let recorder = Harness.Chaos.recorder chaos in

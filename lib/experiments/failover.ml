@@ -97,7 +97,7 @@ let run_crash ?(shed = false) ~server_fault flavour =
       Harness.Chaos.call chaos ~service_id ~method_id:0
         ~port:(Workload.Scenario.port_of setup ~service_idx)
         (Rpc.Value.Blob (Bytes.make 64 'w')));
-  Sim.Engine.run engine ~until:(horizon + drain);
+  Common.run_to engine ~until:(horizon + drain);
   server.Common.flush ();
   let recorder = Harness.Chaos.recorder chaos in
   let h = Harness.Recorder.latencies recorder in
@@ -188,7 +188,7 @@ let run_overload ~shed ~mult =
       Harness.Chaos.call chaos ~service_id ~method_id:0
         ~port:(Workload.Scenario.port_of setup ~service_idx)
         (Rpc.Value.Blob (Bytes.make 64 'w')));
-  Sim.Engine.run engine ~until:(overload_horizon + overload_drain);
+  Common.run_to engine ~until:(overload_horizon + overload_drain);
   let recorder = Harness.Chaos.recorder chaos in
   let h = Harness.Recorder.latencies recorder in
   let completed = Harness.Recorder.completed recorder in

@@ -1,0 +1,185 @@
+(* E16 — parallel scaling: the sharded conservative-PDES engine over a
+   rack of Lauberhorn hosts, 1/2/4/8 domains, E6-style load sweep.
+
+   Eight simulated hosts, each a full Lauberhorn stack (own engine,
+   NIC pipeline, scheduler mirror, recorder). Hosts exchange a quarter
+   of their traffic: a client arrival on host h targets a uniformly
+   chosen remote host with probability 1/4, crossing the simulated
+   rack wire (2 µs each way — also the conservative lookahead) via
+   {!Sim.Shard_engine.post}. Responses route back over the same wire,
+   so remote RPCs pay two hops on top of end-system latency.
+
+   The experiment's two claims, printed as diffable stdout:
+
+   - determinism: per-host result lines are byte-identical for every
+     domain count (the digest table repeats per domain count and must
+     not vary);
+   - scaling: wall-clock per run for each domain count. Wall-clock is
+     host noise, not simulation output, so it goes to stderr — stdout
+     stays byte-stable for CI diffing. On a single-core CI box the
+     speedup is ~1x (domains time-slice one core); the windows/events
+     ratio printed per run is the machine-independent parallelism
+     measure (events per window = work available to spread across
+     domains). *)
+
+let hosts = 8
+let wire = Sim.Units.us 2 (* rack wire one-way latency = lookahead *)
+let remote_frac = 0.25
+let horizon = Sim.Units.ms 15
+let drain = Sim.Units.ms 10
+let rates = [ 100_000.; 300_000. ]
+let domain_counts = [ 1; 2; 4; 8 ]
+
+type host_result = {
+  sent : int;
+  completed : int;
+  p50 : int;
+  p99 : int;
+  events : int;
+}
+
+(* One full rack run: fresh engines, stacks and arrival schedules, so
+   every domain count simulates the identical workload from scratch.
+   Returns per-host results plus (windows, merged messages). *)
+let rack_run ~rate ~domains () =
+  let engines = Array.init hosts (fun _ -> Sim.Engine.create ()) in
+  let shard = Sim.Shard_engine.create ~domains ~lookahead:wire engines in
+  let servers = Array.make hosts None in
+  let server h =
+    match servers.(h) with
+    | Some s -> s
+    | None -> invalid_arg "E16: server used before setup"
+  in
+  (* Responses carry the origin's client port (40000 + origin index):
+     egress on the serving host either records locally or ships the
+     frame back across the wire to the origin's recorder. *)
+  let egress h frame =
+    let o = frame.Net.Frame.udp.Net.Udp.dst_port - 40_000 in
+    if o = h || o < 0 || o >= hosts then
+      Harness.Recorder.egress (server h).Common.recorder frame
+    else
+      Sim.Shard_engine.post shard ~src:h ~dst:o
+        ~at:(Sim.Engine.now engines.(h) + wire)
+        (fun () -> Harness.Recorder.egress (server o).Common.recorder frame)
+  in
+  Array.iteri
+    (fun h engine ->
+      servers.(h) <-
+        Some
+          (Common.make_server ~ncores:4 ~max_workers:3 ~engine
+             ~egress:(egress h)
+             (Common.Lauberhorn
+                (Lauberhorn.Config.enzian, Lauberhorn.Sched_mirror.Push))
+             (Workload.Scenario.echo_fleet ~n:1
+                ~handler_time:(Sim.Units.ns 500) ())))
+    engines;
+  let setup = (server 0).Common.setup in
+  let service_id = Workload.Scenario.service_id_of setup ~service_idx:0 in
+  let port = Workload.Scenario.port_of setup ~service_idx:0 in
+  Array.iteri
+    (fun h engine ->
+      (* per-host seed: arrival streams are independent of both the
+         domain count and the other hosts *)
+      let rng = Sim.Rng.create ~seed:(1000 + h) in
+      Workload.Arrivals.open_loop engine rng ~rate_per_s:rate ~until:horizon
+        (fun ~seq ->
+          let rpc_id = Int64.of_int ((h lsl 32) lor seq) in
+          let client = Harness.Traffic.client_endpoint ~idx:h () in
+          let remote = Sim.Rng.float rng < remote_frac in
+          if not remote then
+            Harness.Traffic.inject (server h).Common.recorder
+              (server h).Common.driver ~rpc_id ~service_id ~method_id:0 ~port
+              ~client
+              (Rpc.Value.Blob (Bytes.make 64 'w'))
+          else begin
+            let dst = (h + 1 + Sim.Rng.int rng ~bound:(hosts - 1)) mod hosts in
+            let frame =
+              Harness.Traffic.request_frame ~rpc_id ~service_id ~method_id:0
+                ~port ~client
+                (Rpc.Value.Blob (Bytes.make 64 'w'))
+            in
+            (* stamp at the origin now; the request frame crosses the
+               rack wire and enters the destination NIC one wire
+               latency later *)
+            Harness.Recorder.note_sent (server h).Common.recorder ~rpc_id;
+            Sim.Shard_engine.post shard ~src:h ~dst
+              ~at:(Sim.Engine.now engine + wire)
+              (fun () -> (server dst).Common.driver.Harness.Driver.ingress frame)
+          end))
+    engines;
+  Sim.Shard_engine.run shard ~until:(horizon + drain);
+  let per_host =
+    Array.init hosts (fun h ->
+        let s = server h in
+        s.Common.flush ();
+        (match s.Common.sanitize with
+        | None -> ()
+        | Some z -> Sanitize.finish z);
+        let r = s.Common.recorder in
+        let hist = Harness.Recorder.latencies r in
+        let completed = Harness.Recorder.completed r in
+        let q p = if completed = 0 then 0 else Sim.Histogram.quantile hist p in
+        {
+          sent = Harness.Recorder.sent r;
+          completed;
+          p50 = q 0.5;
+          p99 = q 0.99;
+          events = Sim.Engine.events_processed engines.(h);
+        })
+  in
+  (per_host, Sim.Shard_engine.windows_run shard,
+   Sim.Shard_engine.messages_merged shard)
+
+let host_line h r =
+  Printf.sprintf "host%d sent=%d done=%d p50=%s p99=%s events=%d" h r.sent
+    r.completed (Common.ns r.p50) (Common.ns r.p99) r.events
+
+(* Wall-clock is measured for the scaling report only; it never
+   reaches stdout, which must stay byte-identical across machines and
+   domain counts. *)
+let[@nondet_ok] wallclock f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let run () =
+  Common.section
+    "E16: parallel scaling — sharded PDES rack, 1/2/4/8 domains";
+  List.iter
+    (fun rate ->
+      Common.note "offered load %s per host, %d hosts, %.0f%% remote"
+        (Common.rate_str rate) hosts (100. *. remote_frac);
+      let reference = ref None in
+      List.iter
+        (fun domains ->
+          let (per_host, windows, merged), secs =
+            wallclock (fun () -> rack_run ~rate ~domains ())
+          in
+          let lines =
+            String.concat "\n  "
+              (Array.to_list (Array.mapi host_line per_host))
+          in
+          let events =
+            Array.fold_left (fun a r -> a + r.events) 0 per_host
+          in
+          Common.note "domains=%d windows=%d merged=%d events/window=%d"
+            domains windows merged
+            (if windows = 0 then 0 else events / windows);
+          (match !reference with
+          | None ->
+              reference := Some lines;
+              Common.note "%s" ("per-host:\n  " ^ lines)
+          | Some ref_lines ->
+              Common.note "per-host output identical to domains=1: %b"
+                (String.equal ref_lines lines));
+          (* stderr: machine-local wall clock, outside the diffed
+             stream *)
+          Printf.eprintf "  [e16] rate=%s domains=%d wall=%.2fs\n%!"
+            (Common.rate_str rate) domains secs)
+        domain_counts)
+    rates;
+  Common.note
+    "paper expectation: per-host results byte-identical for every domain";
+  Common.note
+    "count (conservative lookahead = wire latency); wall-clock scaling";
+  Common.note "is reported on stderr and depends on available cores."

@@ -63,7 +63,7 @@ let traced_ping_pong flavour =
           (Sim.Engine.schedule_after engine ~after:(2 * propagation)
              (fun () -> fire ())));
   fire ();
-  Sim.Engine.run engine ~until:(Sim.Units.s 2);
+  Common.run_to engine ~until:(Sim.Units.s 2);
   (server, pcap, sim_trace, List.rev !completions)
 
 (* Per-stage totals in first-seen chain order. *)

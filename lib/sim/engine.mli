@@ -12,8 +12,16 @@ type handle
 (** A scheduled event, usable for cancellation (e.g. timers that are
     disarmed when the awaited message arrives first). *)
 
-val create : unit -> t
-(** A fresh engine with the clock at time 0 and an empty queue. *)
+val create : ?sched:Scheduler.kind -> unit -> t
+(** A fresh engine with the clock at time 0 and an empty queue.
+
+    [sched] picks the event-queue backend; it defaults to
+    {!Scheduler.env_kind} (the [LAUBERHORN_SCHED] environment
+    variable, binary heap when unset). Both backends produce
+    byte-identical runs — the choice is purely a cost profile. *)
+
+val scheduler_kind : t -> Scheduler.kind
+(** Which backend this engine's queue runs on. *)
 
 val now : t -> Units.time
 (** Current simulated time. *)
@@ -33,6 +41,11 @@ val cancel : t -> handle -> unit
 
 val pending : t -> int
 (** Number of scheduled events not yet fired or cancelled. *)
+
+val next_event_time : t -> Units.time option
+(** Timestamp of the earliest pending event, or [None] when the queue
+    is drained. The sharded engine uses this to compute the global
+    minimum next-event time that anchors each conservative window. *)
 
 val run : ?until:Units.time -> t -> unit
 (** Process events in time order until the queue drains, or until the

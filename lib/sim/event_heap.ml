@@ -1,4 +1,6 @@
-type 'a entry = {
+(* Re-exported so field access stays direct while the concrete record
+   lives in [Sched_entry], shared with the timing-wheel backend. *)
+type 'a entry = 'a Sched_entry.t = {
   time : Units.time;
   seq : int;
   payload : 'a;

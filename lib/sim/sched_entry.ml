@@ -1,0 +1,17 @@
+(* The one event-entry representation shared by every scheduler
+   backend (binary heap, timing wheel). The entry doubles as the
+   cancellation handle, so a push costs exactly one allocation no
+   matter which backend holds it — and a handle minted by one backend
+   is recognisably foreign to another only by misuse, never by type.
+
+   [seq] is the backend-local insertion number used to break timestamp
+   ties FIFO; the pair [(time, seq)] totally orders every entry a
+   backend ever held, which is what makes heap and wheel runs
+   byte-identical. *)
+
+type 'a t = {
+  time : Units.time;
+  seq : int;
+  payload : 'a;
+  mutable cancelled : bool;
+}

@@ -1,0 +1,84 @@
+(** Domain-sharded conservative parallel discrete-event simulation.
+
+    Partitions a simulation into fixed shards — one {!Engine} per
+    simulated host or isolated pipeline stage — and runs them in
+    OCaml 5 domains, synchronized by barrier-delimited conservative
+    windows of width [lookahead] (the inter-shard wire latency).
+    Shards share no simulation state; the only inter-shard channel is
+    {!post}, whose delivery time must be at least one lookahead past
+    the sender's clock. That contract makes every window safe to run
+    without rollback, and makes each window advance the global clock
+    floor by at least one lookahead.
+
+    {b Determinism contract}: a run's observable output (every event
+    order, every tie-break, every clock reading) is byte-identical for
+    any domain count, including the sequential [domains = 1] case.
+    Cross-shard messages are merged at barriers in
+    [(delivery time, source shard, posting order)] order by the
+    coordinator alone, so destination scheduling — including FIFO
+    tie-break seqs — never depends on thread interleaving. Exceptions
+    are the one non-goal: a failing run fails for every domain count,
+    but the wrapping ({!Worker_failed}) differs.
+
+    Sanitizers attach per shard: each shard's engine keeps its own
+    {!Sanitize.Engine_watch} monotonicity monitor and heap/wheel
+    validation, touched only by the domain running that shard. *)
+
+type t
+
+exception Worker_failed of int * exn
+(** A worker domain died: carries the lowest failing worker index and
+    the original exception. The sequential path raises the original
+    exception unwrapped. *)
+
+val env_domains : unit -> int
+(** Domain count selected by the [LAUBERHORN_SHARDS] environment
+    variable; [1] when unset.
+
+    @raise Invalid_argument outside [1..64]. *)
+
+val create : ?domains:int -> lookahead:Units.duration -> Engine.t array -> t
+(** Wrap the given per-shard engines. [domains] defaults to
+    {!env_domains}, and is capped at the shard count. [lookahead] is
+    the conservative window width — the minimum inter-shard latency
+    the simulation guarantees.
+
+    @raise Invalid_argument on an empty shard array, a non-positive
+    lookahead, or a non-positive domain count. *)
+
+val shards : t -> int
+val domains : t -> int
+val lookahead : t -> Units.duration
+
+val engine : t -> int -> Engine.t
+(** The shard's private engine (for scheduling its local events and
+    reading its clock). *)
+
+val post :
+  t -> src:int -> dst:int -> at:Units.time -> (unit -> unit) -> unit
+(** Send a closure from shard [src] to run on shard [dst] at absolute
+    time [at]. Call only from [src]'s own events, or from the
+    coordinator before {!run}. Delivery happens at the next window
+    barrier; ordering across all posts is deterministic.
+
+    @raise Invalid_argument if [at] is earlier than [src]'s clock plus
+    the lookahead (the conservative contract), or on a bad shard
+    index. *)
+
+val run : t -> until:Units.time -> unit
+(** Run every shard up to and including [until], window by window.
+    On return all shard clocks equal [until] (exactly as a plain
+    [Engine.run ~until] would leave them) and no event at or before
+    [until] remains. Reusable: later calls continue from the current
+    state with a later horizon. *)
+
+val next_event_time : t -> Units.time option
+(** Earliest pending event across all shards (delivered messages
+    only — posts still in flight to a barrier are invisible). *)
+
+val windows_run : t -> int
+(** Conservative windows executed so far (parallelism-efficiency
+    metric: events per window is the available concurrency). *)
+
+val messages_merged : t -> int
+(** Cross-shard messages delivered at barriers so far. *)

@@ -1,0 +1,362 @@
+(* Hierarchical timing wheel: O(1) schedule and cancel, pops in exact
+   [(time, seq)] order — byte-for-byte the order {!Event_heap} pops.
+
+   Six levels of 256 slots each; level [l]'s slots are [256^l] ns wide,
+   so the wheel spans 2^48 ns (~3.26 simulated days) around the current
+   time. Events beyond the span park in an unsorted overflow vector and
+   migrate in when the clock's top bits catch up (effectively never on
+   realistic horizons, but exercised by tests).
+
+   Placement invariant: a live entry with timestamp [T] sits at level
+   [level_for (cur lxor T)] — the byte position of the highest bit in
+   which [T] differs from the current time — in slot
+   [(T lsr 8l) land 255]. Advancing the clock to the next event time
+   cascades exactly the buckets whose slot the new time enters, so the
+   invariant is restored before any new push can observe it. Two
+   consequences carry the determinism proof:
+
+   - all live entries in one level-0 bucket share one exact timestamp
+     (their bytes above 0 equal the clock's, byte 0 is the slot);
+   - within any bucket, append order is seq order: an older entry is
+     cascaded into a bucket at the advance that makes the bucket
+     current, which is before any younger push can target it.
+
+   FIFO buckets therefore pop equal-time entries in insertion order,
+   matching the heap's tie-break. Cancellation is lazy, like the
+   heap's: cancelled entries are dropped when a cascade or pop visits
+   them. *)
+
+type 'a entry = 'a Sched_entry.t = {
+  time : Units.time;
+  seq : int;
+  payload : 'a;
+  mutable cancelled : bool;
+}
+
+type 'a handle = 'a entry
+
+let levels = 6
+let slot_bits = 8
+let slots = 1 lsl slot_bits (* 256 *)
+let span_bits = levels * slot_bits (* 48 *)
+
+(* A FIFO bucket: a growable array window [head, len). Vacated slots
+   are overwritten with the sentinel so popped payloads are not
+   retained. *)
+type 'a bucket = {
+  mutable arr : 'a entry array;
+  mutable head : int;
+  mutable len : int;
+}
+
+type 'a t = {
+  wheel : 'a bucket array array; (* wheel.(level).(slot) *)
+  mutable cur : Units.time;
+  mutable next_seq : int;
+  mutable live : int;
+  (* far-future parking lot: entries whose top 15 bits differ from
+     [cur]'s; unsorted, scanned only when the wheel proper is empty *)
+  mutable over_arr : 'a entry array;
+  mutable over_len : int;
+  mutable sentinel : 'a entry option;
+}
+
+let create () =
+  {
+    wheel =
+      Array.init levels (fun _ ->
+          Array.init slots (fun _ -> { arr = [||]; head = 0; len = 0 }));
+    cur = 0;
+    next_seq = 0;
+    live = 0;
+    over_arr = [||];
+    over_len = 0;
+    sentinel = None;
+  }
+
+let is_empty t = t.live = 0
+let live_count t = t.live
+let now t = t.cur
+
+let sentinel_of t e =
+  match t.sentinel with
+  | Some s -> s
+  | None ->
+      let s = { time = 0; seq = -1; payload = e.payload; cancelled = true } in
+      t.sentinel <- Some s;
+      s
+
+(* Highest differing byte position of [cur lxor time]: the level an
+   entry lives at. Callers have already routed [x lsr span_bits <> 0]
+   to the overflow vector. *)
+let[@hot_path] level_for x =
+  if x < 0x100 then 0
+  else if x < 0x1_0000 then 1
+  else if x < 0x100_0000 then 2
+  else if x < 0x1_0000_0000 then 3
+  else if x < 0x100_0000_0000 then 4
+  else 5
+
+let bucket_grow t b e =
+  let s = sentinel_of t e in
+  let n = b.len - b.head in
+  let cap = max 8 (2 * n) in
+  if cap <= Array.length b.arr && b.head > 0 then begin
+    (* enough room once the popped prefix is dropped: compact in place *)
+    Array.blit b.arr b.head b.arr 0 n;
+    Array.fill b.arr n (Array.length b.arr - n) s
+  end
+  else begin
+    let arr = Array.make cap s in
+    Array.blit b.arr b.head arr 0 n;
+    b.arr <- arr
+  end;
+  b.head <- 0;
+  b.len <- n
+
+let[@hot_path] bucket_append t b e =
+  if b.head > 0 && Int.equal b.head b.len then begin
+    b.head <- 0;
+    b.len <- 0
+  end;
+  if Int.equal b.len (Array.length b.arr) then bucket_grow t b e;
+  b.arr.(b.len) <- e;
+  b.len <- b.len + 1
+
+let over_append t e =
+  if Int.equal t.over_len (Array.length t.over_arr) then begin
+    let s = sentinel_of t e in
+    let cap = max 8 (2 * Array.length t.over_arr) in
+    let arr = Array.make cap s in
+    Array.blit t.over_arr 0 arr 0 t.over_len;
+    t.over_arr <- arr
+  end;
+  t.over_arr.(t.over_len) <- e;
+  t.over_len <- t.over_len + 1
+
+(* File the entry at its invariant position relative to [t.cur]. *)
+let[@hot_path] place t e =
+  let x = t.cur lxor e.time in
+  if x lsr span_bits <> 0 then over_append t e
+  else begin
+    let l = level_for x in
+    bucket_append t
+      t.wheel.(l).((e.time lsr (l * slot_bits)) land (slots - 1))
+      e
+  end
+
+let[@hot_path] push t ~time payload =
+  if time < t.cur then
+    invalid_arg
+      (Printf.sprintf "Timing_wheel.push: time %d is before now (%d)" time
+         t.cur);
+  let e = ({ time; seq = t.next_seq; payload; cancelled = false } [@alloc_ok]) in
+  t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
+  place t e;
+  e
+
+let[@hot_path] cancel t h =
+  if not h.cancelled then begin
+    h.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+(* Empty [b] into the wheel at the entries' new positions relative to
+   the freshly advanced [t.cur], dropping cancelled entries. Append
+   order preserves bucket order, which preserves seq order. *)
+let cascade t b =
+  if b.len > b.head then begin
+    let s = sentinel_of t b.arr.(b.head) in
+    let head = b.head and len = b.len in
+    b.head <- 0;
+    b.len <- 0;
+    for i = head to len - 1 do
+      let e = b.arr.(i) in
+      b.arr.(i) <- s;
+      if not e.cancelled then place t e
+    done
+  end
+
+(* Pull every overflow entry whose top bits now match [t.cur] into the
+   wheel, oldest-first within equal timestamps so bucket FIFO order
+   stays seq order. The overflow vector is unsorted, so sort the
+   migrating subset by [(time, seq)] first. *)
+let migrate_overflow t =
+  let keep = ref [] and move = ref [] in
+  for i = t.over_len - 1 downto 0 do
+    let e = t.over_arr.(i) in
+    if not e.cancelled then
+      if (t.cur lxor e.time) lsr span_bits = 0 then move := e :: !move
+      else keep := e :: !keep
+  done;
+  (match t.sentinel with
+  | Some s -> Array.fill t.over_arr 0 t.over_len s
+  | None -> ());
+  t.over_len <- 0;
+  List.iter (fun e -> over_append t e) !keep;
+  let sorted =
+    List.sort
+      (fun a b ->
+        let c = Int.compare a.time b.time in
+        if c <> 0 then c else Int.compare a.seq b.seq)
+      !move
+  in
+  List.iter (fun e -> place t e) sorted
+
+(* Jump the clock to [tm] (the minimum live timestamp, so no live entry
+   is skipped) and restore the placement invariant by cascading exactly
+   the buckets whose slot [tm] newly enters. *)
+let advance_to t tm =
+  let old = t.cur in
+  t.cur <- tm;
+  if (old lxor tm) lsr span_bits <> 0 then migrate_overflow t;
+  for l = levels - 1 downto 1 do
+    if (old lxor tm) lsr (l * slot_bits) <> 0 then
+      cascade t t.wheel.(l).((tm lsr (l * slot_bits)) land (slots - 1))
+  done
+
+(* Drop cancelled entries at the front of [b]; true if a live entry
+   remains at [b.head]. *)
+let[@hot_path] rec trim_bucket t b =
+  if b.head >= b.len then begin
+    b.head <- 0;
+    b.len <- 0;
+    false
+  end
+  else begin
+    let e = b.arr.(b.head) in
+    if e.cancelled then begin
+      b.arr.(b.head) <- sentinel_of t e;
+      b.head <- b.head + 1;
+      trim_bucket t b
+    end
+    else true
+  end
+
+(* Minimum live timestamp, or -1 when none. Level 0 is scanned from the
+   clock's slot (all live entries there share the slot's exact time);
+   higher levels from the slot after the clock's (the clock's own slot
+   at level l is covered by levels below); the overflow vector last. *)
+let find_min t =
+  if t.live = 0 then -1
+  else begin
+    let found = ref (-1) in
+    let lvl0 = t.wheel.(0) in
+    let i = ref (t.cur land (slots - 1)) in
+    while !found < 0 && !i < slots do
+      let b = lvl0.(!i) in
+      if trim_bucket t b then found := b.arr.(b.head).time;
+      incr i
+    done;
+    let l = ref 1 in
+    while !found < 0 && !l < levels do
+      let lvl = t.wheel.(!l) in
+      let j = ref (((t.cur lsr (!l * slot_bits)) land (slots - 1)) + 1) in
+      while !found < 0 && !j < slots do
+        let b = lvl.(!j) in
+        let best = ref (-1) in
+        for k = b.head to b.len - 1 do
+          let e = b.arr.(k) in
+          if (not e.cancelled) && (!best < 0 || e.time < !best) then
+            best := e.time
+        done;
+        if !best >= 0 then found := !best;
+        incr j
+      done;
+      incr l
+    done;
+    if !found < 0 then begin
+      let best = ref (-1) in
+      for k = 0 to t.over_len - 1 do
+        let e = t.over_arr.(k) in
+        if (not e.cancelled) && (!best < 0 || e.time < !best) then
+          best := e.time
+      done;
+      found := !best
+    end;
+    !found
+  end
+
+let peek_time t =
+  let tm = find_min t in
+  if tm < 0 then None else Some tm
+
+let[@hot_path] pop t =
+  if t.live = 0 then None
+  else begin
+    let tm = find_min t in
+    if tm > t.cur then advance_to t tm;
+    (* the minimum entry now heads its level-0 bucket *)
+    let b = t.wheel.(0).(tm land (slots - 1)) in
+    if not (trim_bucket t b) then None (* unreachable: live > 0 *)
+    else begin
+      let e = b.arr.(b.head) in
+      b.arr.(b.head) <- sentinel_of t e;
+      b.head <- b.head + 1;
+      e.cancelled <- true;
+      t.live <- t.live - 1;
+      Some ((e.time, e.payload) [@alloc_ok])
+    end
+  end
+
+(* Structural self-check for sanitizer builds: every live entry at its
+   invariant position, no live entry in the past, bookkeeping in
+   agreement with [live]. O(capacity); never on the hot path. *)
+let validate t =
+  let err = ref None in
+  let fail fmt = Printf.ksprintf (fun m -> if Option.is_none !err then err := Some m) fmt in
+  let counted = ref 0 in
+  for l = 0 to levels - 1 do
+    for s = 0 to slots - 1 do
+      let b = t.wheel.(l).(s) in
+      if b.head < 0 || b.head > b.len || b.len > Array.length b.arr then
+        fail "Timing_wheel: bucket %d/%d window [%d,%d) exceeds capacity %d" l
+          s b.head b.len (Array.length b.arr);
+      for k = b.head to min b.len (Array.length b.arr) - 1 do
+        let e = b.arr.(k) in
+        if not e.cancelled then begin
+          incr counted;
+          if e.time < t.cur then
+            fail "Timing_wheel: live entry (t=%d seq=%d) in the past (now %d)"
+              e.time e.seq t.cur;
+          let x = t.cur lxor e.time in
+          if x lsr span_bits <> 0 then
+            fail
+              "Timing_wheel: entry (t=%d seq=%d) beyond the span yet filed \
+               at level %d"
+              e.time e.seq l
+          else if not (Int.equal (level_for x) l) then
+            fail
+              "Timing_wheel: entry (t=%d seq=%d) filed at level %d, \
+               invariant says %d"
+              e.time e.seq l (level_for x)
+          else if
+            not (Int.equal ((e.time lsr (l * slot_bits)) land (slots - 1)) s)
+          then
+            fail "Timing_wheel: entry (t=%d seq=%d) filed in slot %d of level %d"
+              e.time e.seq s l
+        end
+      done
+    done
+  done;
+  for k = 0 to t.over_len - 1 do
+    let e = t.over_arr.(k) in
+    if not e.cancelled then begin
+      incr counted;
+      if (t.cur lxor e.time) lsr span_bits = 0 then
+        fail
+          "Timing_wheel: overflow entry (t=%d seq=%d) is within the wheel \
+           span of now (%d)"
+          e.time e.seq t.cur
+    end
+  done;
+  match !err with
+  | Some m -> Error m
+  | None ->
+      if not (Int.equal !counted t.live) then
+        Error
+          (Printf.sprintf
+             "Timing_wheel: live count drifted (%d stored, %d counted)"
+             t.live !counted)
+      else Ok ()

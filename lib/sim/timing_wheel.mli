@@ -1,0 +1,54 @@
+(** Hierarchical timing wheel: O(1) schedule and cancel for
+    timer-dominated workloads, popping in exactly the same
+    [(time, insertion)] order as {!Event_heap}.
+
+    Six levels of 256 slots cover 2^48 ns (~3.26 simulated days) ahead
+    of the current time; events beyond that park in an overflow vector
+    and migrate in as the clock catches up. Advancing the clock
+    cascades only the buckets the new time enters, so the amortised
+    per-event cost is O(1) with a small constant.
+
+    Equal-timestamp events always share one FIFO bucket and therefore
+    pop in insertion order — the property that makes a wheel-backed
+    engine run byte-identical to a heap-backed one. *)
+
+type 'a t
+(** Wheel carrying payloads of type ['a]. *)
+
+type 'a handle = 'a Sched_entry.t
+(** Identifies a scheduled entry; used to cancel it. The concrete type
+    is shared with {!Event_heap} so {!Scheduler} can hand out one
+    handle type regardless of backend. *)
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+(** True when no live (non-cancelled) entry remains. *)
+
+val live_count : 'a t -> int
+(** Number of scheduled entries not yet popped or cancelled. *)
+
+val now : 'a t -> Units.time
+(** The wheel's internal clock: the timestamp of the last pop. Pushes
+    before this instant are rejected. *)
+
+val push : 'a t -> time:Units.time -> 'a -> 'a handle
+(** Schedule a payload at the given time; returns a cancellation
+    handle. Raises [Invalid_argument] if the time is before {!now}. *)
+
+val cancel : 'a t -> 'a handle -> unit
+(** Cancel a scheduled entry. Cancelling an already-popped or
+    already-cancelled entry is a no-op. *)
+
+val pop : 'a t -> (Units.time * 'a) option
+(** Remove and return the earliest live entry, or [None] if empty.
+    Advances {!now} to the popped entry's timestamp. *)
+
+val peek_time : 'a t -> Units.time option
+(** Timestamp of the earliest live entry without removing it. *)
+
+val validate : 'a t -> (unit, string) result
+(** Structural self-check: every live entry filed at its invariant
+    level/slot, none in the past, bookkeeping in agreement with
+    {!live_count}. O(capacity); meant for sanitizer builds and tests,
+    not the hot path. *)

@@ -69,7 +69,14 @@ type ctx = {
   arities : (string, int) Hashtbl.t;
   (* character offsets of =/<> uses exempted by a literal operand *)
   exempt : (int, unit) Hashtbl.t;
+  (* [@nondet_ok] character spans: deliberate, reviewed nondeterminism
+     (domain-parallelism machinery, wall-clock reporting) *)
+  mutable nondet_ok : (int * int) list;
 }
+
+let in_nondet_ok ctx (loc : Location.t) =
+  let p = loc.Location.loc_start.Lexing.pos_cnum in
+  List.exists (fun (s, e) -> p >= s && p < e) ctx.nondet_ok
 
 let report ctx ~loc ~rule fmt =
   let pos = loc.Location.loc_start in
@@ -94,6 +101,14 @@ let nondet_diagnosis lid =
       Some "Unix.* (wall clock / ambient OS state) is off-limits in lib/"
   | [ "Sys"; "time" ] -> Some "Sys.time reads the wall clock"
   | [ "Hashtbl"; "randomize" ] -> Some "Hashtbl.randomize breaks determinism"
+  | ("Domain" | "Thread" | "Mutex" | "Condition" | "Semaphore" | "Atomic")
+    :: _ ->
+      Some
+        (Printf.sprintf
+           "%s.* is thread-scheduling-dependent; simulation parallelism must \
+            go through Sim.Shard_engine's deterministic windows — mark \
+            deliberate machinery [@nondet_ok]"
+           (List.hd (lid_parts lid)))
   | "Random" :: rest -> (
       match rest with
       | "State" :: more ->
@@ -108,7 +123,9 @@ let nondet_diagnosis lid =
 
 let check_nondet ctx ~loc lid =
   match nondet_diagnosis lid with
-  | Some why -> report ctx ~loc ~rule:"nondeterminism" "%s" why
+  | Some why ->
+      if not (in_nondet_ok ctx loc) then
+        report ctx ~loc ~rule:"nondeterminism" "%s" why
   | None -> ()
 
 let check_nondet_apply ctx ~loc lid args =
@@ -118,7 +135,7 @@ let check_nondet_apply ctx ~loc lid args =
     | Longident.Lident "create" -> false
     | _ -> is_mod_fn lid ~m:"Hashtbl" ~fn:"create"
   in
-  if is_hashtbl_create then
+  if is_hashtbl_create && not (in_nondet_ok ctx loc) then
     List.iter
       (fun (label, (arg : expression)) ->
         match (label, arg.pexp_desc) with
@@ -321,21 +338,50 @@ let binding_name vb =
 
 let check_structure ctx (str : structure) =
   (* First pass: top-level function arities for the partial-application
-     heuristic. *)
+     heuristic, and [@nondet_ok] spans (the attribute scopes its whole
+     binding or expression) so the nondet rule can honour escapes that
+     appear later in the same traversal. *)
   List.iter
     (fun item ->
       match item.pstr_desc with
       | Pstr_value (_, bindings) ->
           List.iter
             (fun vb ->
-              match binding_name vb with
+              (match binding_name vb with
               | Some name ->
                   let a = arity_of vb.pvb_expr in
                   if a > 0 then Hashtbl.replace ctx.arities name a
-              | None -> ())
+              | None -> ());
+              if has_attr "nondet_ok" vb.pvb_attributes then
+                ctx.nondet_ok <-
+                  ( vb.pvb_loc.Location.loc_start.Lexing.pos_cnum,
+                    vb.pvb_loc.Location.loc_end.Lexing.pos_cnum )
+                  :: ctx.nondet_ok)
             bindings
       | _ -> ())
     str;
+  let span_collector =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it (e : expression) ->
+          if has_attr "nondet_ok" e.pexp_attributes then
+            ctx.nondet_ok <-
+              ( e.pexp_loc.Location.loc_start.Lexing.pos_cnum,
+                e.pexp_loc.Location.loc_end.Lexing.pos_cnum )
+              :: ctx.nondet_ok;
+          Ast_iterator.default_iterator.expr it e);
+      value_binding =
+        (fun it vb ->
+          if has_attr "nondet_ok" vb.pvb_attributes then
+            ctx.nondet_ok <-
+              ( vb.pvb_loc.Location.loc_start.Lexing.pos_cnum,
+                vb.pvb_loc.Location.loc_end.Lexing.pos_cnum )
+              :: ctx.nondet_ok;
+          Ast_iterator.default_iterator.value_binding it vb);
+    }
+  in
+  span_collector.structure span_collector str;
   let expr it (e : expression) =
     (match e.pexp_desc with
     | Pexp_apply
@@ -408,6 +454,7 @@ let check_source ?rules ~path source =
         findings = [];
         arities = Hashtbl.create 16;
         exempt = Hashtbl.create 16;
+        nondet_ok = [];
       }
     in
     check_structure ctx str;

@@ -50,4 +50,26 @@ diff "$a" "$b"
 dune exec bin/figures.exe -- failover > "$a"
 LAUBERHORN_SANITIZE=1 dune exec bin/figures.exe -- failover > "$b"
 diff "$a" "$b"
+# Shard determinism: the same experiments stepped through the
+# Shard_engine's conservative lookahead windows (LAUBERHORN_SHARDS=4)
+# must be byte-identical to the plain single-heap runs — with the
+# sanitizers armed, so windowed stepping can't silently break pool or
+# protocol discipline either.
+for sec in fig2 losssweep failover; do
+  LAUBERHORN_SHARDS=1 dune exec bin/figures.exe -- "$sec" > "$a"
+  LAUBERHORN_SHARDS=4 LAUBERHORN_SANITIZE=1 dune exec bin/figures.exe -- "$sec" > "$b"
+  diff "$a" "$b"
+done
+# Scheduler-backend determinism: the timing wheel must replay the exact
+# event order of the binary heap — byte-identical output on the most
+# timer-churn-heavy sections.
+for sec in losssweep failover; do
+  LAUBERHORN_SCHED=heap dune exec bin/figures.exe -- "$sec" > "$a"
+  LAUBERHORN_SCHED=wheel dune exec bin/figures.exe -- "$sec" > "$b"
+  diff "$a" "$b"
+done
+# E16: cross-shard RPC rack with real multi-domain execution — the
+# experiment itself asserts per-host byte-identity across 1/2/4/8
+# domains and fails loudly if the merge order ever diverges.
+dune exec bin/figures.exe -- parallel > "$a"
 dune exec bench/main.exe

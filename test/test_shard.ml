@@ -1,0 +1,202 @@
+(* Tests for the domain-sharded conservative-PDES engine: windowing
+   semantics, the lookahead contract, and the headline determinism
+   property — byte-identical output for any domain count. *)
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let la = Sim.Units.us 2 (* lookahead used throughout *)
+
+(* Per-shard logs: each is appended only by the domain running that
+   shard, so logging is data-race free and fully ordered per shard. *)
+type logs = (int * string) list array (* (time, tag) newest-first *)
+
+let note (logs : logs) engines s tag () =
+  logs.(s) <- (Sim.Engine.now engines.(s), tag) :: logs.(s)
+
+let test_pingpong () =
+  let engines = Array.init 2 (fun _ -> Sim.Engine.create ()) in
+  let logs = Array.make 2 [] in
+  let t = Sim.Shard_engine.create ~domains:1 ~lookahead:la engines in
+  (* shard 0 fires locally at 1000, posts a reply request to shard 1;
+     shard 1 receives it and posts back; three hops in total *)
+  let rec hop s at hops () =
+    note logs engines s (Printf.sprintf "hop%d" hops) ();
+    if hops < 3 then
+      Sim.Shard_engine.post t ~src:s ~dst:(1 - s) ~at:(at + la)
+        (hop (1 - s) (at + la) (hops + 1))
+  in
+  ignore (Sim.Engine.schedule_at engines.(0) ~at:1000 (hop 0 1000 0));
+  Sim.Shard_engine.run t ~until:(Sim.Units.ms 1);
+  checki "shard0 events" 2 (List.length logs.(0));
+  checki "shard1 events" 2 (List.length logs.(1));
+  checki "hop1 on shard1 at +la" (1000 + la) (fst (List.nth (List.rev logs.(1)) 0));
+  checki "clock0 at horizon" (Sim.Units.ms 1) (Sim.Engine.now engines.(0));
+  checki "clock1 at horizon" (Sim.Units.ms 1) (Sim.Engine.now engines.(1));
+  checkb "messages merged" true (Sim.Shard_engine.messages_merged t >= 3)
+
+let test_lookahead_violation_raises () =
+  let engines = Array.init 2 (fun _ -> Sim.Engine.create ()) in
+  let t = Sim.Shard_engine.create ~domains:1 ~lookahead:la engines in
+  checkb "post under lookahead rejected" true
+    (try
+       Sim.Shard_engine.post t ~src:0 ~dst:1 ~at:(la - 1) (fun () -> ());
+       false
+     with Invalid_argument _ -> true);
+  checkb "post at exactly lookahead ok" true
+    (try
+       Sim.Shard_engine.post t ~src:0 ~dst:1 ~at:la (fun () -> ());
+       true
+     with Invalid_argument _ -> false)
+
+let test_clock_fill_and_reuse () =
+  let engines = Array.init 3 (fun _ -> Sim.Engine.create ()) in
+  let t = Sim.Shard_engine.create ~domains:1 ~lookahead:la engines in
+  let fired = ref 0 in
+  ignore (Sim.Engine.schedule_at engines.(1) ~at:500 (fun () -> incr fired));
+  Sim.Shard_engine.run t ~until:10_000;
+  Array.iter (fun e -> checki "clock at first horizon" 10_000 (Sim.Engine.now e)) engines;
+  (* a second run continues from the current state *)
+  ignore (Sim.Engine.schedule_at engines.(2) ~at:15_000 (fun () -> incr fired));
+  Sim.Shard_engine.run t ~until:20_000;
+  Array.iter (fun e -> checki "clock at second horizon" 20_000 (Sim.Engine.now e)) engines;
+  checki "both events fired" 2 !fired
+
+(* Regression: a run must terminate (and fill clocks) even when events
+   remain queued beyond the horizon — the common case for every
+   experiment that leaves retry timers armed past its measurement
+   window. *)
+let test_pending_beyond_horizon () =
+  let engines = Array.init 2 (fun _ -> Sim.Engine.create ()) in
+  let t = Sim.Shard_engine.create ~domains:1 ~lookahead:la engines in
+  let fired = ref 0 in
+  ignore (Sim.Engine.schedule_at engines.(0) ~at:100 (fun () -> incr fired));
+  ignore (Sim.Engine.schedule_at engines.(0) ~at:99_999 (fun () -> incr fired));
+  ignore (Sim.Engine.schedule_at engines.(1) ~at:88_888 (fun () -> incr fired));
+  Sim.Shard_engine.run t ~until:10_000;
+  checki "only the in-horizon event fired" 1 !fired;
+  checki "late events stay queued" 1 (Sim.Engine.pending engines.(0));
+  checki "clock0 at horizon" 10_000 (Sim.Engine.now engines.(0));
+  (* and a later run picks the stragglers up *)
+  Sim.Shard_engine.run t ~until:100_000;
+  checki "stragglers fired" 3 !fired
+
+let test_worker_exception_parallel () =
+  let engines = Array.init 2 (fun _ -> Sim.Engine.create ()) in
+  let t = Sim.Shard_engine.create ~domains:2 ~lookahead:la engines in
+  ignore
+    (Sim.Engine.schedule_at engines.(1) ~at:100 (fun () -> failwith "boom"));
+  checkb "worker failure surfaces" true
+    (try
+       Sim.Shard_engine.run t ~until:1_000;
+       false
+     with Sim.Shard_engine.Worker_failed (_, Failure m) -> String.equal m "boom")
+
+(* ---------- determinism across domain counts ---------- *)
+
+(* A static per-shard plan, generated up front so every run of the
+   same plan is the same simulation regardless of thread scheduling.
+   Each op schedules an event at [at] on [shard] that either logs,
+   arms a timer, cancels a previously armed timer, or posts a logging
+   closure to another shard one lookahead (plus [delta]) ahead. *)
+type op = {
+  shard : int;
+  at : int;
+  kind : int; (* 0 = plain, 1 = arm, 2 = cancel, 3 = post *)
+  arg : int; (* timer id | timer id | dst shard *)
+  delta : int;
+}
+
+let run_plan ~shards ~domains (plan : op list) : (int * string) list array =
+  let engines = Array.init shards (fun _ -> Sim.Engine.create ()) in
+  let logs = Array.make shards [] in
+  let t = Sim.Shard_engine.create ~domains ~lookahead:la engines in
+  (* per-shard timer tables: touched only by the owning shard *)
+  let timers = Array.init shards (fun _ -> Hashtbl.create 16) in
+  List.iteri
+    (fun i op ->
+      let s = op.shard in
+      ignore
+        (Sim.Engine.schedule_at engines.(s) ~at:op.at (fun () ->
+             match op.kind with
+             | 0 -> note logs engines s (Printf.sprintf "plain%d" i) ()
+             | 1 ->
+                 let h =
+                   Sim.Engine.schedule_after engines.(s)
+                     ~after:(100 + op.delta)
+                     (note logs engines s (Printf.sprintf "timer%d" op.arg))
+                 in
+                 Hashtbl.replace timers.(s) op.arg h
+             | 2 -> (
+                 note logs engines s (Printf.sprintf "cancel%d" op.arg) ();
+                 match Hashtbl.find_opt timers.(s) op.arg with
+                 | Some h -> Sim.Engine.cancel engines.(s) h
+                 | None -> ())
+             | _ ->
+                 let dst = op.arg mod shards in
+                 let at = Sim.Engine.now engines.(s) + la + op.delta in
+                 Sim.Shard_engine.post t ~src:s ~dst ~at
+                   (note logs engines dst (Printf.sprintf "msg%d" i)))))
+    plan;
+  Sim.Shard_engine.run t ~until:(Sim.Units.ms 2);
+  Array.map List.rev logs
+
+let pp_logs logs =
+  String.concat ";"
+    (Array.to_list
+       (Array.mapi
+          (fun s l ->
+            Printf.sprintf "%d:[%s]" s
+              (String.concat ","
+                 (List.map (fun (t, tag) -> Printf.sprintf "%d@%s" t tag) l)))
+          logs))
+
+let op_gen shards =
+  QCheck.Gen.(
+    map
+      (fun (shard, at, kind, arg, delta) -> { shard; at; kind; arg; delta })
+      (tup5 (int_bound (shards - 1))
+         (map (fun x -> 10 + x) (int_bound 50_000))
+         (int_bound 3) (int_bound 7) (int_bound 300)))
+
+let arb_plan shards =
+  QCheck.make
+    ~print:(fun plan ->
+      String.concat " "
+        (List.map
+           (fun o ->
+             Printf.sprintf "(s%d@%d k%d a%d d%d)" o.shard o.at o.kind o.arg
+               o.delta)
+           plan))
+    QCheck.Gen.(list_size (int_range 1 60) (op_gen shards))
+
+let qcheck_determinism =
+  QCheck.Test.make ~count:60
+    ~name:"sharded runs are identical for any domain count" (arb_plan 4)
+    (fun plan ->
+      let ref_logs = run_plan ~shards:4 ~domains:1 plan in
+      let ref_s = pp_logs ref_logs in
+      List.for_all
+        (fun domains ->
+          String.equal ref_s (pp_logs (run_plan ~shards:4 ~domains plan)))
+        [ 2; 3; 4 ])
+
+let qsuite name t = (name, [ QCheck_alcotest.to_alcotest t ])
+
+let () =
+  Alcotest.run "shard_engine"
+    [
+      ( "windows",
+        [
+          Alcotest.test_case "cross-shard ping-pong" `Quick test_pingpong;
+          Alcotest.test_case "lookahead contract" `Quick
+            test_lookahead_violation_raises;
+          Alcotest.test_case "clock fill + reuse" `Quick
+            test_clock_fill_and_reuse;
+          Alcotest.test_case "pending beyond horizon" `Quick
+            test_pending_beyond_horizon;
+          Alcotest.test_case "worker exception surfaces" `Quick
+            test_worker_exception_parallel;
+        ] );
+      qsuite "determinism" qcheck_determinism;
+    ]

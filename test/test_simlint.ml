@@ -40,6 +40,46 @@ let test_nondet_allowed_in_fault () =
   checki "allowed in lib/fault" 0
     (count "nondeterminism" (lint ~path:"lib/fault/plan.ml" src))
 
+let test_nondet_domain_flagged () =
+  (* Raw parallelism primitives are thread-scheduling-dependent: any
+     direct use outside the deliberately-marked Shard_engine machinery
+     must fire the nondeterminism rule. *)
+  let fs =
+    lint ~path:"lib/core/thing.ml"
+      "let spawn f = Domain.spawn f\n\
+       let guard = Mutex.create ()\n\
+       let ctr = Atomic.make 0\n"
+  in
+  checki "three findings" 3 (count "nondeterminism" fs)
+
+let test_nondet_ok_binding_escape () =
+  (* [let[@nondet_ok] ...] scopes the escape to that binding only. *)
+  let fs =
+    lint ~path:"lib/sim/eng.ml"
+      "let[@nondet_ok] barrier = Mutex.create ()\n\
+       let bad = Condition.create ()\n"
+  in
+  checki "only unmarked binding flagged" 1 (count "nondeterminism" fs)
+
+let test_nondet_ok_expression_escape () =
+  let fs =
+    lint ~path:"lib/sim/eng.ml"
+      "let f () = ignore (Atomic.make 0 [@nondet_ok]); Atomic.make 1\n"
+  in
+  checki "marked expr clean, sibling flagged" 1 (count "nondeterminism" fs)
+
+let test_nondet_ok_nested_binding () =
+  (* The span collector must also see bindings nested inside functions,
+     not just top-level structure items. *)
+  let fs =
+    lint ~path:"lib/sim/eng.ml"
+      "let run () =\n\
+      \  let[@nondet_ok] d = Domain.spawn (fun () -> ()) in\n\
+      \  Domain.join d\n"
+  in
+  checki "nested escape covers its binding only" 1
+    (count "nondeterminism" fs)
+
 let test_nondet_sim_rng_clean () =
   let fs =
     lint ~path:"lib/sim/gen.ml"
@@ -211,6 +251,10 @@ let () =
           tc "Unix clock flagged" test_nondet_unix_clock;
           tc "randomized Hashtbl flagged" test_nondet_randomized_hashtbl;
           tc "lib/fault exempt" test_nondet_allowed_in_fault;
+          tc "Domain/Mutex/Atomic flagged" test_nondet_domain_flagged;
+          tc "[@nondet_ok] binding escape" test_nondet_ok_binding_escape;
+          tc "[@nondet_ok] expression escape" test_nondet_ok_expression_escape;
+          tc "[@nondet_ok] nested binding" test_nondet_ok_nested_binding;
           tc "seeded Sim.Rng clean" test_nondet_sim_rng_clean;
         ] );
       ( "polymorphic-compare",
