@@ -62,6 +62,7 @@ let sections =
     ("trace", Experiments.Trace.run);
     ("failover", Experiments.Failover.run);
     ("parallel", Experiments.Parallel.run);
+    ("rack", Experiments.Rack.run);
     ("micro", Micro.run);
   ]
 

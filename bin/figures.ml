@@ -20,6 +20,7 @@ let sections =
     ("trace", Experiments.Trace.run);
     ("failover", Experiments.Failover.run);
     ("parallel", Experiments.Parallel.run);
+    ("rack", Experiments.Rack.run);
   ]
 
 let section_arg =

@@ -1,0 +1,138 @@
+(* Master-side lifecycle bookkeeping: array-indexed state, a periodic
+   probe loop, and a round-robin balancer. Everything is driven by the
+   master's engine, so state transitions are deterministic functions of
+   the simulation. *)
+
+type state = Unregistered | Alive | Dead
+
+type t = {
+  engine : Sim.Engine.t;
+  probe_period : Sim.Units.duration;
+  probe : host:int -> unit;
+  on_dead : host:int -> unit;
+  on_alive : host:int -> unit;
+  states : state array;
+  awaiting_ack : bool array;
+  sheddings : bool array;
+  n_steered : int array;
+  mutable cursor : int;
+  mutable started : bool;
+  mutable deaths : int;
+  mutable registrations : int;
+  mutable probes_sent : int;
+  mutable acks_received : int;
+}
+
+let nop ~host:_ = ()
+
+let create engine ~hosts ~probe_period ~probe ?(on_dead = nop)
+    ?(on_alive = nop) () =
+  if hosts <= 0 then invalid_arg "Control.create: hosts must be positive";
+  if probe_period <= 0 then
+    invalid_arg "Control.create: probe_period must be positive";
+  {
+    engine;
+    probe_period;
+    probe;
+    on_dead;
+    on_alive;
+    states = Array.make hosts Unregistered;
+    awaiting_ack = Array.make hosts false;
+    sheddings = Array.make hosts false;
+    n_steered = Array.make hosts 0;
+    cursor = 0;
+    started = false;
+    deaths = 0;
+    registrations = 0;
+    probes_sent = 0;
+    acks_received = 0;
+  }
+
+let check_host t host =
+  if host < 0 || host >= Array.length t.states then
+    invalid_arg "Control: bad host index"
+
+let is_alive = function Alive -> true | Unregistered | Dead -> false
+
+(* One probe round: reap, then probe. Reaping first means a host whose
+   probe went unanswered is declared dead exactly one period after the
+   probe was sent — "within one probe period" of the crash that ate
+   the ack. *)
+let rec tick t () =
+  Array.iteri
+    (fun h st ->
+      if is_alive st && t.awaiting_ack.(h) then begin
+        t.states.(h) <- Dead;
+        t.awaiting_ack.(h) <- false;
+        t.deaths <- t.deaths + 1;
+        t.on_dead ~host:h
+      end)
+    t.states;
+  Array.iteri
+    (fun h st ->
+      if is_alive st then begin
+        t.awaiting_ack.(h) <- true;
+        t.probes_sent <- t.probes_sent + 1;
+        t.probe ~host:h
+      end)
+    t.states;
+  ignore (Sim.Engine.schedule_after t.engine ~after:t.probe_period (tick t))
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    ignore (Sim.Engine.schedule_after t.engine ~after:t.probe_period (tick t))
+  end
+
+let register t ~host =
+  check_host t host;
+  t.registrations <- t.registrations + 1;
+  t.awaiting_ack.(host) <- false;
+  if not (is_alive t.states.(host)) then begin
+    t.states.(host) <- Alive;
+    t.on_alive ~host
+  end
+
+let ack t ~host =
+  check_host t host;
+  if is_alive t.states.(host) then begin
+    t.acks_received <- t.acks_received + 1;
+    t.awaiting_ack.(host) <- false
+  end
+
+let set_shedding t ~host v =
+  check_host t host;
+  t.sheddings.(host) <- v
+
+let state t ~host =
+  check_host t host;
+  t.states.(host)
+
+let alive t ~host = is_alive (state t ~host)
+
+let shedding t ~host =
+  check_host t host;
+  t.sheddings.(host)
+
+let steerable t ~host = alive t ~host && not (shedding t ~host)
+
+let pick t =
+  let n = Array.length t.states in
+  let rec scan tried =
+    if tried >= n then None
+    else
+      let h = (t.cursor + tried) mod n in
+      if steerable t ~host:h then begin
+        t.cursor <- (h + 1) mod n;
+        t.n_steered.(h) <- t.n_steered.(h) + 1;
+        Some h
+      end
+      else scan (tried + 1)
+  in
+  scan 0
+
+let steered t = Array.copy t.n_steered
+let deaths t = t.deaths
+let registrations t = t.registrations
+let probes_sent t = t.probes_sent
+let acks_received t = t.acks_received

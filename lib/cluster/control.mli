@@ -1,0 +1,76 @@
+(** The rack's master/worker control plane.
+
+    A master (conventionally co-located with the ToR switch's shard)
+    tracks the lifecycle of [hosts] workers: a host {!register}s when
+    it comes up, is health-checked every [probe_period], is marked
+    {!Dead} when a probe goes unanswered for a full period, and comes
+    back by re-registering after a respawn. The embedded load balancer
+    ({!pick}) steers each new connection to the next host, round-robin,
+    skipping hosts that are dead, unregistered, or shedding — so
+    steering reacts to deaths within one probe period and to
+    re-registrations immediately.
+
+    Probes are sent through the caller-supplied [probe] callback (in a
+    rack, a closure posted across the shard boundary to the host, whose
+    reply posts {!ack} back), so the control plane itself is pure
+    deterministic bookkeeping on the master's engine. *)
+
+type state = Unregistered | Alive | Dead
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  hosts:int ->
+  probe_period:Sim.Units.duration ->
+  probe:(host:int -> unit) ->
+  ?on_dead:(host:int -> unit) ->
+  ?on_alive:(host:int -> unit) ->
+  unit ->
+  t
+(** [on_dead]/[on_alive] observe state transitions (e.g. to log a
+    failure timeline or tear down steering state).
+
+    @raise Invalid_argument on [hosts <= 0] or a non-positive
+    period. *)
+
+val start : t -> unit
+(** Begin the periodic probe loop (idempotent). Each round first
+    declares dead every [Alive] host whose previous probe was never
+    {!ack}ed, then probes every host still [Alive]. A crashed host is
+    therefore marked dead at most one probe period after its last
+    ack. *)
+
+val register : t -> host:int -> unit
+(** A host announces itself (spawn or respawn): state becomes [Alive],
+    any pending probe is forgiven, and steering resumes immediately.
+    @raise Invalid_argument on a bad host index. *)
+
+val ack : t -> host:int -> unit
+(** A probe reply arrived. Ignored for dead/unregistered hosts (a
+    reply already in flight when the host was declared dead does not
+    resurrect it — only {!register} does). *)
+
+val set_shedding : t -> host:int -> bool -> unit
+(** Mark a host as shedding load (e.g. its NIC admission control is
+    rejecting): it stays alive and keeps being probed, but {!pick}
+    steers new connections elsewhere. *)
+
+val state : t -> host:int -> state
+val alive : t -> host:int -> bool
+val shedding : t -> host:int -> bool
+
+val steerable : t -> host:int -> bool
+(** [Alive] and not shedding. *)
+
+val pick : t -> int option
+(** The load balancer: the next steerable host, round-robin; [None]
+    when every host is dead, unregistered, or shedding. *)
+
+val steered : t -> int array
+(** Per-host {!pick} counts. *)
+
+val deaths : t -> int
+val registrations : t -> int
+val probes_sent : t -> int
+val acks_received : t -> int

@@ -1,0 +1,179 @@
+(* Top-of-rack switch: finite per-port ingress/egress FIFOs around a
+   deterministic crossbar.
+
+   The tie-break discipline is the whole point. Frames arriving at the
+   same simulated instant are not served in event-schedule order —
+   that order depends on who scheduled what when — but collected into
+   a per-instant batch and admitted in ascending ingress-port order.
+   The batch trick: the first arrival of an instant schedules a sweep
+   event at the same timestamp; every event already queued for that
+   instant was scheduled earlier (lower sequence number), so the sweep
+   runs after all of them and sees the complete batch. (An ingress
+   scheduled *at* the instant, after the sweep has run, simply opens a
+   second batch — still deterministic, just a later admission round.)
+
+   Downstream of admission everything is FIFO, so the (arrival-time,
+   port) order is preserved: each ingress queue serves heads in order,
+   one per [fwd_delay]; same-instant crossbar completions reach the
+   egress queues in admission order; each egress transmitter
+   serializes one frame per [tx] and fires [deliver] at transmit
+   complete. Every loss path is counted, never silent. *)
+
+type port_conf = {
+  latency : Sim.Units.duration;
+  tx : Sim.Units.duration;
+}
+
+type stats = {
+  ingressed : int;
+  delivered : int;
+  drop_in : int;
+  drop_out : int;
+  unroutable : int;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  ports : port_conf array;
+  cap_in : int;
+  cap_out : int;
+  fwd_delay : Sim.Units.duration;
+  route : Net.Frame.t -> int option;
+  deliver : port:int -> Net.Frame.t -> unit;
+  (* per-instant admission batch, newest first *)
+  mutable batch : (int * Net.Frame.t) list;
+  mutable sweep_armed : bool;
+  (* per-ingress-port FIFO (head in service while [busy_in]) *)
+  in_q : Net.Frame.t Queue.t array;
+  busy_in : bool array;
+  (* per-egress-port occupancy and transmitter busy-until *)
+  out_len : int array;
+  out_busy : Sim.Units.time array;
+  (* counters *)
+  mutable ingressed : int;
+  mutable delivered : int;
+  mutable unroutable : int;
+  n_forwarded : int array;
+  n_drop_in : int array;
+  n_drop_out : int array;
+}
+
+let create engine ~ports ?(cap_in = 64) ?(cap_out = 64)
+    ?(fwd_delay = Sim.Units.ns 300) ~route ~deliver () =
+  let n = Array.length ports in
+  if n = 0 then invalid_arg "Switch.create: no ports";
+  if cap_in <= 0 || cap_out <= 0 then
+    invalid_arg "Switch.create: non-positive queue capacity";
+  if fwd_delay <= 0 then invalid_arg "Switch.create: non-positive fwd_delay";
+  Array.iter
+    (fun p ->
+      if p.tx <= 0 || p.latency <= 0 then
+        invalid_arg "Switch.create: non-positive port latency/tx")
+    ports;
+  {
+    engine;
+    ports;
+    cap_in;
+    cap_out;
+    fwd_delay;
+    route;
+    deliver;
+    batch = [];
+    sweep_armed = false;
+    in_q = Array.init n (fun _ -> Queue.create ());
+    busy_in = Array.make n false;
+    out_len = Array.make n 0;
+    out_busy = Array.make n 0;
+    ingressed = 0;
+    delivered = 0;
+    unroutable = 0;
+    n_forwarded = Array.make n 0;
+    n_drop_in = Array.make n 0;
+    n_drop_out = Array.make n 0;
+  }
+
+let ports t = Array.length t.ports
+let port_conf t p = t.ports.(p)
+
+(* Egress: claim a slot in [port]'s bounded output queue, serialize
+   behind whatever the transmitter is already committed to, deliver at
+   transmit complete. *)
+let egress_enqueue t ~port frame =
+  if t.out_len.(port) >= t.cap_out then
+    t.n_drop_out.(port) <- t.n_drop_out.(port) + 1
+  else begin
+    t.out_len.(port) <- t.out_len.(port) + 1;
+    let now = Sim.Engine.now t.engine in
+    let start = if t.out_busy.(port) > now then t.out_busy.(port) else now in
+    let finish = start + t.ports.(port).tx in
+    t.out_busy.(port) <- finish;
+    ignore
+      (Sim.Engine.schedule_at t.engine ~at:finish (fun () ->
+           t.out_len.(port) <- t.out_len.(port) - 1;
+           t.delivered <- t.delivered + 1;
+           t.n_forwarded.(port) <- t.n_forwarded.(port) + 1;
+           t.deliver ~port frame))
+  end
+
+(* Crossbar service of one ingress port: forward the head-of-line
+   frame after [fwd_delay], then keep going while the queue is
+   non-empty. The head stays queued (occupying its slot) until its
+   forwarding completes. *)
+let rec kick t p =
+  if (not t.busy_in.(p)) && not (Queue.is_empty t.in_q.(p)) then begin
+    t.busy_in.(p) <- true;
+    ignore
+      (Sim.Engine.schedule_after t.engine ~after:t.fwd_delay (fun () ->
+           let frame = Queue.pop t.in_q.(p) in
+           (match t.route frame with
+           | Some o when o >= 0 && o < Array.length t.ports ->
+               egress_enqueue t ~port:o frame
+           | Some _ | None -> t.unroutable <- t.unroutable + 1);
+           t.busy_in.(p) <- false;
+           kick t p))
+  end
+
+(* Admit the instant's batch in ascending ingress-port order. The sort
+   is stable over the accumulated arrival order, but within one
+   instant all times are equal, so port order alone decides. *)
+let sweep t () =
+  t.sweep_armed <- false;
+  let batch = List.rev t.batch in
+  t.batch <- [];
+  let arr = Array.of_list batch in
+  Array.stable_sort (fun (p, _) (q, _) -> Int.compare p q) arr;
+  Array.iter
+    (fun (p, frame) ->
+      if Queue.length t.in_q.(p) >= t.cap_in then
+        t.n_drop_in.(p) <- t.n_drop_in.(p) + 1
+      else begin
+        Queue.push frame t.in_q.(p);
+        kick t p
+      end)
+    arr
+
+let ingress t ~port frame =
+  if port < 0 || port >= Array.length t.ports then
+    invalid_arg "Switch.ingress: bad port";
+  t.ingressed <- t.ingressed + 1;
+  t.batch <- (port, frame) :: t.batch;
+  if not t.sweep_armed then begin
+    t.sweep_armed <- true;
+    ignore
+      (Sim.Engine.schedule_at t.engine ~at:(Sim.Engine.now t.engine) (sweep t))
+  end
+
+let sum = Array.fold_left ( + ) 0
+
+let stats t =
+  {
+    ingressed = t.ingressed;
+    delivered = t.delivered;
+    drop_in = sum t.n_drop_in;
+    drop_out = sum t.n_drop_out;
+    unroutable = t.unroutable;
+  }
+
+let forwarded t = Array.copy t.n_forwarded
+let dropped_in t = Array.copy t.n_drop_in
+let dropped_out t = Array.copy t.n_drop_out

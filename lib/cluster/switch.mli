@@ -1,0 +1,83 @@
+(** A top-of-rack switch model.
+
+    [ports] devices (hosts, plus typically one uplink) hang off the
+    switch, each behind a wire with its own latency and a per-frame
+    serialization (transmit) time. A frame entering at {!ingress}
+    traverses: a finite per-port ingress FIFO, a crossbar that forwards
+    one head-of-line frame per port per [fwd_delay], the routed output
+    port's finite egress FIFO, and finally that port's transmitter —
+    at which point [deliver] fires and the caller carries the frame
+    over the port's wire (e.g. across a {!Sim.Shard_engine} boundary).
+
+    {b Determinism contract}: the delivery order is a pure function of
+    each frame's [(arrival time, ingress port)]. Arrivals sharing one
+    simulated instant are collected and served in ascending ingress-
+    port order regardless of the event-schedule order that delivered
+    them — this mirrors (and composes with) {!Sim.Shard_engine}'s
+    barrier merge, which orders same-time cross-shard messages by
+    source shard. Ties never fall back to engine sequence numbers, so
+    the contract survives any event-injection order. The pair is
+    unique per frame on any physical script — a serialized wire
+    delivers at most one frame per instant per port; feeding two
+    same-instant frames into one port falls back to {!ingress} call
+    order.
+
+    {b No silent loss}: every frame that enters is either delivered or
+    counted — ingress-queue overflow, egress-queue overflow, and
+    unroutable frames each have a counter. {!stats} conserves:
+    [ingressed = delivered + drop_in + drop_out + unroutable +
+    in-flight]. *)
+
+type port_conf = {
+  latency : Sim.Units.duration;
+      (** Wire latency between this port and its device — exported for
+          the fabric's lookahead matrix; the switch itself does not
+          consume it (delivery happens at transmit-complete, the wire
+          crossing is the caller's). *)
+  tx : Sim.Units.duration;
+      (** Per-frame serialization time on this port's transmitter. *)
+}
+
+type stats = {
+  ingressed : int;
+  delivered : int;
+  drop_in : int;  (** Frames dropped at a full ingress queue. *)
+  drop_out : int;  (** Frames dropped at a full egress queue. *)
+  unroutable : int;  (** Frames [route] could not map to a port. *)
+}
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  ports:port_conf array ->
+  ?cap_in:int ->
+  ?cap_out:int ->
+  ?fwd_delay:Sim.Units.duration ->
+  route:(Net.Frame.t -> int option) ->
+  deliver:(port:int -> Net.Frame.t -> unit) ->
+  unit ->
+  t
+(** [cap_in]/[cap_out] bound the per-port ingress/egress queues in
+    frames (defaults 64); [fwd_delay] is the crossbar's per-frame
+    forwarding time (default 300 ns). [route] maps a frame to its
+    output port ([None] counts as unroutable). [deliver] fires on the
+    switch's engine at transmit-complete time.
+
+    @raise Invalid_argument on an empty port array, a non-positive
+    capacity or delay, or a non-positive port [tx]. *)
+
+val ingress : t -> port:int -> Net.Frame.t -> unit
+(** A frame arrives from the device on [port]. Must be called from the
+    switch engine's own events. @raise Invalid_argument on a bad
+    port. *)
+
+val ports : t -> int
+val port_conf : t -> int -> port_conf
+val stats : t -> stats
+
+val forwarded : t -> int array
+(** Per-egress-port delivered-frame counts (steering visibility). *)
+
+val dropped_in : t -> int array
+val dropped_out : t -> int array

@@ -1,0 +1,445 @@
+(* E17 — rack-scale cluster: N Lauberhorn hosts behind a ToR switch
+   (lib/cluster), a master/worker control plane, and a rack-level load
+   balancer, all mapped one-host-per-shard onto the conservative-PDES
+   engine.
+
+   Topology: shards 0..N-1 each run a full Lauberhorn host (own NIC
+   pipeline, kernel, scheduler mirror); shard N runs the switch, the
+   master control plane, and the clients hanging off the switch's
+   uplink port. Every frame pays its real path — client → uplink wire →
+   switch (finite per-port queues, crossbar, per-port tx serialization)
+   → host wire → host NIC, and back — and every control message (probe,
+   ack, register, kill) crosses the same wires as closure posts. The
+   shard lookahead is the per-pair wire-latency matrix, so the
+   conservative window width equals the shortest link.
+
+   Part (a), load sweep: an 8-host rack at two rack-wide offered loads,
+   run at 1/2/4/8 domains. Per-host handled counts, switch counters and
+   the client's latency quantiles must be byte-identical for every
+   domain count — the digest lines repeat and are compared in-run. A
+   16-host point then runs at the environment's domain count
+   (LAUBERHORN_SHARDS), which is what scripts/check.sh diffs 1-vs-4.
+
+   Part (b), failure + re-steering: kill host 3's service mid-sweep and
+   respawn it. The health-check marks the host dead within one probe
+   period of the probe its crash ate; the balancer steers new
+   connections away from the corpse from that instant until the respawn
+   re-registers; in-flight RPCs on the dead host resolve to err_dead
+   NACKs that the client converts into (re-steered) retries. The
+   conservation line — completed + abandoned = sent, none outstanding,
+   zero silent losses anywhere on the path — is the headline claim. A
+   shedding window on host 5 shows the same steering reaction without a
+   death.
+
+   Wall-clock never appears on stdout; events/window is the
+   machine-independent parallelism measure, exactly as in E16. *)
+
+let sweep_hosts = 8
+let big_hosts = 16
+let host_link = { Cluster.Switch.latency = Sim.Units.us 2; tx = Sim.Units.ns 100 }
+let uplink = { Cluster.Switch.latency = Sim.Units.ns 500; tx = Sim.Units.ns 60 }
+let probe_period = Sim.Units.us 500
+let handler_time = Sim.Units.ns 500
+let horizon = Sim.Units.ms 10
+let sweep_drain = Sim.Units.ms 10
+let rates = [ 200_000.; 600_000. ] (* rack-wide offered load *)
+let domain_counts = [ 1; 2; 4; 8 ]
+
+(* ---------- one rack instance ---------- *)
+
+type rack = {
+  fabric : Cluster.Fabric.t;
+  control : Cluster.Control.t;
+  client : Harness.Client.t;
+  latencies : Sim.Histogram.t;
+  servers : Common.server array;
+  handled : int array; (* per-host RPCs handled by the service *)
+  alive : bool array; (* host-shard liveness flags (probe targets) *)
+  service_port : int;
+  mutable unsteered : int; (* calls issued while no host was steerable *)
+  mutable resteered : int; (* retransmits moved off a dead host *)
+  (* failure timeline, recorded by control-plane callbacks *)
+  mutable dead_at : (int * Sim.Units.time) list;
+  mutable alive_at : (int * Sim.Units.time) list;
+  mutable steered_at_death : int array;
+  mutable steered_at_rereg : int array;
+}
+
+(* Build N Lauberhorn hosts on a fabric, register them with the master,
+   and wire a steering client behind the uplink. Deterministic for any
+   domain count: all cross-shard traffic rides Fabric posts. *)
+let make_rack ?domains ~hosts () =
+  let fabric =
+    Cluster.Fabric.create ?domains ~host_link ~uplink ~hosts ()
+  in
+  let master = Cluster.Fabric.master_engine fabric in
+  let setup = Workload.Scenario.echo_fleet ~n:1 ~handler_time () in
+  let service_port = Workload.Scenario.port_of setup ~service_idx:0 in
+  let handled = Array.make hosts 0 in
+  let alive = Array.make hosts true in
+  let servers =
+    Array.init hosts (fun h ->
+        let server =
+          Common.make_server ~ncores:4 ~max_workers:3
+            ~engine:(Cluster.Fabric.host_engine fabric h)
+            ~egress:(Cluster.Fabric.host_egress fabric h)
+            (Common.Lauberhorn
+               (Lauberhorn.Config.enzian, Lauberhorn.Sched_mirror.Push))
+            setup
+        in
+        (match server.Common.lauberhorn with
+        | Some s ->
+            Lauberhorn.Stack.set_address s
+              (Cluster.Fabric.host_endpoint fabric h ~port:service_port);
+            Lauberhorn.Stack.on_handled s (fun () ->
+                handled.(h) <- handled.(h) + 1)
+        | None -> ());
+        Cluster.Fabric.connect_host fabric h
+          ~ingress:server.Common.driver.Harness.Driver.ingress;
+        server)
+  in
+  let rack_ref = ref None in
+  let control =
+    Cluster.Control.create master ~hosts ~probe_period
+      ~probe:(fun ~host ->
+        Cluster.Fabric.post_to_host fabric ~host (fun () ->
+            if alive.(host) then
+              Cluster.Fabric.post_to_master fabric ~host (fun () ->
+                  match !rack_ref with
+                  | Some r -> Cluster.Control.ack r.control ~host
+                  | None -> ())))
+      ~on_dead:(fun ~host ->
+        match !rack_ref with
+        | Some r ->
+            r.dead_at <- (host, Sim.Engine.now master) :: r.dead_at;
+            r.steered_at_death <- Cluster.Control.steered r.control
+        | None -> ())
+      ~on_alive:(fun ~host ->
+        match !rack_ref with
+        | Some r ->
+            r.alive_at <- (host, Sim.Engine.now master) :: r.alive_at;
+            r.steered_at_rereg <- Cluster.Control.steered r.control
+        | None -> ())
+      ()
+  in
+  (* The steering send path: pin each rpc_id to a balancer-picked host
+     at first transmission; a retransmit re-pins only if the master now
+     believes the pinned host is dead (the LB resets the connection).
+     The frame is re-addressed to the host's own endpoint, which is
+     what the switch routes on. *)
+  let pins : (int64, int) Hashtbl.t = Hashtbl.create 4096 in
+  let send frame =
+    match Rpc.Wire_format.decode frame.Net.Frame.payload with
+    | Error _ -> ()
+    | Ok msg -> (
+        let r = match !rack_ref with Some r -> r | None -> assert false in
+        let rpc_id = msg.Rpc.Wire_format.rpc_id in
+        let target =
+          match Hashtbl.find_opt pins rpc_id with
+          | Some h when Cluster.Control.alive r.control ~host:h -> Some h
+          | Some _ ->
+              (* pinned host died: re-steer the retry *)
+              let p = Cluster.Control.pick r.control in
+              (match p with
+              | Some h ->
+                  r.resteered <- r.resteered + 1;
+                  Hashtbl.replace pins rpc_id h
+              | None -> ());
+              p
+          | None ->
+              let p = Cluster.Control.pick r.control in
+              (match p with
+              | Some h -> Hashtbl.replace pins rpc_id h
+              | None -> r.unsteered <- r.unsteered + 1);
+              p
+        in
+        match target with
+        | None -> () (* counted; the retry timer will try again *)
+        | Some h ->
+            let dst =
+              Cluster.Fabric.host_endpoint fabric h
+                ~port:frame.Net.Frame.udp.Net.Udp.dst_port
+            in
+            Cluster.Fabric.uplink_send fabric
+              (Net.Frame.make
+                 ~src:(Net.Frame.src_endpoint frame)
+                 ~dst frame.Net.Frame.payload))
+  in
+  let client = Harness.Client.create master ~send () in
+  Cluster.Fabric.connect_uplink fabric (Harness.Client.on_reply client);
+  (* spawn + register: each host announces itself across its own wire *)
+  Array.iteri
+    (fun h _ ->
+      Cluster.Fabric.post_to_master fabric ~host:h (fun () ->
+          match !rack_ref with
+          | Some r -> Cluster.Control.register r.control ~host:h
+          | None -> ()))
+    servers;
+  Cluster.Control.start control;
+  let rack =
+    {
+      fabric;
+      control;
+      client;
+      latencies = Sim.Histogram.create ();
+      servers;
+      handled;
+      alive;
+      service_port;
+      unsteered = 0;
+      resteered = 0;
+      dead_at = [];
+      alive_at = [];
+      steered_at_death = Array.make hosts 0;
+      steered_at_rereg = Array.make hosts 0;
+    }
+  in
+  rack_ref := Some rack;
+  rack
+
+let setup_arrivals ?(timeout = None) rack ~rate ~seed =
+  let master = Cluster.Fabric.master_engine rack.fabric in
+  let rng = Sim.Rng.create ~seed in
+  let setup = rack.servers.(0).Common.setup in
+  let service_id = Workload.Scenario.service_id_of setup ~service_idx:0 in
+  Workload.Arrivals.open_loop master rng ~rate_per_s:rate ~until:horizon
+    (fun ~seq:_ ->
+      let t0 = Sim.Engine.now master in
+      match timeout with
+      | None ->
+          Harness.Client.call rack.client ~service_id ~method_id:0
+            ~port:rack.service_port
+            (Rpc.Value.Blob (Bytes.make 64 'w'))
+            (fun _ ->
+              Sim.Histogram.record rack.latencies
+                (Sim.Engine.now master - t0))
+      | Some (timeout, retries) ->
+          ignore
+            (Harness.Client.call_id ~timeout ~retries ~backoff:1.5
+               ~max_timeout:(Sim.Units.ms 2) ~jitter:0.25 rack.client
+               ~service_id ~method_id:0 ~port:rack.service_port
+               (Rpc.Value.Blob (Bytes.make 64 'w'))
+               (fun _ ->
+                 Sim.Histogram.record rack.latencies
+                   (Sim.Engine.now master - t0))))
+
+let finish rack =
+  Array.iter
+    (fun s ->
+      s.Common.flush ();
+      match s.Common.sanitize with
+      | None -> ()
+      | Some z -> Sanitize.finish z)
+    rack.servers
+
+let quantile rack p =
+  if Harness.Client.completed rack.client = 0 then 0
+  else Sim.Histogram.quantile rack.latencies p
+
+(* The diffable per-rack digest: everything machine-independent. *)
+let digest_lines rack =
+  let st = Cluster.Switch.stats (Cluster.Fabric.switch rack.fabric) in
+  let c = rack.client in
+  [
+    Printf.sprintf "client sent=%d done=%d out=%d p50=%s p99=%s"
+      (Harness.Client.sent c)
+      (Harness.Client.completed c)
+      (Harness.Client.outstanding c)
+      (Common.ns (quantile rack 0.5))
+      (Common.ns (quantile rack 0.99));
+    Printf.sprintf
+      "switch in=%d out=%d drop_in=%d drop_out=%d unroutable=%d undeliv=%d"
+      st.Cluster.Switch.ingressed st.Cluster.Switch.delivered
+      st.Cluster.Switch.drop_in st.Cluster.Switch.drop_out
+      st.Cluster.Switch.unroutable
+      (Cluster.Fabric.undeliverable rack.fabric);
+    Printf.sprintf "handled [%s]"
+      (String.concat ","
+         (Array.to_list (Array.map string_of_int rack.handled)));
+    Printf.sprintf "steered [%s]"
+      (String.concat ","
+         (Array.to_list
+            (Array.map string_of_int (Cluster.Control.steered rack.control))));
+  ]
+
+(* ---------- part (a): load sweep across domain counts ---------- *)
+
+let sweep_run ~rate ~domains =
+  let rack = make_rack ~domains ~hosts:sweep_hosts () in
+  setup_arrivals rack ~rate ~seed:1717;
+  Cluster.Fabric.run rack.fabric ~until:(horizon + sweep_drain);
+  finish rack;
+  let windows = Cluster.Fabric.windows_run rack.fabric in
+  let events = Cluster.Fabric.events_processed rack.fabric in
+  (String.concat "\n  " (digest_lines rack), windows, events)
+
+let run_sweep () =
+  List.iter
+    (fun rate ->
+      Common.note "rack load %s over %d hosts, RR balancer, probes every %s"
+        (Common.rate_str rate) sweep_hosts (Common.ns probe_period);
+      let reference = ref None in
+      List.iter
+        (fun domains ->
+          let digest, windows, events = sweep_run ~rate ~domains in
+          Common.note "domains=%d windows=%d events/window=%d" domains windows
+            (if windows = 0 then 0 else events / windows);
+          match !reference with
+          | None ->
+              reference := Some digest;
+              Common.note "%s" ("rack:\n  " ^ digest)
+          | Some d ->
+              Common.note "identical to domains=1: %b" (String.equal d digest))
+        domain_counts)
+    rates
+
+let run_big () =
+  let rack = make_rack ~hosts:big_hosts () in
+  (* no ~domains: LAUBERHORN_SHARDS decides — the check.sh 1-vs-4 gate *)
+  setup_arrivals rack ~rate:400_000. ~seed:1718;
+  Cluster.Fabric.run rack.fabric ~until:(horizon + sweep_drain);
+  finish rack;
+  let windows = Cluster.Fabric.windows_run rack.fabric in
+  let events = Cluster.Fabric.events_processed rack.fabric in
+  Common.note "%d-host rack at %s (domains from env): windows=%d events/window=%d"
+    big_hosts (Common.rate_str 400_000.) windows
+    (if windows = 0 then 0 else events / windows);
+  Common.note "%s" ("rack:\n  " ^ String.concat "\n  " (digest_lines rack))
+
+(* ---------- part (b): host failure, detection, re-steering ---------- *)
+
+let victim = 3
+let shed_host = 5
+let kill_at = Sim.Units.ms 3
+let respawn_at = Sim.Units.ms 6
+let shed_from = Sim.Units.ms 4
+let shed_until = Sim.Units.ms 5
+let failure_drain = Sim.Units.ms 30
+
+let run_failure () =
+  let rack = make_rack ~hosts:sweep_hosts () in
+  let master = Cluster.Fabric.master_engine rack.fabric in
+  let setup = rack.servers.(0).Common.setup in
+  let service_id = Workload.Scenario.service_id_of setup ~service_idx:0 in
+  (* the kill and the respawn are host-local events on the victim's
+     shard: the service process crashes where it stands, and the
+     respawn re-registers with the master across the wire *)
+  ignore
+    (Sim.Engine.schedule_at
+       (Cluster.Fabric.host_engine rack.fabric victim)
+       ~at:kill_at
+       (fun () ->
+         rack.alive.(victim) <- false;
+         rack.servers.(victim).Common.kill_service ~service_id));
+  ignore
+    (Sim.Engine.schedule_at
+       (Cluster.Fabric.host_engine rack.fabric victim)
+       ~at:respawn_at
+       (fun () ->
+         rack.servers.(victim).Common.restart_service ~service_id;
+         rack.alive.(victim) <- true;
+         Cluster.Fabric.post_to_master rack.fabric ~host:victim (fun () ->
+             Cluster.Control.register rack.control ~host:victim)));
+  (* a shedding window on another host: the admission-control signal
+     reaches the master and steering reacts, no death involved *)
+  ignore
+    (Sim.Engine.schedule_at master ~at:shed_from (fun () ->
+         Cluster.Control.set_shedding rack.control ~host:shed_host true));
+  ignore
+    (Sim.Engine.schedule_at master ~at:shed_until (fun () ->
+         Cluster.Control.set_shedding rack.control ~host:shed_host false));
+  let shed_steered_before = ref 0 in
+  let shed_steered_during = ref 0 in
+  ignore
+    (Sim.Engine.schedule_at master ~at:shed_from (fun () ->
+         shed_steered_before := (Cluster.Control.steered rack.control).(shed_host)));
+  ignore
+    (Sim.Engine.schedule_at master ~at:shed_until (fun () ->
+         shed_steered_during :=
+           (Cluster.Control.steered rack.control).(shed_host)
+           - !shed_steered_before));
+  setup_arrivals rack
+    ~timeout:(Some (Sim.Units.us 200, 20))
+    ~rate:200_000. ~seed:1719;
+  Cluster.Fabric.run rack.fabric ~until:(horizon + failure_drain);
+  finish rack;
+  let c = rack.client in
+  Common.note
+    "kill host %d at %s (respawn %s); shed host %d %s..%s; probe period %s"
+    victim (Common.ns kill_at) (Common.ns respawn_at) shed_host
+    (Common.ns shed_from) (Common.ns shed_until) (Common.ns probe_period);
+  let detected =
+    match List.assoc_opt victim (List.rev rack.dead_at) with
+    | Some t -> t
+    | None -> -1
+  in
+  let reregistered =
+    match
+      List.find_opt (fun (h, t) -> h = victim && t > kill_at) rack.alive_at
+    with
+    | Some (_, t) -> t
+    | None -> -1
+  in
+  Common.note
+    "timeline: dead detected +%s after kill (<= 2 probe periods: %b); \
+     re-registered +%s after respawn"
+    (Common.ns (detected - kill_at))
+    (detected >= 0 && detected - kill_at <= 2 * probe_period)
+    (Common.ns (reregistered - respawn_at));
+  let outage_steered =
+    rack.steered_at_rereg.(victim) - rack.steered_at_death.(victim)
+  in
+  Common.note
+    "re-steering: host %d picked %d times while dead (expect 0); picked again \
+     after re-register: %b; shed host %d picked %d times while shedding \
+     (expect 0)"
+    victim outage_steered
+    ((Cluster.Control.steered rack.control).(victim)
+     > rack.steered_at_rereg.(victim))
+    shed_host !shed_steered_during;
+  Common.note "%s" ("rack:\n  " ^ String.concat "\n  " (digest_lines rack));
+  let sent = Harness.Client.sent c in
+  let completed = Harness.Client.completed c in
+  let abandoned = Harness.Client.abandoned c in
+  let conserved =
+    completed + abandoned = sent && Harness.Client.outstanding c = 0
+  in
+  let st = Cluster.Switch.stats (Cluster.Fabric.switch rack.fabric) in
+  let silent_free =
+    st.Cluster.Switch.drop_in = 0 && st.Cluster.Switch.drop_out = 0
+    && st.Cluster.Switch.unroutable = 0
+    && Cluster.Fabric.undeliverable rack.fabric = 0
+  in
+  Common.note
+    "lifecycle: deaths=%d registrations=%d probes=%d acks=%d rejected=%d \
+     retransmits=%d resteered=%d unsteered=%d"
+    (Cluster.Control.deaths rack.control)
+    (Cluster.Control.registrations rack.control)
+    (Cluster.Control.probes_sent rack.control)
+    (Cluster.Control.acks_received rack.control)
+    (Harness.Client.rejected c)
+    (Harness.Client.retransmits c)
+    rack.resteered rack.unsteered;
+  Common.note
+    "conservation (done + abandoned = sent, none outstanding): %b; explicit \
+     err_dead rejects seen: %b; no silent losses on the path: %b%s"
+    conserved
+    (Harness.Client.rejected c > 0)
+    silent_free
+    (if conserved && Harness.Client.rejected c > 0 && silent_free then
+       "  [shape holds]"
+     else "  [SHAPE VIOLATION]")
+
+let run () =
+  Common.section
+    "E17: rack-scale cluster — ToR switch, control plane, load balancer";
+  run_sweep ();
+  run_big ();
+  Common.note "";
+  run_failure ();
+  Common.note
+    "paper expectation: per-host results byte-identical for every domain";
+  Common.note
+    "count; a host death is detected within a probe period, steered around,";
+  Common.note
+    "and every in-flight RPC resolves to a reply or an explicit reject."

@@ -55,6 +55,10 @@ type outbox_item = {
 type t = {
   engines : Engine.t array;
   lookahead : Units.duration;
+      (* conservative window width: the uniform lookahead, or the
+         minimum entry of the latency matrix *)
+  latency : Units.duration array array option;
+      (* per-pair wire latencies; [None] means uniform [lookahead] *)
   domains : int;
   (* per-source outboxes, reverse posting order; outbox.(s) is written
      only by the domain currently running shard [s], and drained by
@@ -78,7 +82,7 @@ let env_domains () =
           invalid_arg
             (Printf.sprintf "LAUBERHORN_SHARDS=%s: expected 1..64" s))
 
-let create ?domains ~lookahead engines =
+let make ?domains ~lookahead ~latency engines =
   if Array.length engines = 0 then
     invalid_arg "Shard_engine.create: no shards";
   if lookahead <= 0 then
@@ -94,6 +98,7 @@ let create ?domains ~lookahead engines =
   {
     engines;
     lookahead;
+    latency;
     domains;
     outbox = Array.make n [];
     windows = 0;
@@ -101,6 +106,37 @@ let create ?domains ~lookahead engines =
     window_end = 0;
     stop = false;
   }
+
+let create ?domains ~lookahead engines =
+  make ?domains ~lookahead ~latency:None engines
+
+(* Per-pair lookahead: the window width is the matrix minimum — the
+   rack's shortest link bounds how far any shard may safely run ahead —
+   while each post is validated against its own pair's latency, so a
+   model bug on a long link is caught even when it clears the global
+   minimum. *)
+let create_matrix ?domains ~latency engines =
+  let n = Array.length engines in
+  if n = 0 then invalid_arg "Shard_engine.create_matrix: no shards";
+  if not (Int.equal (Array.length latency) n) then
+    invalid_arg "Shard_engine.create_matrix: latency matrix is not NxN";
+  let min_latency = ref max_int in
+  Array.iteri
+    (fun s row ->
+      if not (Int.equal (Array.length row) n) then
+        invalid_arg "Shard_engine.create_matrix: latency matrix is not NxN";
+      Array.iteri
+        (fun d l ->
+          if l <= 0 then
+            invalid_arg
+              (Printf.sprintf
+                 "Shard_engine.create_matrix: latency.(%d).(%d) = %d must be \
+                  positive"
+                 s d l);
+          if l < !min_latency then min_latency := l)
+        row)
+    latency;
+  make ?domains ~lookahead:!min_latency ~latency:(Some latency) engines
 
 let shards t = Array.length t.engines
 let domains t = t.domains
@@ -118,7 +154,12 @@ let post t ~src ~dst ~at fn =
   let n = Array.length t.engines in
   if src < 0 || src >= n then invalid_arg "Shard_engine.post: bad src";
   if dst < 0 || dst >= n then invalid_arg "Shard_engine.post: bad dst";
-  let horizon = Engine.now t.engines.(src) + t.lookahead in
+  let pair_lookahead =
+    match t.latency with
+    | None -> t.lookahead
+    | Some m -> m.(src).(dst)
+  in
+  let horizon = Engine.now t.engines.(src) + pair_lookahead in
   if at < horizon then
     invalid_arg
       (Printf.sprintf
@@ -126,7 +167,7 @@ let post t ~src ~dst ~at fn =
           lookahead %d = %d)"
          at src
          (Engine.now t.engines.(src))
-         t.lookahead horizon);
+         pair_lookahead horizon);
   t.outbox.(src) <- { at; src; dst; fn } :: t.outbox.(src)
 
 (* Deliver every outboxed message, in an order that is a pure function

@@ -46,9 +46,28 @@ val create : ?domains:int -> lookahead:Units.duration -> Engine.t array -> t
     @raise Invalid_argument on an empty shard array, a non-positive
     lookahead, or a non-positive domain count. *)
 
+val create_matrix :
+  ?domains:int -> latency:Units.duration array array -> Engine.t array -> t
+(** Like {!create}, but with a per-pair wire-latency matrix:
+    [latency.(s).(d)] is the minimum delivery delay of a message posted
+    from shard [s] to shard [d] (the [s]→[d] wire latency; the diagonal
+    governs self-posts). The conservative window width — reported by
+    {!lookahead} — is the matrix minimum: the rack's shortest link
+    bounds how far any shard may safely run ahead. {!post}, however,
+    validates each message against its own pair's latency, so on an
+    asymmetric topology a delivery that undercuts its link's latency is
+    rejected even when it clears the global minimum — with a uniform
+    lookahead such a violation would pass silently.
+
+    @raise Invalid_argument on an empty shard array, a non-square
+    matrix, or a non-positive entry. *)
+
 val shards : t -> int
 val domains : t -> int
+
 val lookahead : t -> Units.duration
+(** The conservative window width: the [create] lookahead, or the
+    minimum entry of the [create_matrix] latency matrix. *)
 
 val engine : t -> int -> Engine.t
 (** The shard's private engine (for scheduling its local events and
@@ -62,8 +81,9 @@ val post :
     barrier; ordering across all posts is deterministic.
 
     @raise Invalid_argument if [at] is earlier than [src]'s clock plus
-    the lookahead (the conservative contract), or on a bad shard
-    index. *)
+    the [src]→[dst] lookahead — the uniform one, or the pair's entry in
+    the {!create_matrix} latency matrix (the conservative contract) —
+    or on a bad shard index. *)
 
 val run : t -> until:Units.time -> unit
 (** Run every shard up to and including [until], window by window.

@@ -72,4 +72,15 @@ done
 # experiment itself asserts per-host byte-identity across 1/2/4/8
 # domains and fails loudly if the merge order ever diverges.
 dune exec bin/figures.exe -- parallel > "$a"
+# E17: the full rack — ToR switch, per-host stacks, control plane and
+# balancer over the per-pair lookahead matrix. Two runs must be
+# byte-identical, and the 16-host section (which takes its domain
+# count from the environment) must not move between 1 and 4 domains
+# with the sanitizers armed.
+dune exec bin/figures.exe -- rack > "$a"
+dune exec bin/figures.exe -- rack > "$b"
+diff "$a" "$b"
+LAUBERHORN_SHARDS=1 LAUBERHORN_SANITIZE=1 dune exec bin/figures.exe -- rack > "$a"
+LAUBERHORN_SHARDS=4 LAUBERHORN_SANITIZE=1 dune exec bin/figures.exe -- rack > "$b"
+diff "$a" "$b"
 dune exec bench/main.exe

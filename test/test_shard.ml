@@ -81,6 +81,55 @@ let test_pending_beyond_horizon () =
   Sim.Shard_engine.run t ~until:100_000;
   checki "stragglers fired" 3 !fired
 
+(* ---------- per-pair lookahead matrices ---------- *)
+
+let test_matrix_lookahead () =
+  let engines = Array.init 2 (fun _ -> Sim.Engine.create ()) in
+  let latency =
+    [|
+      [| Sim.Units.us 2; Sim.Units.us 10 |];
+      [| Sim.Units.us 2; Sim.Units.us 2 |];
+    |]
+  in
+  let t = Sim.Shard_engine.create_matrix ~domains:1 ~latency engines in
+  checki "window width is the matrix minimum" (Sim.Units.us 2)
+    (Sim.Shard_engine.lookahead t);
+  (* the regression that motivates per-pair validation: a post that
+     clears the global minimum but arrives sooner than its own link
+     allows must be rejected — under a uniform-min check it would
+     silently model a faster wire than the topology has *)
+  checkb "under-latency post on the long link rejected" true
+    (try
+       Sim.Shard_engine.post t ~src:0 ~dst:1 ~at:(Sim.Units.us 2)
+         (fun () -> ());
+       false
+     with Invalid_argument _ -> true);
+  checkb "same delivery time fine on the short link" true
+    (try
+       Sim.Shard_engine.post t ~src:1 ~dst:0 ~at:(Sim.Units.us 2)
+         (fun () -> ());
+       true
+     with Invalid_argument _ -> false);
+  checkb "post at exactly the pair latency ok" true
+    (try
+       Sim.Shard_engine.post t ~src:0 ~dst:1 ~at:(Sim.Units.us 10)
+         (fun () -> ());
+       true
+     with Invalid_argument _ -> false)
+
+let test_matrix_shape_raises () =
+  let engines = Array.init 2 (fun _ -> Sim.Engine.create ()) in
+  let raises latency =
+    try
+      ignore (Sim.Shard_engine.create_matrix ~domains:1 ~latency engines);
+      false
+    with Invalid_argument _ -> true
+  in
+  checkb "non-square matrix rejected" true (raises [| [| la; la |] |]);
+  checkb "short row rejected" true (raises [| [| la |]; [| la; la |] |]);
+  checkb "non-positive latency rejected" true
+    (raises [| [| la; 0 |]; [| la; la |] |])
+
 let test_worker_exception_parallel () =
   let engines = Array.init 2 (fun _ -> Sim.Engine.create ()) in
   let t = Sim.Shard_engine.create ~domains:2 ~lookahead:la engines in
@@ -107,10 +156,15 @@ type op = {
   delta : int;
 }
 
-let run_plan ~shards ~domains (plan : op list) : (int * string) list array =
+let run_plan ?latency ~shards ~domains (plan : op list) :
+    (int * string) list array =
   let engines = Array.init shards (fun _ -> Sim.Engine.create ()) in
   let logs = Array.make shards [] in
-  let t = Sim.Shard_engine.create ~domains ~lookahead:la engines in
+  let t =
+    match latency with
+    | None -> Sim.Shard_engine.create ~domains ~lookahead:la engines
+    | Some m -> Sim.Shard_engine.create_matrix ~domains ~latency:m engines
+  in
   (* per-shard timer tables: touched only by the owning shard *)
   let timers = Array.init shards (fun _ -> Hashtbl.create 16) in
   List.iteri
@@ -134,7 +188,10 @@ let run_plan ~shards ~domains (plan : op list) : (int * string) list array =
                  | None -> ())
              | _ ->
                  let dst = op.arg mod shards in
-                 let at = Sim.Engine.now engines.(s) + la + op.delta in
+                 let wire =
+                   match latency with None -> la | Some m -> m.(s).(dst)
+                 in
+                 let at = Sim.Engine.now engines.(s) + wire + op.delta in
                  Sim.Shard_engine.post t ~src:s ~dst ~at
                    (note logs engines dst (Printf.sprintf "msg%d" i)))))
     plan;
@@ -181,6 +238,45 @@ let qcheck_determinism =
           String.equal ref_s (pp_logs (run_plan ~shards:4 ~domains plan)))
         [ 2; 3; 4 ])
 
+(* Same property under a random asymmetric latency matrix: posts pay
+   each pair's own wire latency, the window is the matrix minimum, and
+   the output still cannot depend on the domain count. *)
+let arb_matrix_plan shards =
+  QCheck.make
+    ~print:(fun (m, plan) ->
+      Printf.sprintf "latency=%s %s"
+        (String.concat ";"
+           (Array.to_list
+              (Array.map
+                 (fun row ->
+                   String.concat ","
+                     (Array.to_list (Array.map string_of_int row)))
+                 m)))
+        (String.concat " "
+           (List.map
+              (fun o ->
+                Printf.sprintf "(s%d@%d k%d a%d d%d)" o.shard o.at o.kind
+                  o.arg o.delta)
+              plan)))
+    QCheck.Gen.(
+      pair
+        (array_size (return shards)
+           (array_size (return shards)
+              (map (fun x -> la + x) (int_bound (3 * la)))))
+        (list_size (int_range 1 40) (op_gen shards)))
+
+let qcheck_matrix_determinism =
+  QCheck.Test.make ~count:30
+    ~name:"matrix-lookahead runs are identical for any domain count"
+    (arb_matrix_plan 4)
+    (fun (latency, plan) ->
+      let ref_s = pp_logs (run_plan ~latency ~shards:4 ~domains:1 plan) in
+      List.for_all
+        (fun domains ->
+          String.equal ref_s
+            (pp_logs (run_plan ~latency ~shards:4 ~domains plan)))
+        [ 2; 4 ])
+
 let qsuite name t = (name, [ QCheck_alcotest.to_alcotest t ])
 
 let () =
@@ -197,6 +293,11 @@ let () =
             test_pending_beyond_horizon;
           Alcotest.test_case "worker exception surfaces" `Quick
             test_worker_exception_parallel;
+          Alcotest.test_case "matrix lookahead contract" `Quick
+            test_matrix_lookahead;
+          Alcotest.test_case "matrix shape validation" `Quick
+            test_matrix_shape_raises;
         ] );
       qsuite "determinism" qcheck_determinism;
+      qsuite "matrix determinism" qcheck_matrix_determinism;
     ]
