@@ -104,6 +104,24 @@ let test_sharded_stepping =
          in
          Sim.Shard_engine.run t ~until:100_000))
 
+(* The per-shard PDES profiler tax when it is armed: the same sharded
+   window run with an [Obs.Profiler] installed, so every window records
+   its event count and outbox depth. Compare against the row above —
+   the unarmed row doubles as proof the empty hook slot (one
+   load-and-branch per window) costs nothing. *)
+let test_sharded_stepping_profiled =
+  Test.make ~name:"engine run 1000 events (sharded, profiler armed)"
+    (Staged.stage (fun () ->
+         let e = Sim.Engine.create () in
+         periodic_chain e;
+         let t =
+           Sim.Shard_engine.create ~domains:1 ~lookahead:(Sim.Units.us 50)
+             [| e |]
+         in
+         let prof = Obs.Profiler.create ~shards:1 in
+         Obs.Profiler.install prof t;
+         Sim.Shard_engine.run t ~until:100_000))
+
 let test_checksum =
   let buf = Bytes.init 1500 (fun i -> Char.chr (i land 0xff)) in
   Test.make ~name:"internet checksum 1500B"
@@ -138,6 +156,39 @@ let test_codec =
     (Staged.stage (fun () ->
          ignore (Rpc.Codec.encode value);
          ignore (Rpc.Codec.decode schema encoded)))
+
+(* The cross-fabric trace-context extension on the RPC wire header:
+   the no-ctx row is the path every untraced message takes (the flag
+   bit stays clear, the encoding is byte-identical to the
+   pre-extension format), the with-ctx row adds the 16 context bytes a
+   traced frame carries across the switch. *)
+let wire_bench_msg ctx =
+  let m =
+    Rpc.Wire_format.request ~rpc_id:42L ~service_id:7 ~method_id:0
+      (Rpc.Value.Blob (Bytes.make 64 'w'))
+  in
+  Rpc.Wire_format.with_ctx m ctx
+
+let test_wire_noctx =
+  let msg = wire_bench_msg None in
+  Test.make ~name:"wire header encode+decode (no ctx)"
+    (Staged.stage (fun () ->
+         match Rpc.Wire_format.decode (Rpc.Wire_format.encode msg) with
+         | Ok v -> ignore (Sys.opaque_identity v)
+         | Error _ -> assert false))
+
+let test_wire_ctx =
+  let msg =
+    wire_bench_msg
+      (Some
+         (Obs.Context.to_bytes
+            { Obs.Context.trace = 42L; parent = 3; origin = 8 }))
+  in
+  Test.make ~name:"wire header encode+decode (with ctx)"
+    (Staged.stage (fun () ->
+         match Rpc.Wire_format.decode (Rpc.Wire_format.encode msg) with
+         | Ok v -> ignore (Sys.opaque_identity v)
+         | Error _ -> assert false))
 
 let test_toeplitz =
   let tuple = Bytes.init 12 (fun i -> Char.chr (i * 17 land 0xff)) in
@@ -252,9 +303,12 @@ let tests =
     test_timer_churn_wheel;
     test_engine_direct_stepping;
     test_sharded_stepping;
+    test_sharded_stepping_profiled;
     test_checksum;
     test_checksum_bytewise;
     test_codec;
+    test_wire_noctx;
+    test_wire_ctx;
     test_toeplitz;
     test_ctrl_line;
     test_frame;

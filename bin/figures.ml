@@ -21,6 +21,7 @@ let sections =
     ("failover", Experiments.Failover.run);
     ("parallel", Experiments.Parallel.run);
     ("rack", Experiments.Rack.run);
+    ("obstrace", Experiments.Obstrace.run);
   ]
 
 let section_arg =

@@ -130,6 +130,7 @@ and execute t p frame (wire : Rpc.Wire_format.t) mdef args =
                     service_id = wire.Rpc.Wire_format.service_id;
                     method_id = wire.Rpc.Wire_format.method_id;
                     kind = Rpc.Wire_format.Response;
+                    ctx = wire.Rpc.Wire_format.ctx;
                     body;
                   }
                 in

@@ -172,6 +172,7 @@ and send_reply t rt th frame wire body =
           service_id = wire.Rpc.Wire_format.service_id;
           method_id = wire.Rpc.Wire_format.method_id;
           kind = Rpc.Wire_format.Response;
+          ctx = wire.Rpc.Wire_format.ctx;
           body;
         }
       in

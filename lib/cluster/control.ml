@@ -17,19 +17,28 @@ type t = {
   n_steered : int array;
   mutable cursor : int;
   mutable started : bool;
-  mutable deaths : int;
-  mutable registrations : int;
-  mutable probes_sent : int;
-  mutable acks_received : int;
+  (* lifecycle counters live on the Obs.Metrics registry; the named
+     accessors below are views over the same cells *)
+  metrics : Obs.Metrics.t;
+  c_deaths : Obs.Metrics.counter;
+  c_registrations : Obs.Metrics.counter;
+  c_probes_sent : Obs.Metrics.counter;
+  c_acks_received : Obs.Metrics.counter;
 }
 
 let nop ~host:_ = ()
 
 let create engine ~hosts ~probe_period ~probe ?(on_dead = nop)
-    ?(on_alive = nop) () =
+    ?(on_alive = nop) ?metrics () =
   if hosts <= 0 then invalid_arg "Control.create: hosts must be positive";
   if probe_period <= 0 then
     invalid_arg "Control.create: probe_period must be positive";
+  let metrics =
+    match metrics with Some m -> m | None -> Obs.Metrics.create ()
+  in
+  let n_steered = Array.make hosts 0 in
+  Obs.Metrics.derive metrics "ctl_steered_total" (fun () ->
+      Array.fold_left ( + ) 0 n_steered);
   {
     engine;
     probe_period;
@@ -39,13 +48,14 @@ let create engine ~hosts ~probe_period ~probe ?(on_dead = nop)
     states = Array.make hosts Unregistered;
     awaiting_ack = Array.make hosts false;
     sheddings = Array.make hosts false;
-    n_steered = Array.make hosts 0;
+    n_steered;
     cursor = 0;
     started = false;
-    deaths = 0;
-    registrations = 0;
-    probes_sent = 0;
-    acks_received = 0;
+    metrics;
+    c_deaths = Obs.Metrics.counter metrics "ctl_deaths";
+    c_registrations = Obs.Metrics.counter metrics "ctl_registrations";
+    c_probes_sent = Obs.Metrics.counter metrics "ctl_probes_sent";
+    c_acks_received = Obs.Metrics.counter metrics "ctl_acks_received";
   }
 
 let check_host t host =
@@ -64,7 +74,7 @@ let rec tick t () =
       if is_alive st && t.awaiting_ack.(h) then begin
         t.states.(h) <- Dead;
         t.awaiting_ack.(h) <- false;
-        t.deaths <- t.deaths + 1;
+        Obs.Metrics.incr t.c_deaths;
         t.on_dead ~host:h
       end)
     t.states;
@@ -72,7 +82,7 @@ let rec tick t () =
     (fun h st ->
       if is_alive st then begin
         t.awaiting_ack.(h) <- true;
-        t.probes_sent <- t.probes_sent + 1;
+        Obs.Metrics.incr t.c_probes_sent;
         t.probe ~host:h
       end)
     t.states;
@@ -86,7 +96,7 @@ let start t =
 
 let register t ~host =
   check_host t host;
-  t.registrations <- t.registrations + 1;
+  Obs.Metrics.incr t.c_registrations;
   t.awaiting_ack.(host) <- false;
   if not (is_alive t.states.(host)) then begin
     t.states.(host) <- Alive;
@@ -96,7 +106,7 @@ let register t ~host =
 let ack t ~host =
   check_host t host;
   if is_alive t.states.(host) then begin
-    t.acks_received <- t.acks_received + 1;
+    Obs.Metrics.incr t.c_acks_received;
     t.awaiting_ack.(host) <- false
   end
 
@@ -132,7 +142,8 @@ let pick t =
   scan 0
 
 let steered t = Array.copy t.n_steered
-let deaths t = t.deaths
-let registrations t = t.registrations
-let probes_sent t = t.probes_sent
-let acks_received t = t.acks_received
+let deaths t = Obs.Metrics.value t.c_deaths
+let registrations t = Obs.Metrics.value t.c_registrations
+let probes_sent t = Obs.Metrics.value t.c_probes_sent
+let acks_received t = Obs.Metrics.value t.c_acks_received
+let metrics t = t.metrics

@@ -26,10 +26,15 @@ val create :
   probe:(host:int -> unit) ->
   ?on_dead:(host:int -> unit) ->
   ?on_alive:(host:int -> unit) ->
+  ?metrics:Obs.Metrics.t ->
   unit ->
   t
 (** [on_dead]/[on_alive] observe state transitions (e.g. to log a
-    failure timeline or tear down steering state).
+    failure timeline or tear down steering state). [metrics] is the
+    registry the lifecycle counters ([ctl_deaths],
+    [ctl_registrations], [ctl_probes_sent], [ctl_acks_received], and
+    the derived [ctl_steered_total]) register on — a private one when
+    omitted; the named accessors below are views of the same cells.
 
     @raise Invalid_argument on [hosts <= 0] or a non-positive
     period. *)
@@ -74,3 +79,7 @@ val deaths : t -> int
 val registrations : t -> int
 val probes_sent : t -> int
 val acks_received : t -> int
+
+val metrics : t -> Obs.Metrics.t
+(** The registry behind the counters above (the one passed to
+    {!create}, or the control plane's private one). *)

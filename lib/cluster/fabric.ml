@@ -37,8 +37,8 @@ let default_uplink =
   { Switch.latency = Sim.Units.ns 500; tx = Sim.Units.ns 50 }
 
 let create ?domains ?sched ?(host_link = default_host_link)
-    ?(uplink = default_uplink) ?host_links ?cap_in ?cap_out ?fwd_delay ~hosts
-    () =
+    ?(uplink = default_uplink) ?host_links ?cap_in ?cap_out ?fwd_delay
+    ?metrics ~hosts () =
   if hosts < 1 then invalid_arg "Fabric.create: hosts < 1";
   let links =
     match host_links with
@@ -98,7 +98,7 @@ let create ?domains ?sched ?(host_link = default_host_link)
   let switch =
     Switch.create master
       ~ports:(Array.append links [| uplink |])
-      ?cap_in ?cap_out ?fwd_delay ~route ~deliver ()
+      ?cap_in ?cap_out ?fwd_delay ?metrics ~route ~deliver ()
   in
   let t =
     {

@@ -36,6 +36,7 @@ val create :
   ?cap_in:int ->
   ?cap_out:int ->
   ?fwd_delay:Sim.Units.duration ->
+  ?metrics:Obs.Metrics.t ->
   hosts:int ->
   unit ->
   t
@@ -45,7 +46,8 @@ val create :
     per-host array; [uplink] is the client-facing port (default 500 ns
     latency, 50 ns tx). [domains] defaults to
     {!Sim.Shard_engine.env_domains}; [sched] picks every engine's
-    event-queue backend.
+    event-queue backend; [metrics] is handed to {!Switch.create} so
+    the switch counters land on a caller-owned registry.
 
     @raise Invalid_argument on [hosts < 1] or a mis-sized
     [host_links]. *)

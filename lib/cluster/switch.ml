@@ -32,6 +32,18 @@ type stats = {
   unroutable : int;
 }
 
+(* Observation points for an external tracing plane (e.g. the rack
+   experiment's cross-fabric span emitter): admission, crossbar
+   completion, transmit completion. Purely passive — the switch never
+   consults them for behaviour, so arming them cannot perturb the
+   determinism contract. *)
+type hooks = {
+  on_ingress : port:int -> time:Sim.Units.time -> Net.Frame.t -> unit;
+  on_forward :
+    port:int -> dst:int option -> time:Sim.Units.time -> Net.Frame.t -> unit;
+  on_transmit : port:int -> time:Sim.Units.time -> Net.Frame.t -> unit;
+}
+
 type t = {
   engine : Sim.Engine.t;
   ports : port_conf array;
@@ -49,17 +61,25 @@ type t = {
   (* per-egress-port occupancy and transmitter busy-until *)
   out_len : int array;
   out_busy : Sim.Units.time array;
-  (* counters *)
-  mutable ingressed : int;
-  mutable delivered : int;
-  mutable unroutable : int;
+  (* counters: scalars live on the Obs.Metrics registry (the stats
+     record is a view); per-port arrays stay for steering visibility *)
+  metrics : Obs.Metrics.t;
+  c_ingressed : Obs.Metrics.counter;
+  c_delivered : Obs.Metrics.counter;
+  c_unroutable : Obs.Metrics.counter;
+  c_drop_in : Obs.Metrics.counter;
+  c_drop_out : Obs.Metrics.counter;
   n_forwarded : int array;
   n_drop_in : int array;
   n_drop_out : int array;
+  (* per-port pcap taps and the tracing hooks; None = disarmed, one
+     load-and-branch on the hot paths *)
+  taps : Obs.Pcap.t option array;
+  mutable hooks : hooks option;
 }
 
 let create engine ~ports ?(cap_in = 64) ?(cap_out = 64)
-    ?(fwd_delay = Sim.Units.ns 300) ~route ~deliver () =
+    ?(fwd_delay = Sim.Units.ns 300) ?metrics ~route ~deliver () =
   let n = Array.length ports in
   if n = 0 then invalid_arg "Switch.create: no ports";
   if cap_in <= 0 || cap_out <= 0 then
@@ -70,6 +90,9 @@ let create engine ~ports ?(cap_in = 64) ?(cap_out = 64)
       if p.tx <= 0 || p.latency <= 0 then
         invalid_arg "Switch.create: non-positive port latency/tx")
     ports;
+  let metrics =
+    match metrics with Some m -> m | None -> Obs.Metrics.create ()
+  in
   {
     engine;
     ports;
@@ -84,12 +107,17 @@ let create engine ~ports ?(cap_in = 64) ?(cap_out = 64)
     busy_in = Array.make n false;
     out_len = Array.make n 0;
     out_busy = Array.make n 0;
-    ingressed = 0;
-    delivered = 0;
-    unroutable = 0;
+    metrics;
+    c_ingressed = Obs.Metrics.counter metrics "switch_ingressed";
+    c_delivered = Obs.Metrics.counter metrics "switch_delivered";
+    c_unroutable = Obs.Metrics.counter metrics "switch_unroutable";
+    c_drop_in = Obs.Metrics.counter metrics "switch_drop_in";
+    c_drop_out = Obs.Metrics.counter metrics "switch_drop_out";
     n_forwarded = Array.make n 0;
     n_drop_in = Array.make n 0;
     n_drop_out = Array.make n 0;
+    taps = Array.make n None;
+    hooks = None;
   }
 
 let ports t = Array.length t.ports
@@ -99,8 +127,10 @@ let port_conf t p = t.ports.(p)
    behind whatever the transmitter is already committed to, deliver at
    transmit complete. *)
 let egress_enqueue t ~port frame =
-  if t.out_len.(port) >= t.cap_out then
-    t.n_drop_out.(port) <- t.n_drop_out.(port) + 1
+  if t.out_len.(port) >= t.cap_out then begin
+    t.n_drop_out.(port) <- t.n_drop_out.(port) + 1;
+    Obs.Metrics.incr t.c_drop_out
+  end
   else begin
     t.out_len.(port) <- t.out_len.(port) + 1;
     let now = Sim.Engine.now t.engine in
@@ -110,8 +140,14 @@ let egress_enqueue t ~port frame =
     ignore
       (Sim.Engine.schedule_at t.engine ~at:finish (fun () ->
            t.out_len.(port) <- t.out_len.(port) - 1;
-           t.delivered <- t.delivered + 1;
+           Obs.Metrics.incr t.c_delivered;
            t.n_forwarded.(port) <- t.n_forwarded.(port) + 1;
+           (match t.taps.(port) with
+           | Some cap -> Obs.Pcap.add_frame cap ~time:finish frame
+           | None -> ());
+           (match t.hooks with
+           | Some h -> h.on_transmit ~port ~time:finish frame
+           | None -> ());
            t.deliver ~port frame))
   end
 
@@ -125,10 +161,19 @@ let rec kick t p =
     ignore
       (Sim.Engine.schedule_after t.engine ~after:t.fwd_delay (fun () ->
            let frame = Queue.pop t.in_q.(p) in
-           (match t.route frame with
-           | Some o when o >= 0 && o < Array.length t.ports ->
-               egress_enqueue t ~port:o frame
-           | Some _ | None -> t.unroutable <- t.unroutable + 1);
+           let out =
+             match t.route frame with
+             | Some o when o >= 0 && o < Array.length t.ports -> Some o
+             | Some _ | None -> None
+           in
+           (match t.hooks with
+           | Some h ->
+               h.on_forward ~port:p ~dst:out
+                 ~time:(Sim.Engine.now t.engine) frame
+           | None -> ());
+           (match out with
+           | Some o -> egress_enqueue t ~port:o frame
+           | None -> Obs.Metrics.incr t.c_unroutable);
            t.busy_in.(p) <- false;
            kick t p))
   end
@@ -144,8 +189,10 @@ let sweep t () =
   Array.stable_sort (fun (p, _) (q, _) -> Int.compare p q) arr;
   Array.iter
     (fun (p, frame) ->
-      if Queue.length t.in_q.(p) >= t.cap_in then
-        t.n_drop_in.(p) <- t.n_drop_in.(p) + 1
+      if Queue.length t.in_q.(p) >= t.cap_in then begin
+        t.n_drop_in.(p) <- t.n_drop_in.(p) + 1;
+        Obs.Metrics.incr t.c_drop_in
+      end
       else begin
         Queue.push frame t.in_q.(p);
         kick t p
@@ -155,7 +202,13 @@ let sweep t () =
 let ingress t ~port frame =
   if port < 0 || port >= Array.length t.ports then
     invalid_arg "Switch.ingress: bad port";
-  t.ingressed <- t.ingressed + 1;
+  Obs.Metrics.incr t.c_ingressed;
+  (match t.taps.(port) with
+  | Some cap -> Obs.Pcap.add_frame cap ~time:(Sim.Engine.now t.engine) frame
+  | None -> ());
+  (match t.hooks with
+  | Some h -> h.on_ingress ~port ~time:(Sim.Engine.now t.engine) frame
+  | None -> ());
   t.batch <- (port, frame) :: t.batch;
   if not t.sweep_armed then begin
     t.sweep_armed <- true;
@@ -163,17 +216,23 @@ let ingress t ~port frame =
       (Sim.Engine.schedule_at t.engine ~at:(Sim.Engine.now t.engine) (sweep t))
   end
 
-let sum = Array.fold_left ( + ) 0
-
 let stats t =
   {
-    ingressed = t.ingressed;
-    delivered = t.delivered;
-    drop_in = sum t.n_drop_in;
-    drop_out = sum t.n_drop_out;
-    unroutable = t.unroutable;
+    ingressed = Obs.Metrics.value t.c_ingressed;
+    delivered = Obs.Metrics.value t.c_delivered;
+    drop_in = Obs.Metrics.value t.c_drop_in;
+    drop_out = Obs.Metrics.value t.c_drop_out;
+    unroutable = Obs.Metrics.value t.c_unroutable;
   }
 
 let forwarded t = Array.copy t.n_forwarded
 let dropped_in t = Array.copy t.n_drop_in
 let dropped_out t = Array.copy t.n_drop_out
+let metrics t = t.metrics
+
+let tap t ~port writer =
+  if port < 0 || port >= Array.length t.ports then
+    invalid_arg "Switch.tap: bad port";
+  t.taps.(port) <- Some writer
+
+let set_hooks t h = t.hooks <- h

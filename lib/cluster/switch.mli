@@ -48,12 +48,26 @@ type stats = {
 
 type t
 
+(** Passive observation points for an external tracing plane (see the
+    rack experiments' cross-fabric span emitter): a frame's admission
+    at {!ingress}, its crossbar completion (with the routed output
+    port, [None] when unroutable), and its transmit completion —
+    immediately before [deliver]. The switch never consults them for
+    behaviour; arming them cannot perturb the determinism contract. *)
+type hooks = {
+  on_ingress : port:int -> time:Sim.Units.time -> Net.Frame.t -> unit;
+  on_forward :
+    port:int -> dst:int option -> time:Sim.Units.time -> Net.Frame.t -> unit;
+  on_transmit : port:int -> time:Sim.Units.time -> Net.Frame.t -> unit;
+}
+
 val create :
   Sim.Engine.t ->
   ports:port_conf array ->
   ?cap_in:int ->
   ?cap_out:int ->
   ?fwd_delay:Sim.Units.duration ->
+  ?metrics:Obs.Metrics.t ->
   route:(Net.Frame.t -> int option) ->
   deliver:(port:int -> Net.Frame.t -> unit) ->
   unit ->
@@ -62,7 +76,11 @@ val create :
     frames (defaults 64); [fwd_delay] is the crossbar's per-frame
     forwarding time (default 300 ns). [route] maps a frame to its
     output port ([None] counts as unroutable). [deliver] fires on the
-    switch's engine at transmit-complete time.
+    switch's engine at transmit-complete time. [metrics] is the
+    registry the scalar counters ([switch_ingressed],
+    [switch_delivered], [switch_drop_in], [switch_drop_out],
+    [switch_unroutable]) register on — a private one when omitted;
+    {!stats} is a view of the same counters either way.
 
     @raise Invalid_argument on an empty port array, a non-positive
     capacity or delay, or a non-positive port [tx]. *)
@@ -81,3 +99,20 @@ val forwarded : t -> int array
 
 val dropped_in : t -> int array
 val dropped_out : t -> int array
+
+val metrics : t -> Obs.Metrics.t
+(** The registry behind {!stats} (the one passed to {!create}, or the
+    switch's private one). *)
+
+val tap : t -> port:int -> Obs.Pcap.t -> unit
+(** Arm a pcap port-tap: every frame admitted from [port]'s device and
+    every frame transmitted to it is appended to the writer with its
+    simulated timestamp, so any rack link can be dumped and diffed.
+    Disarmed ports cost one load-and-branch per frame.
+    @raise Invalid_argument on a bad port. *)
+
+val set_hooks : t -> hooks option -> unit
+(** Arm (or disarm) the tracing observation points. [None] — the
+    default — costs one load-and-branch per observation site. Arm only
+    from a config-gated path (simlint flags unconditional installation
+    inside [lib/]). *)

@@ -319,6 +319,7 @@ and tx_emit t ~cont ~service_id ~method_id ~dst body =
            service_id;
            method_id;
            kind = Rpc.Wire_format.Request;
+           ctx = None;
            body;
          })
   in
@@ -574,6 +575,7 @@ let nack t ~rpc_id ~service_id ~src ~dst ~code =
       service_id;
       method_id = 0;
       kind = Rpc.Wire_format.Error_reply code;
+      ctx = Obs.Tracer.context_of t.tracer ~rpc:rpc_id;
       body = Bytes.empty;
     }
   in
@@ -852,6 +854,8 @@ let on_endpoint_response t (resp : Message.response) =
           kind =
             (if resp.Message.status = 0 then Rpc.Wire_format.Response
              else Rpc.Wire_format.Error_reply resp.Message.status);
+          ctx =
+            Obs.Tracer.context_of t.tracer ~rpc:resp.Message.resp_rpc_id;
           body = app.full_body;
         }
       in
@@ -1324,7 +1328,11 @@ let ingress t frame =
     match Rpc.Wire_format.decode frame.Net.Frame.payload with
     | Ok w when Rpc.Wire_format.is_request w ->
         Obs.Tracer.rpc_begin t.tracer ~rpc:w.Rpc.Wire_format.rpc_id
-          ~track:t.trk (Sim.Engine.now t.engine)
+          ~track:t.trk (Sim.Engine.now t.engine);
+        (match w.Rpc.Wire_format.ctx with
+        | Some c ->
+            Obs.Tracer.set_context t.tracer ~rpc:w.Rpc.Wire_format.rpc_id c
+        | None -> ())
     | Ok _ | Error _ -> ()
   end;
   match t.mac with

@@ -155,6 +155,8 @@ let on_endpoint_response t (resp : Message.response) =
           service_id = 0;
           method_id = inf.mdef.Rpc.Interface.method_id;
           kind = Rpc.Wire_format.Response;
+          ctx =
+            Obs.Tracer.context_of t.tracer ~rpc:resp.Message.resp_rpc_id;
           body = inf.full_body;
         }
       in
@@ -178,6 +180,7 @@ let nack t ~rpc_id ~service_id ~src ~dst ~code =
       service_id;
       method_id = 0;
       kind = Rpc.Wire_format.Error_reply code;
+      ctx = Obs.Tracer.context_of t.tracer ~rpc:rpc_id;
       body = Bytes.empty;
     }
   in
@@ -499,7 +502,11 @@ let ingress t frame =
     match Rpc.Wire_format.decode frame.Net.Frame.payload with
     | Ok w when Rpc.Wire_format.is_request w ->
         Obs.Tracer.rpc_begin t.tracer ~rpc:w.Rpc.Wire_format.rpc_id
-          ~track:t.trk (Sim.Engine.now t.engine)
+          ~track:t.trk (Sim.Engine.now t.engine);
+        (match w.Rpc.Wire_format.ctx with
+        | Some c ->
+            Obs.Tracer.set_context t.tracer ~rpc:w.Rpc.Wire_format.rpc_id c
+        | None -> ())
     | Ok _ | Error _ -> ()
   end;
   match t.mac with

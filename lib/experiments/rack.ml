@@ -67,10 +67,22 @@ type rack = {
 
 (* Build N Lauberhorn hosts on a fabric, register them with the master,
    and wire a steering client behind the uplink. Deterministic for any
-   domain count: all cross-shard traffic rides Fabric posts. *)
-let make_rack ?domains ~hosts () =
+   domain count: all cross-shard traffic rides Fabric posts.
+
+   [obs], when given, arms the cross-fabric tracing plane (E18): the
+   tracer lives on the master shard and records the client-side chain —
+   uplink wire, switch ingress/crossbar/egress, the wire to the host —
+   then skips over the interval the host's own stack tracer covers
+   (every host tracer is enabled and records against the same trace id,
+   carried in the frames' Wire_format context extension) and resumes on
+   the reply path. Obs.Stitch reassembles the per-plane chains into one
+   causal tree per RPC whose stages tile [send, reply] exactly. All
+   emission happens on the owning shard (host tracers on host shards,
+   the master tracer on master-shard events only), so arming changes no
+   timing and breaks no determinism. *)
+let make_rack ?domains ?sched ?obs ~hosts () =
   let fabric =
-    Cluster.Fabric.create ?domains ~host_link ~uplink ~hosts ()
+    Cluster.Fabric.create ?domains ?sched ~host_link ~uplink ~hosts ()
   in
   let master = Cluster.Fabric.master_engine fabric in
   let setup = Workload.Scenario.echo_fleet ~n:1 ~handler_time () in
@@ -92,7 +104,9 @@ let make_rack ?domains ~hosts () =
             Lauberhorn.Stack.set_address s
               (Cluster.Fabric.host_endpoint fabric h ~port:service_port);
             Lauberhorn.Stack.on_handled s (fun () ->
-                handled.(h) <- handled.(h) + 1)
+                handled.(h) <- handled.(h) + 1);
+            if obs <> None then
+              Obs.Tracer.enable (Lauberhorn.Stack.tracer s)
         | None -> ());
         Cluster.Fabric.connect_host fabric h
           ~ingress:server.Common.driver.Harness.Driver.ingress;
@@ -122,6 +136,75 @@ let make_rack ?domains ~hosts () =
         | None -> ())
       ()
   in
+  (* The tracing plane: passive switch hooks emit the fabric stages of
+     every RPC frame onto the master tracer, and the client send path
+     below opens the root and stamps the trace context into the frame.
+     Hook installation is gated on [obs] — the disarmed switch pays one
+     load-and-branch per observation point. *)
+  let uplink_port = hosts in
+  (match obs with
+  | None -> ()
+  | Some tr ->
+      Obs.Tracer.enable tr;
+      let sw = Cluster.Fabric.switch fabric in
+      let tc = Obs.Tracer.track tr "switch" in
+      let lat p = (Cluster.Switch.port_conf sw p).Cluster.Switch.latency in
+      let decode frame = Rpc.Wire_format.decode frame.Net.Frame.payload in
+      Cluster.Switch.set_hooks sw
+        (Some
+           {
+             Cluster.Switch.on_ingress =
+               (fun ~port ~time frame ->
+                 match decode frame with
+                 | Error _ -> ()
+                 | Ok m ->
+                     let rpc = m.Rpc.Wire_format.rpc_id in
+                     if Rpc.Wire_format.is_request m then begin
+                       if port = uplink_port then
+                         Obs.Tracer.stage tr ~rpc ~track:tc
+                           ~name:"uplink_wire" time
+                     end
+                     else if port < uplink_port then begin
+                       (* the interval since the cursor belongs to the
+                          serving host's own tracer: skip to the
+                          instant the reply left the host, then charge
+                          the host wire *)
+                       Obs.Tracer.skip_to tr ~rpc (time - lat port);
+                       Obs.Tracer.stage tr ~rpc ~track:tc
+                         ~name:"wire_from_host" time
+                     end);
+             on_forward =
+               (fun ~port:_ ~dst:_ ~time frame ->
+                 match decode frame with
+                 | Error _ -> ()
+                 | Ok m ->
+                     let rpc = m.Rpc.Wire_format.rpc_id in
+                     let name =
+                       if Rpc.Wire_format.is_request m then "switch_rx"
+                       else "switch_rx_rsp"
+                     in
+                     Obs.Tracer.stage tr ~rpc ~track:tc ~name time);
+             on_transmit =
+               (fun ~port ~time frame ->
+                 match decode frame with
+                 | Error _ -> ()
+                 | Ok m ->
+                     let rpc = m.Rpc.Wire_format.rpc_id in
+                     if Rpc.Wire_format.is_request m then begin
+                       if port < uplink_port then begin
+                         Obs.Tracer.stage tr ~rpc ~track:tc ~name:"switch_tx"
+                           time;
+                         Obs.Tracer.stage_until tr ~rpc ~track:tc
+                           ~name:"wire_to_host" ~stop:(time + lat port)
+                       end
+                     end
+                     else if port = uplink_port then begin
+                       Obs.Tracer.stage tr ~rpc ~track:tc
+                         ~name:"switch_tx_rsp" time;
+                       Obs.Tracer.stage_until tr ~rpc ~track:tc
+                         ~name:"uplink_back" ~stop:(time + lat uplink_port)
+                     end);
+           }));
   (* The steering send path: pin each rpc_id to a balancer-picked host
      at first transmission; a retransmit re-pins only if the master now
      believes the pinned host is dead (the LB resets the connection).
@@ -156,6 +239,33 @@ let make_rack ?domains ~hosts () =
         match target with
         | None -> () (* counted; the retry timer will try again *)
         | Some h ->
+            let payload =
+              match obs with
+              | None -> frame.Net.Frame.payload
+              | Some tr ->
+                  (* open the causal root at first transmission and
+                     carry the trace context inside the frame, across
+                     the switch, to the serving host's tracer *)
+                  let now = Sim.Engine.now master in
+                  if not (Obs.Tracer.is_open tr ~rpc:rpc_id) then
+                    Obs.Tracer.rpc_begin tr ~rpc:rpc_id
+                      ~track:(Obs.Tracer.track tr "client")
+                      now;
+                  let parent =
+                    match Obs.Tracer.root_of tr ~rpc:rpc_id with
+                    | Some r -> r
+                    | None -> 0
+                  in
+                  Rpc.Wire_format.encode
+                    (Rpc.Wire_format.with_ctx msg
+                       (Some
+                          (Obs.Context.to_bytes
+                             {
+                               Obs.Context.trace = rpc_id;
+                               parent;
+                               origin = uplink_port;
+                             })))
+            in
             let dst =
               Cluster.Fabric.host_endpoint fabric h
                 ~port:frame.Net.Frame.udp.Net.Udp.dst_port
@@ -163,10 +273,23 @@ let make_rack ?domains ~hosts () =
             Cluster.Fabric.uplink_send fabric
               (Net.Frame.make
                  ~src:(Net.Frame.src_endpoint frame)
-                 ~dst frame.Net.Frame.payload))
+                 ~dst payload))
   in
   let client = Harness.Client.create master ~send () in
-  Cluster.Fabric.connect_uplink fabric (Harness.Client.on_reply client);
+  let uplink_rx frame =
+    (match obs with
+    | None -> ()
+    | Some tr -> (
+        (* reply back at the client: close the causal root at the same
+           instant the client's latency sample is taken *)
+        match Rpc.Wire_format.decode frame.Net.Frame.payload with
+        | Ok m when not (Rpc.Wire_format.is_request m) ->
+            Obs.Tracer.rpc_end tr ~rpc:m.Rpc.Wire_format.rpc_id
+              (Sim.Engine.now master)
+        | Ok _ | Error _ -> ()));
+    Harness.Client.on_reply client frame
+  in
+  Cluster.Fabric.connect_uplink fabric uplink_rx;
   (* spawn + register: each host announces itself across its own wire *)
   Array.iteri
     (fun h _ ->

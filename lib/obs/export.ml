@@ -1,28 +1,28 @@
 let us_of_ns ns = float_of_int ns /. 1000.
 
-let event ~name ~cat ~ph ~ts ~tid extra =
+let event ?(pid = 1) ~name ~cat ~ph ~ts ~tid extra =
   Json.Obj
     ([
        ("name", Json.Str name);
        ("cat", Json.Str cat);
        ("ph", Json.Str ph);
        ("ts", Json.Float (us_of_ns ts));
-       ("pid", Json.Int 1);
+       ("pid", Json.Int pid);
        ("tid", Json.Int tid);
      ]
     @ extra)
 
-let metadata ~name ~tid value =
+let metadata ?(pid = 1) ~name ~tid value =
   Json.Obj
     [
       ("name", Json.Str name);
       ("ph", Json.Str "M");
-      ("pid", Json.Int 1);
+      ("pid", Json.Int pid);
       ("tid", Json.Int tid);
       ("args", Json.Obj [ ("name", Json.Str value) ]);
     ]
 
-let span_event (s : Span.t) =
+let span_event ?(pid = 1) (s : Span.t) =
   let tid = s.Span.track + 1 in
   let args =
     Json.Obj
@@ -36,8 +36,8 @@ let span_event (s : Span.t) =
   match s.Span.kind with
   | Span.Instant ->
       Some
-        (event ~name:s.Span.name ~cat:"event" ~ph:"i" ~ts:s.Span.start_time
-           ~tid
+        (event ~pid ~name:s.Span.name ~cat:"event" ~ph:"i"
+           ~ts:s.Span.start_time ~tid
            [ ("s", Json.Str "t"); ("args", args) ])
   | Span.Interval | Span.Detail ->
       if not (Span.is_closed s) then None
@@ -50,7 +50,8 @@ let span_event (s : Span.t) =
           | Span.Instant -> assert false
         in
         Some
-          (event ~name:s.Span.name ~cat ~ph:"X" ~ts:s.Span.start_time ~tid
+          (event ~pid ~name:s.Span.name ~cat ~ph:"X" ~ts:s.Span.start_time
+             ~tid
              [
                ( "dur",
                  Json.Float (us_of_ns (s.Span.end_time - s.Span.start_time))
@@ -100,6 +101,42 @@ let trace_events ?(process = "lauberhorn-sim") ?(sim = []) tracer =
   Json.Obj
     [
       ("traceEvents", Json.List (meta @ span_events @ sim_events));
+      ("displayTimeUnit", Json.Str "ns");
+    ]
+
+(* One process per plane: host tracers, the switch/uplink plane and
+   the control plane each get their own pid (their label as the
+   process name), with that tracer's tracks as the process's threads.
+   Planes appear in list order; a fixed-seed run exports byte-
+   identical JSON. *)
+let multi_trace_events planes =
+  let meta =
+    List.concat
+      (List.mapi
+         (fun i (label, tracer) ->
+           let pid = i + 1 in
+           Json.Obj
+             [
+               ("name", Json.Str "process_name");
+               ("ph", Json.Str "M");
+               ("pid", Json.Int pid);
+               ("args", Json.Obj [ ("name", Json.Str label) ]);
+             ]
+           :: List.mapi
+                (fun t name -> metadata ~pid ~name:"thread_name" ~tid:(t + 1) name)
+                (Tracer.tracks tracer))
+         planes)
+  in
+  let span_events =
+    List.concat
+      (List.mapi
+         (fun i (_, tracer) ->
+           List.filter_map (span_event ~pid:(i + 1)) (Tracer.spans tracer))
+         planes)
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta @ span_events));
       ("displayTimeUnit", Json.Str "ns");
     ]
 

@@ -19,6 +19,14 @@ val trace_events :
     entries as instant events on an extra track, ordered by their own
     sequence numbers. *)
 
+val multi_trace_events : (string * Tracer.t) list -> Json.t
+(** A multi-process document for a stitched rack trace: each
+    [(label, tracer)] plane renders as its own process (pid = list
+    position + 1, process name = label) with the tracer's tracks as
+    threads — one plane per host, plus the switch/uplink and control
+    planes. Spans keep their cross-plane trace/parent ids in [args],
+    so one RPC's causal tree reads across processes in the viewer. *)
+
 val to_string :
   ?process:string -> ?sim:(string * Sim.Trace.t) list -> Tracer.t -> string
 

@@ -96,6 +96,27 @@ let to_list ?keep_zero t = collect ?keep_zero t (fun _ -> true)
 let counters_list ?keep_zero t =
   collect ?keep_zero t (function Counter _ -> true | _ -> false)
 
+(* Deterministic aggregation: fold [src] into [dst] in sorted-name
+   order, so merging per-shard registries in a fixed shard order
+   yields one rack-wide snapshot that is a pure function of the
+   simulation. Derived gauges are sampled at merge time and land as
+   plain gauges — a merged snapshot has no live callbacks into the
+   source's state. *)
+let merge_into ~src ~dst =
+  Hashtbl.fold (fun name m acc -> (name, m) :: acc) src.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, m) ->
+         match m with
+         | Counter c -> add (counter dst name) c.cv
+         | Gauge g ->
+             let d = gauge dst name in
+             d.gv <- d.gv + g.gv
+         | Derived fn ->
+             let d = gauge dst name in
+             d.gv <- d.gv + fn ()
+         | Hist h ->
+             Sim.Histogram.merge_into ~src:h ~dst:(histogram dst name))
+
 let to_json t =
   let fields =
     Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.tbl []

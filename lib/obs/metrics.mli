@@ -49,6 +49,17 @@ val counter_value : t -> string -> int
 (** Value of a registered counter by name; 0 when the name was never
     registered (does not create it). *)
 
+val merge_into : src:t -> dst:t -> unit
+(** Deterministic aggregation: add every metric of [src] into [dst],
+    iterating [src] in sorted-name order (merge registries in a fixed
+    shard order for a rack-wide snapshot that is a pure function of
+    the simulation). Counters and gauges add; derived gauges are
+    sampled now and add into a plain [dst] gauge of the same name;
+    histograms merge via {!Sim.Histogram.merge_into}.
+
+    @raise Invalid_argument when a name is already registered in [dst]
+    with an incompatible kind (a derived source needs a gauge slot). *)
+
 (** {1 Export} *)
 
 val to_list : ?keep_zero:bool -> t -> (string * int) list

@@ -8,6 +8,9 @@ type t = {
   mutable tracks : string array;
   mutable ntracks : int;
   cursors : (int64, cursor) Hashtbl.t;
+  (* opaque per-RPC trace contexts (Context.to_bytes) noted at ingress
+     so the reply path can echo them onto the wire *)
+  ctxs : (int64, bytes) Hashtbl.t;
 }
 
 let dummy_span =
@@ -32,6 +35,7 @@ let create () =
     tracks = Array.make 8 "";
     ntracks = 0;
     cursors = Hashtbl.create 64;
+    ctxs = Hashtbl.create 64;
   }
 
 let enable t = t.enabled <- true
@@ -108,6 +112,36 @@ let stage t ~rpc ~track ~name time =
              ~kind:Span.Interval ~start:c.at ~stop:time);
         c.at <- time
 
+let stage_until t ~rpc ~track ~name ~stop =
+  if t.enabled then
+    match Hashtbl.find_opt t.cursors rpc with
+    | None -> ()
+    | Some c ->
+        ignore
+          (emit t ~parent:c.root_id ~trace_id:rpc ~track ~name
+             ~kind:Span.Interval ~start:c.at ~stop);
+        c.at <- stop
+
+let skip_to t ~rpc time =
+  if t.enabled then
+    match Hashtbl.find_opt t.cursors rpc with
+    | None -> ()
+    | Some c -> c.at <- time
+
+let is_open t ~rpc = t.enabled && Hashtbl.mem t.cursors rpc
+
+let root_of t ~rpc =
+  if not t.enabled then None
+  else
+    match Hashtbl.find_opt t.cursors rpc with
+    | Some c -> Some c.root_id
+    | None -> None
+
+let set_context t ~rpc ctx = if t.enabled then Hashtbl.replace t.ctxs rpc ctx
+
+let context_of t ~rpc =
+  if t.enabled then Hashtbl.find_opt t.ctxs rpc else None
+
 let detail t ~rpc ~track ~name ~start ~stop =
   if t.enabled then
     match Hashtbl.find_opt t.cursors rpc with
@@ -134,7 +168,8 @@ let rpc_end t ~rpc time =
     | None -> ()
     | Some c ->
         t.spans.(c.root_id - 1).Span.end_time <- time;
-        Hashtbl.remove t.cursors rpc
+        Hashtbl.remove t.cursors rpc;
+        Hashtbl.remove t.ctxs rpc
 
 let spans t = List.init t.n (fun i -> t.spans.(i))
 
@@ -170,4 +205,5 @@ let clear t =
   Array.fill t.spans 0 t.n dummy_span;
   t.n <- 0;
   t.seq <- 0;
-  Hashtbl.reset t.cursors
+  Hashtbl.reset t.cursors;
+  Hashtbl.reset t.ctxs

@@ -50,6 +50,38 @@ val stage :
     to [time]. No-op for an RPC with no open root (e.g. a nested call
     injected behind the MAC). *)
 
+val stage_until :
+  t ->
+  rpc:int64 ->
+  track:int ->
+  name:string ->
+  stop:Sim.Units.time ->
+  unit
+(** Like {!stage} but closing at an explicit [stop] instead of "now":
+    a wire crossing whose completion time the sender already knows
+    (transmit time + link latency) can be attributed without an event
+    on the receiving side. The cursor advances to [stop]. *)
+
+val skip_to : t -> rpc:int64 -> Sim.Units.time -> unit
+(** Move the RPC's cursor to [time] without emitting a span: the
+    elapsed interval belongs to another shard's tracer (e.g. the
+    served host's stack), which records it against the same trace id.
+    {!Stitch} verifies the remote chain fills the gap exactly. *)
+
+val is_open : t -> rpc:int64 -> bool
+(** The RPC has an open root (and the tracer is enabled). *)
+
+val root_of : t -> rpc:int64 -> int option
+(** The open root span's id — the value carried as [Context.parent]. *)
+
+val set_context : t -> rpc:int64 -> bytes -> unit
+(** Note the RPC's wire trace context (opaque {!Context} bytes) so the
+    reply path can echo it. No-op while disabled. *)
+
+val context_of : t -> rpc:int64 -> bytes option
+(** The noted context, if any; always [None] while disabled. Cleared
+    by {!rpc_end} and {!clear}. *)
+
 val detail :
   t ->
   rpc:int64 ->

@@ -5,12 +5,20 @@ type t = {
   service_id : int;
   method_id : int;
   kind : kind;
+  ctx : bytes option;
   body : bytes;
 }
 
 let magic = 0x4c42 (* "LB" *)
 let version = 1
 let header_size = 20
+let ctx_size = 16
+
+(* The trace-context extension rides a flag bit on the kind-tag byte:
+   when set, [ctx_size] opaque bytes sit between the fixed header and
+   the body. A message without a context encodes byte-for-byte as it
+   did before the extension existed. *)
+let ctx_flag = 0x80
 
 (* Transport-level NACK codes (carried in an Error_reply). Codes below
    0xff00 stay free for application errors. *)
@@ -25,14 +33,24 @@ let is_request t = match t.kind with Request -> true | Response | Error_reply _ 
 let err_code = function Error_reply c -> c | Request | Response -> 0
 
 let encode t =
-  let w = Net.Buf.writer (header_size + Bytes.length t.body) in
+  let ctx_len =
+    match t.ctx with
+    | None -> 0
+    | Some c ->
+        if Bytes.length c <> ctx_size then
+          invalid_arg "Wire_format.encode: context must be ctx_size bytes";
+        ctx_size
+  in
+  let w = Net.Buf.writer (header_size + ctx_len + Bytes.length t.body) in
   Net.Buf.write_u16 w magic;
   Net.Buf.write_u8 w version;
-  Net.Buf.write_u8 w (kind_tag t.kind);
+  Net.Buf.write_u8 w
+    (kind_tag t.kind lor match t.ctx with Some _ -> ctx_flag | None -> 0);
   Net.Buf.write_u16 w (err_code t.kind);
   Net.Buf.write_u16 w t.method_id;
   Net.Buf.write_u32 w t.service_id;
   Net.Buf.write_u64 w t.rpc_id;
+  (match t.ctx with None -> () | Some c -> Net.Buf.write_bytes w c);
   Net.Buf.write_bytes w t.body;
   Net.Buf.filled w
 
@@ -53,12 +71,13 @@ let decode b =
       let v = Net.Buf.read_u8 r in
       if v <> version then Error (Bad_version v)
       else begin
-        let tag = Net.Buf.read_u8 r in
+        let tag_byte = Net.Buf.read_u8 r in
+        let has_ctx = tag_byte land ctx_flag <> 0 in
+        let tag = tag_byte land lnot ctx_flag in
         let code = Net.Buf.read_u16 r in
         let method_id = Net.Buf.read_u16 r in
         let service_id = Net.Buf.read_u32 r in
         let rpc_id = Net.Buf.read_u64 r in
-        let body_len = Net.Buf.remaining r in
         let kind =
           match tag with
           | 0 -> Some Request
@@ -69,16 +88,23 @@ let decode b =
         match kind with
         | None -> Error (Bad_kind tag)
         | Some kind ->
-            if body_len < 0 then Error (Bad_body_length body_len)
+            if has_ctx && Net.Buf.remaining r < ctx_size then Error Truncated
             else
-              let body = Net.Buf.read_bytes r ~len:body_len in
-              Ok { rpc_id; service_id; method_id; kind; body }
+              let ctx =
+                if has_ctx then Some (Net.Buf.read_bytes r ~len:ctx_size)
+                else None
+              in
+              let body_len = Net.Buf.remaining r in
+              if body_len < 0 then Error (Bad_body_length body_len)
+              else
+                let body = Net.Buf.read_bytes r ~len:body_len in
+                Ok { rpc_id; service_id; method_id; kind; ctx; body }
       end
     end
   end
 
-let request ~rpc_id ~service_id ~method_id v =
-  { rpc_id; service_id; method_id; kind = Request; body = Codec.encode v }
+let request ?ctx ~rpc_id ~service_id ~method_id v =
+  { rpc_id; service_id; method_id; kind = Request; ctx; body = Codec.encode v }
 
 let response ~of_ v =
   {
@@ -86,8 +112,11 @@ let response ~of_ v =
     service_id = of_.service_id;
     method_id = of_.method_id;
     kind = Response;
+    ctx = of_.ctx;
     body = Codec.encode v;
   }
+
+let with_ctx t ctx = { t with ctx }
 
 let pp_kind ppf = function
   | Request -> Format.pp_print_string ppf "request"

@@ -14,10 +14,18 @@ type t = {
   service_id : int;
   method_id : int;
   kind : kind;
+  ctx : bytes option;
+      (** Optional trace-context extension: exactly {!ctx_size} opaque
+          bytes (see [Obs.Context]) carried between the header and the
+          body, flagged on the kind-tag byte. [None] encodes
+          byte-identically to the pre-extension format. *)
   body : bytes;  (** {!Codec}-encoded arguments or results. *)
 }
 
 val header_size : int
+
+val ctx_size : int
+(** Size of the trace-context extension when present (16 bytes). *)
 
 val err_shed : int
 (** [Error_reply] code: the NIC shed the request under overload
@@ -49,11 +57,15 @@ type error =
 val decode : bytes -> (t, error) result
 
 val request :
-  rpc_id:int64 -> service_id:int -> method_id:int -> Value.t -> t
+  ?ctx:bytes -> rpc_id:int64 -> service_id:int -> method_id:int -> Value.t -> t
 (** Build a request carrying the encoded value. *)
 
 val response : of_:t -> Value.t -> t
-(** Build the response to a request, preserving ids. *)
+(** Build the response to a request, preserving ids and the trace
+    context. *)
+
+val with_ctx : t -> bytes option -> t
+(** The same message with its trace context replaced. *)
 
 val pp : Format.formatter -> t -> unit
 val pp_error : Format.formatter -> error -> unit

@@ -52,6 +52,9 @@ type outbox_item = {
   fn : unit -> unit;
 }
 
+type probe =
+  shard:int -> window_end:Units.time -> events:int -> posted:int -> unit
+
 type t = {
   engines : Engine.t array;
   lookahead : Units.duration;
@@ -70,6 +73,11 @@ type t = {
      epochs (see the module comment for the discipline) *)
   mutable window_end : Units.time;
   mutable stop : bool;
+  (* per-(shard, window) profiler hook; [None] (the default) costs one
+     load-and-branch per shard-window. Invoked by whichever domain
+     runs the shard, with sim-time-deterministic arguments only — the
+     callee owns per-shard storage (see Obs.Profiler). *)
+  mutable profiler : probe option;
 }
 
 let env_domains () =
@@ -105,6 +113,7 @@ let make ?domains ~lookahead ~latency engines =
     merged = 0;
     window_end = 0;
     stop = false;
+    profiler = None;
   }
 
 let create ?domains ~lookahead engines =
@@ -140,6 +149,7 @@ let create_matrix ?domains ~latency engines =
 
 let shards t = Array.length t.engines
 let domains t = t.domains
+let set_profiler t p = t.profiler <- p
 let lookahead t = t.lookahead
 let engine t i = t.engines.(i)
 let windows_run t = t.windows
@@ -215,7 +225,17 @@ let run_owned t worker =
   let n = Array.length t.engines in
   let i = ref worker in
   while !i < n do
-    Engine.run t.engines.(!i) ~until:limit;
+    (match t.profiler with
+    | None -> Engine.run t.engines.(!i) ~until:limit
+    | Some probe ->
+        let e = t.engines.(!i) in
+        let before = Engine.events_processed e in
+        Engine.run e ~until:limit;
+        (* the outbox was drained at the window's merge, so its length
+           here is exactly what this shard posted this window *)
+        probe ~shard:!i ~window_end:limit
+          ~events:(Engine.events_processed e - before)
+          ~posted:(List.length t.outbox.(!i)));
     i := !i + d
   done
 

@@ -102,3 +102,23 @@ val windows_run : t -> int
 
 val messages_merged : t -> int
 (** Cross-shard messages delivered at barriers so far. *)
+
+type probe =
+  shard:int -> window_end:Units.time -> events:int -> posted:int -> unit
+(** Per-(shard, window) profiler hook: after a shard finishes a
+    window, the hook observes how many events it ran ([events]) and
+    how many cross-shard messages it posted ([posted]) in that window,
+    plus the window's end time. Every argument is a deterministic
+    function of the simulation — never of wall-clock or thread
+    scheduling — so profiler output stays byte-identical for any
+    domain count. *)
+
+val set_profiler : t -> probe option -> unit
+(** Install (or clear) the profiler hook. [None] — the default — costs
+    one load-and-branch per shard-window. The hook runs on whichever
+    domain owns the shard that window; it must only touch per-shard
+    storage (the barrier provides the happens-before edges, exactly as
+    for the engines themselves — [Obs.Profiler] is the intended
+    callee). Install only from a [Config]-gated (or otherwise
+    explicitly armed) path, never unconditionally; simlint enforces
+    this within [lib/]. *)

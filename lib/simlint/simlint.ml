@@ -14,10 +14,17 @@ type rules = {
   poly_compare : bool;
   hot_path : bool;
   pool : bool;
+  obs_gating : bool;
 }
 
 let all_rules =
-  { nondet = true; poly_compare = true; hot_path = true; pool = true }
+  {
+    nondet = true;
+    poly_compare = true;
+    hot_path = true;
+    pool = true;
+    obs_gating = true;
+  }
 
 (* Path classification is purely textual so the linter behaves the same
    from the repo root, from a dune sandbox, and on test fixtures. *)
@@ -28,7 +35,13 @@ let has_segment path seg =
 
 let rules_for_path path =
   if Filename.check_suffix path ".mli" then
-    { nondet = false; poly_compare = false; hot_path = true; pool = true }
+    {
+      nondet = false;
+      poly_compare = false;
+      hot_path = true;
+      pool = true;
+      obs_gating = false;
+    }
   else
     let in_lib = has_segment path "lib" in
     let nondet = in_lib && not (has_segment path "fault") in
@@ -37,7 +50,10 @@ let rules_for_path path =
       && (has_segment path "core" || has_segment path "coherence"
          || has_segment path "net" || has_segment path "sim")
     in
-    { nondet; poly_compare; hot_path = true; pool = true }
+    let obs_gating =
+      in_lib && (has_segment path "sim" || has_segment path "cluster")
+    in
+    { nondet; poly_compare; hot_path = true; pool = true; obs_gating }
 
 (* ---------- AST helpers ---------- *)
 
@@ -72,11 +88,19 @@ type ctx = {
   (* [@nondet_ok] character spans: deliberate, reviewed nondeterminism
      (domain-parallelism machinery, wall-clock reporting) *)
   mutable nondet_ok : (int * int) list;
+  (* spans in which observability hooks may be installed: any
+     if/match whose scrutinee consults a Config, plus explicit
+     [@obs_gated] marks *)
+  mutable obs_gated : (int * int) list;
 }
 
 let in_nondet_ok ctx (loc : Location.t) =
   let p = loc.Location.loc_start.Lexing.pos_cnum in
   List.exists (fun (s, e) -> p >= s && p < e) ctx.nondet_ok
+
+let in_obs_gated ctx (loc : Location.t) =
+  let p = loc.Location.loc_start.Lexing.pos_cnum in
+  List.exists (fun (s, e) -> p >= s && p < e) ctx.obs_gated
 
 let report ctx ~loc ~rule fmt =
   let pos = loc.Location.loc_start in
@@ -304,6 +328,41 @@ let rec check_hot ctx (e : expression) =
         in
         Ast_iterator.default_iterator.expr it e
 
+(* ---------- rule: observability hook gating ---------- *)
+
+(* Hook-installation entry points of the tracing/profiling plane. The
+   disarmed slots cost one load-and-branch on hot paths, so arming one
+   from inside lib/sim or lib/cluster must be conditional on a Config
+   consultation (or carry a reviewed [@obs_gated] mark) — an
+   unconditional install would falsify the "zero-cost when off" claim
+   for every user of the library. *)
+let obs_hook_diagnosis lid =
+  if is_mod_fn lid ~m:"Shard_engine" ~fn:"set_profiler" then
+    Some "Shard_engine.set_profiler"
+  else if is_mod_fn lid ~m:"Switch" ~fn:"set_hooks" then
+    Some "Switch.set_hooks"
+  else if is_mod_fn lid ~m:"Switch" ~fn:"tap" then Some "Switch.tap"
+  else if is_mod_fn lid ~m:"Tracer" ~fn:"enable" then Some "Tracer.enable"
+  else None
+
+(* Does the expression consult a [Config] module anywhere (ident or
+   record-field access through a Config-qualified label)? *)
+let expr_mentions_config (e : expression) =
+  let found = ref false in
+  let note lid =
+    if List.exists (String.equal "Config") (lid_parts lid) then found := true
+  in
+  let expr it (sub : expression) =
+    (match sub.pexp_desc with
+    | Pexp_ident { Location.txt = lid; _ } -> note lid
+    | Pexp_field (_, { Location.txt = lid; _ }) -> note lid
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it sub
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it e;
+  !found
+
 (* ---------- rule: pool acquire/release pairing ---------- *)
 
 type pool_scan = {
@@ -370,6 +429,18 @@ let check_structure ctx (str : structure) =
               ( e.pexp_loc.Location.loc_start.Lexing.pos_cnum,
                 e.pexp_loc.Location.loc_end.Lexing.pos_cnum )
               :: ctx.nondet_ok;
+          let span () =
+            ( e.pexp_loc.Location.loc_start.Lexing.pos_cnum,
+              e.pexp_loc.Location.loc_end.Lexing.pos_cnum )
+          in
+          if has_attr "obs_gated" e.pexp_attributes then
+            ctx.obs_gated <- span () :: ctx.obs_gated;
+          (match e.pexp_desc with
+          | Pexp_ifthenelse (cond, _, _) when expr_mentions_config cond ->
+              ctx.obs_gated <- span () :: ctx.obs_gated
+          | Pexp_match (scrut, _) when expr_mentions_config scrut ->
+              ctx.obs_gated <- span () :: ctx.obs_gated
+          | _ -> ());
           Ast_iterator.default_iterator.expr it e);
       value_binding =
         (fun it vb ->
@@ -378,6 +449,11 @@ let check_structure ctx (str : structure) =
               ( vb.pvb_loc.Location.loc_start.Lexing.pos_cnum,
                 vb.pvb_loc.Location.loc_end.Lexing.pos_cnum )
               :: ctx.nondet_ok;
+          if has_attr "obs_gated" vb.pvb_attributes then
+            ctx.obs_gated <-
+              ( vb.pvb_loc.Location.loc_start.Lexing.pos_cnum,
+                vb.pvb_loc.Location.loc_end.Lexing.pos_cnum )
+              :: ctx.obs_gated;
           Ast_iterator.default_iterator.value_binding it vb);
     }
   in
@@ -388,6 +464,15 @@ let check_structure ctx (str : structure) =
         ({ pexp_desc = Pexp_ident { Location.txt = lid; _ }; pexp_loc = loc; _ },
          args) ->
         if ctx.rules.nondet then check_nondet_apply ctx ~loc lid args;
+        if ctx.rules.obs_gating then (
+          match obs_hook_diagnosis lid with
+          | Some what when not (in_obs_gated ctx loc) ->
+              report ctx ~loc ~rule:"obs-gating"
+                "%s arms an observability hook unconditionally; install only \
+                 under a Config-consulting branch (or mark the reviewed path \
+                 [@obs_gated])"
+                what
+          | Some _ | None -> ());
         (* [x = 0]-style tests against a literal compile to immediate
            comparisons — exempt them before the ident pass sees the
            operator. *)
@@ -455,6 +540,7 @@ let check_source ?rules ~path source =
         arities = Hashtbl.create 16;
         exempt = Hashtbl.create 16;
         nondet_ok = [];
+        obs_gated = [];
       }
     in
     check_structure ctx str;

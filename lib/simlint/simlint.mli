@@ -26,13 +26,23 @@
       [Pool.acquire] must also call [Pool.release] lexically, or carry
       an [[@ownership_transfer]] annotation (on the binding or on the
       acquire expression) documenting that the buffer escapes to
-      another owner. *)
+      another owner.
+    - {b obs-gating} ([lib/sim], [lib/cluster]): installing an
+      observability hook — [Shard_engine.set_profiler],
+      [Switch.set_hooks], [Switch.tap], [Tracer.enable] — must happen
+      under an [if]/[match] whose condition consults a [Config], or be
+      explicitly marked [[@obs_gated]]. The disarmed slots are one
+      load-and-branch on hot paths; an unconditional install inside
+      the library would falsify the zero-cost-when-off claim for every
+      user. Experiment/bench/test code is exempt. *)
 
 type finding = {
   file : string;
   line : int;
   col : int;
-  rule : string;  (** [nondeterminism] | [polymorphic-compare] | [hot-path] | [pool-discipline] *)
+  rule : string;
+      (** [nondeterminism] | [polymorphic-compare] | [hot-path] |
+          [pool-discipline] | [obs-gating] *)
   msg : string;
 }
 
@@ -43,6 +53,7 @@ type rules = {
   poly_compare : bool;
   hot_path : bool;
   pool : bool;
+  obs_gating : bool;
 }
 
 val all_rules : rules

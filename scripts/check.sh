@@ -83,4 +83,24 @@ diff "$a" "$b"
 LAUBERHORN_SHARDS=1 LAUBERHORN_SANITIZE=1 dune exec bin/figures.exe -- rack > "$a"
 LAUBERHORN_SHARDS=4 LAUBERHORN_SANITIZE=1 dune exec bin/figures.exe -- rack > "$b"
 diff "$a" "$b"
+# E18: the rack-scale observability plane — cross-fabric tracing armed,
+# per-shard profiler installed, metrics merged in fixed shard order.
+# Two runs must agree on the report AND on every exported artefact
+# (multi-plane Perfetto JSON, merged metrics JSON, port-tap pcaps),
+# byte for byte; and the report must not move between 1 and 4 domains
+# even with the whole tracing plane recording.
+ea=$(mktemp -d) eb=$(mktemp -d)
+trap 'rm -f "$a" "$b"; rm -rf "$da" "$db" "$ea" "$eb"' EXIT
+E18_OUT_DIR="$ea" dune exec bin/figures.exe -- obstrace > "$a"
+E18_OUT_DIR="$eb" dune exec bin/figures.exe -- obstrace > "$b"
+diff "$a" "$b"
+for f in "$ea"/*; do
+  diff "$f" "$eb/$(basename "$f")"
+done
+E18_OUT_DIR="$ea" LAUBERHORN_SHARDS=1 dune exec bin/figures.exe -- obstrace > "$a"
+E18_OUT_DIR="$eb" LAUBERHORN_SHARDS=4 dune exec bin/figures.exe -- obstrace > "$b"
+diff "$a" "$b"
+for f in "$ea"/*; do
+  diff "$f" "$eb/$(basename "$f")"
+done
 dune exec bench/main.exe

@@ -449,6 +449,107 @@ let qcheck_rack_determinism =
           (4, Sim.Scheduler.Wheel);
         ])
 
+(* ---------- cross-shard span stitching (E18's invariant) ---------- *)
+
+(* A traced full-stack rack: Lauberhorn hosts behind the switch, the
+   tracing plane armed, a handful of steered RPCs fired from the
+   uplink at seeded times. Returns whether every completed RPC's
+   stitched stage chain tiles its measured latency exactly, plus a
+   digest (completions, stitch verdicts, profiler report) that must be
+   byte-identical across domain counts and scheduler backends. *)
+let run_traced_rack ~domains ~sched ~hosts ~n_rpcs ~seed =
+  let obs = Obs.Tracer.create () in
+  let rack = Experiments.Rack.make_rack ~domains ~sched ~obs ~hosts () in
+  let fabric = rack.Experiments.Rack.fabric in
+  let prof = Obs.Profiler.create ~shards:(hosts + 1) in
+  Obs.Profiler.install prof (Cluster.Fabric.shard fabric);
+  let master = Cluster.Fabric.master_engine fabric in
+  let setup = rack.Experiments.Rack.servers.(0).Experiments.Common.setup in
+  let service_id = Workload.Scenario.service_id_of setup ~service_idx:0 in
+  let rng = Sim.Rng.create ~seed in
+  let completions = ref [] in
+  for _ = 1 to n_rpcs do
+    (* past the registration window, spread over ~1 ms *)
+    let at = Sim.Units.us 50 + Sim.Rng.int rng ~bound:(Sim.Units.ms 1) in
+    ignore
+      (Sim.Engine.schedule_at master ~at (fun () ->
+           let t0 = Sim.Engine.now master in
+           let id = ref 0L in
+           id :=
+             Harness.Client.call_id rack.Experiments.Rack.client ~service_id
+               ~method_id:0 ~port:rack.Experiments.Rack.service_port
+               (Rpc.Value.Blob (Bytes.make 32 'q'))
+               (fun _ ->
+                 let latency = Sim.Engine.now master - t0 in
+                 Sim.Histogram.record rack.Experiments.Rack.latencies latency;
+                 completions := (!id, latency) :: !completions)))
+  done;
+  Cluster.Fabric.run fabric ~until:(Sim.Units.ms 4);
+  Experiments.Rack.finish rack;
+  let parts =
+    Array.to_list
+      (Array.mapi
+         (fun h s -> (Printf.sprintf "host%d" h, s.Experiments.Common.tracer))
+         rack.Experiments.Rack.servers)
+  in
+  let stitches = Obs.Stitch.assemble ~root:obs ~parts in
+  let verdict (id, latency) =
+    match
+      List.find_opt
+        (fun (s : Obs.Stitch.t) -> Int64.equal s.Obs.Stitch.trace id)
+        stitches
+    with
+    | Some s -> Obs.Stitch.exact s && s.Obs.Stitch.stage_sum = latency
+    | None -> false
+  in
+  let verdicts =
+    List.rev_map
+      (fun ((id, latency) as c) ->
+        Printf.sprintf "%Ld:%d:%b" id latency (verdict c))
+      !completions
+  in
+  let all_exact =
+    List.length !completions = n_rpcs && List.for_all verdict !completions
+  in
+  let digest =
+    String.concat "\n"
+      ((Printf.sprintf "completed=%d stitched=%d" (List.length !completions)
+          (List.length stitches)
+       :: verdicts)
+      @ Obs.Profiler.report_lines prof)
+  in
+  (all_exact, digest)
+
+let arb_traced_case =
+  QCheck.make
+    ~print:(fun (hosts, n_rpcs, seed) ->
+      Printf.sprintf "hosts=%d rpcs=%d seed=%d" hosts n_rpcs seed)
+    QCheck.Gen.(tup3 (int_range 2 3) (int_range 1 8) (int_range 0 1000))
+
+let qcheck_stitching_exact_and_deterministic =
+  QCheck.Test.make ~count:6
+    ~name:
+      "traced racks stitch exactly and identically across domains/schedulers"
+    arb_traced_case
+    (fun (hosts, n_rpcs, seed) ->
+      let exact, reference =
+        run_traced_rack ~domains:1 ~sched:Sim.Scheduler.Heap ~hosts ~n_rpcs
+          ~seed
+      in
+      exact
+      && List.for_all
+           (fun (domains, sched) ->
+             let exact', digest =
+               run_traced_rack ~domains ~sched ~hosts ~n_rpcs ~seed
+             in
+             exact' && String.equal reference digest)
+           [
+             (2, Sim.Scheduler.Heap);
+             (4, Sim.Scheduler.Heap);
+             (1, Sim.Scheduler.Wheel);
+             (4, Sim.Scheduler.Wheel);
+           ])
+
 let qsuite name t = (name, [ QCheck_alcotest.to_alcotest t ])
 
 let () =
@@ -479,4 +580,5 @@ let () =
             test_rack_kill_during_inflight;
         ] );
       qsuite "rack determinism" qcheck_rack_determinism;
+      qsuite "stitching" qcheck_stitching_exact_and_deterministic;
     ]

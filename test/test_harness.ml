@@ -34,6 +34,7 @@ let response_frame ~rpc_id =
       service_id = 1;
       method_id = 0;
       kind = Rpc.Wire_format.Response;
+      ctx = None;
       body = Bytes.empty;
     }
   in

@@ -281,6 +281,189 @@ let test_metrics_registry () =
        false
      with Invalid_argument _ -> true)
 
+(* --- cross-fabric trace context ------------------------------------ *)
+
+let test_context_roundtrip () =
+  let ctx =
+    { Obs.Context.trace = 0x1122334455667788L; parent = 42; origin = 9 }
+  in
+  let b = Obs.Context.to_bytes ctx in
+  checki "encodes to Context.size bytes" Obs.Context.size (Bytes.length b);
+  (match Obs.Context.of_bytes b with
+  | Some c ->
+      checkb "roundtrips" true
+        (Int64.equal c.Obs.Context.trace ctx.Obs.Context.trace
+        && c.Obs.Context.parent = ctx.Obs.Context.parent
+        && c.Obs.Context.origin = ctx.Obs.Context.origin)
+  | None -> Alcotest.fail "of_bytes rejected its own encoding");
+  checkb "wrong length rejected" true
+    (Obs.Context.of_bytes (Bytes.create (Obs.Context.size - 1)) = None);
+  checkb "out-of-range parent rejected" true
+    (try
+       ignore (Obs.Context.to_bytes { ctx with Obs.Context.parent = -1 });
+       false
+     with Invalid_argument _ -> true);
+  checkb "out-of-range origin rejected" true
+    (try
+       ignore
+         (Obs.Context.to_bytes { ctx with Obs.Context.origin = 0x1_0000_0000 });
+       false
+     with Invalid_argument _ -> true)
+
+let test_wire_ctx () =
+  let ctx =
+    Obs.Context.to_bytes { Obs.Context.trace = 7L; parent = 3; origin = 8 }
+  in
+  let plain =
+    Rpc.Wire_format.request ~rpc_id:7L ~service_id:2 ~method_id:1
+      (Rpc.Value.Blob (Bytes.make 16 'q'))
+  in
+  let tagged = Rpc.Wire_format.with_ctx plain (Some ctx) in
+  let enc_plain = Rpc.Wire_format.encode plain in
+  let enc_tagged = Rpc.Wire_format.encode tagged in
+  checki "context adds exactly ctx_size bytes" Rpc.Wire_format.ctx_size
+    (Bytes.length enc_tagged - Bytes.length enc_plain);
+  (* byte 3 is the kind tag; bit 7 is the context flag. A message
+     without a context must encode exactly as it did before the
+     extension existed. *)
+  checkb "no-context kind byte is flagless" true
+    (Char.code (Bytes.get enc_plain 3) land 0x80 = 0);
+  checkb "context rides the kind-byte flag" true
+    (Char.code (Bytes.get enc_tagged 3) land 0x80 <> 0);
+  checkb "stripping the context restores the original bytes" true
+    (Bytes.equal
+       (Rpc.Wire_format.encode (Rpc.Wire_format.with_ctx tagged None))
+       enc_plain);
+  (match Rpc.Wire_format.decode enc_plain with
+  | Ok m -> checkb "no-context decode has no ctx" true (m.Rpc.Wire_format.ctx = None)
+  | Error _ -> Alcotest.fail "plain message failed to decode");
+  (match Rpc.Wire_format.decode enc_tagged with
+  | Ok m ->
+      checkb "context decodes byte-identically" true
+        (match m.Rpc.Wire_format.ctx with
+        | Some c -> Bytes.equal c ctx
+        | None -> false);
+      checkb "body survives the context" true
+        (Bytes.equal m.Rpc.Wire_format.body plain.Rpc.Wire_format.body);
+      let rsp =
+        Rpc.Wire_format.response ~of_:m (Rpc.Value.Blob (Bytes.make 4 'r'))
+      in
+      checkb "response echoes the request context" true
+        (match rsp.Rpc.Wire_format.ctx with
+        | Some c -> Bytes.equal c ctx
+        | None -> false)
+  | Error _ -> Alcotest.fail "tagged message failed to decode");
+  let cut = Bytes.sub enc_tagged 0 (Rpc.Wire_format.header_size + 4) in
+  checkb "truncated context is Truncated" true
+    (match Rpc.Wire_format.decode cut with
+    | Error Rpc.Wire_format.Truncated -> true
+    | _ -> false)
+
+(* --- skip_to / stage_until and post-run stitching ------------------ *)
+
+let test_skip_to_stitching () =
+  (* The root plane covers [0,10] and [30,40]; a host plane fills the
+     skipped [10,30] on its own tracer against the same trace id;
+     assemble proves the two chains tile the root exactly. *)
+  let root = Obs.Tracer.create () and host = Obs.Tracer.create () in
+  Obs.Tracer.enable root;
+  Obs.Tracer.enable host;
+  let rt = Obs.Tracer.track root "fabric" in
+  let ht = Obs.Tracer.track host "stack" in
+  Obs.Tracer.rpc_begin root ~rpc:5L ~track:rt 0;
+  Obs.Tracer.stage root ~rpc:5L ~track:rt ~name:"wire_out" 10;
+  Obs.Tracer.skip_to root ~rpc:5L 30;
+  Obs.Tracer.stage_until root ~rpc:5L ~track:rt ~name:"wire_back" ~stop:40;
+  Obs.Tracer.rpc_end root ~rpc:5L 40;
+  Obs.Tracer.rpc_begin host ~rpc:5L ~track:ht 10;
+  Obs.Tracer.stage host ~rpc:5L ~track:ht ~name:"serve" 30;
+  Obs.Tracer.rpc_end host ~rpc:5L 30;
+  (match Obs.Stitch.assemble ~root ~parts:[ ("h0", host) ] with
+  | [ s ] ->
+      checkb "exact" true (Obs.Stitch.exact s);
+      checki "stage_sum is the end-to-end latency" 40 s.Obs.Stitch.stage_sum;
+      checkb "stages interleave planes in time order" true
+        (List.map
+           (fun (st : Obs.Stitch.stage) ->
+             (st.Obs.Stitch.plane, st.Obs.Stitch.span.Obs.Span.name))
+           s.Obs.Stitch.stages
+        = [ ("", "wire_out"); ("h0", "serve"); ("", "wire_back") ])
+  | l -> Alcotest.failf "expected one stitched trace, got %d" (List.length l));
+  (* A skip nothing fills is a visible gap, not a silent one. *)
+  let root2 = Obs.Tracer.create () in
+  Obs.Tracer.enable root2;
+  let rt2 = Obs.Tracer.track root2 "fabric" in
+  Obs.Tracer.rpc_begin root2 ~rpc:6L ~track:rt2 0;
+  Obs.Tracer.stage root2 ~rpc:6L ~track:rt2 ~name:"a" 10;
+  Obs.Tracer.skip_to root2 ~rpc:6L 30;
+  Obs.Tracer.stage_until root2 ~rpc:6L ~track:rt2 ~name:"b" ~stop:40;
+  Obs.Tracer.rpc_end root2 ~rpc:6L 40;
+  match Obs.Stitch.assemble ~root:root2 ~parts:[] with
+  | [ s ] ->
+      checkb "unfilled skip breaks contiguity" false s.Obs.Stitch.contiguous;
+      checkb "and therefore exactness" false (Obs.Stitch.exact s);
+      checki "durations still sum without the gap" 20 s.Obs.Stitch.stage_sum
+  | l -> Alcotest.failf "expected one stitched trace, got %d" (List.length l)
+
+(* --- deterministic metrics aggregation ----------------------------- *)
+
+let test_metrics_merge () =
+  let a = Obs.Metrics.create () and b = Obs.Metrics.create () in
+  Obs.Metrics.add (Obs.Metrics.counter a "reqs") 3;
+  Obs.Metrics.add (Obs.Metrics.counter b "reqs") 4;
+  Obs.Metrics.set (Obs.Metrics.gauge a "depth") 2;
+  Obs.Metrics.set (Obs.Metrics.gauge b "depth") 5;
+  let backing = ref 9 in
+  Obs.Metrics.derive b "derived" (fun () -> !backing);
+  Sim.Histogram.record (Obs.Metrics.histogram b "lat") 100;
+  Obs.Metrics.merge_into ~src:b ~dst:a;
+  checki "counters add" 7 (Obs.Metrics.counter_value a "reqs");
+  checki "gauges add" 7
+    (Obs.Metrics.gauge_value (Obs.Metrics.gauge a "depth"));
+  checki "derived is sampled into a plain gauge" 9
+    (List.assoc "derived" (Obs.Metrics.to_list a));
+  backing := 100;
+  checki "the merged sample does not track the source closure" 9
+    (List.assoc "derived" (Obs.Metrics.to_list a));
+  checki "histograms merge via Sim.Histogram" 1
+    (Sim.Histogram.count (Obs.Metrics.histogram a "lat"));
+  checkb "kind clash raises" true
+    (try
+       let c = Obs.Metrics.create () in
+       ignore (Obs.Metrics.gauge c "reqs");
+       Obs.Metrics.merge_into ~src:b ~dst:c;
+       false
+     with Invalid_argument _ -> true)
+
+(* --- multi-plane export -------------------------------------------- *)
+
+let test_multi_export () =
+  let planes =
+    List.map
+      (fun (label, rpc) ->
+        let tr = Obs.Tracer.create () in
+        Obs.Tracer.enable tr;
+        let trk = Obs.Tracer.track tr label in
+        Obs.Tracer.rpc_begin tr ~rpc ~track:trk 0;
+        Obs.Tracer.stage tr ~rpc ~track:trk ~name:"s" 5;
+        Obs.Tracer.rpc_end tr ~rpc 5;
+        (label, tr))
+      [ ("fabric", 1L); ("host0", 1L); ("host1", 2L) ]
+  in
+  let json = Obs.Export.multi_trace_events planes in
+  (match Obs.Json.parse (Obs.Json.to_string json) with
+  | Error e -> Alcotest.failf "multi export reparse failed: %s" e
+  | Ok v -> checkb "multi export is strict JSON" true (Obs.Json.equal v json));
+  match Obs.Json.member "traceEvents" json with
+  | Some (Obs.Json.List evs) ->
+      let pids =
+        List.sort_uniq compare
+          (List.filter_map (fun e -> Obs.Json.member "pid" e) evs)
+      in
+      checkb "one pid per plane, in list order" true
+        (pids = [ Obs.Json.Int 1; Obs.Json.Int 2; Obs.Json.Int 3 ])
+  | _ -> Alcotest.fail "export has no traceEvents array"
+
 (* --- sim trace sequence numbers ------------------------------------ *)
 
 let test_sim_trace_seq () =
@@ -364,8 +547,20 @@ let () =
           test_pcap_rejects_truncation
         :: qsuite [ prop_pcap_roundtrip ] );
       ( "metrics",
-        [ Alcotest.test_case "registry semantics" `Quick test_metrics_registry ]
-      );
+        [
+          Alcotest.test_case "registry semantics" `Quick test_metrics_registry;
+          Alcotest.test_case "deterministic merge" `Quick test_metrics_merge;
+        ] );
+      ( "context",
+        [
+          Alcotest.test_case "context bytes roundtrip" `Quick
+            test_context_roundtrip;
+          Alcotest.test_case "wire extension is compatible" `Quick
+            test_wire_ctx;
+          Alcotest.test_case "skip_to stitches across planes" `Quick
+            test_skip_to_stitching;
+          Alcotest.test_case "multi-plane export" `Quick test_multi_export;
+        ] );
       ( "sim-trace",
         [ Alcotest.test_case "seq survives ring wrap" `Quick test_sim_trace_seq ]
       );

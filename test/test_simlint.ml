@@ -200,6 +200,63 @@ let test_pool_ownership_transfer () =
   in
   checki "ownership_transfer honoured" 0 (count "pool-discipline" fs)
 
+(* --- observability hook gating ------------------------------------- *)
+
+let test_obs_unconditional_install () =
+  (* Arming a hook with no Config consultation in lib/sim or
+     lib/cluster must fire — the disarmed slot's zero cost is a
+     library-wide claim. *)
+  let src = "let arm eng p = Sim.Shard_engine.set_profiler eng (Some p)\n" in
+  checki "flagged in lib/sim" 1
+    (count "obs-gating" (lint ~path:"lib/sim/boot.ml" src));
+  let src2 = "let arm sw h = Cluster.Switch.set_hooks sw (Some h)\n" in
+  checki "flagged in lib/cluster" 1
+    (count "obs-gating" (lint ~path:"lib/cluster/boot.ml" src2))
+
+let test_obs_config_gated_ok () =
+  let fs =
+    lint ~path:"lib/sim/boot.ml"
+      "let arm cfg eng p =\n\
+      \  if cfg.Config.profile then Sim.Shard_engine.set_profiler eng (Some p)\n"
+  in
+  checki "Config-gated install clean" 0 (count "obs-gating" fs)
+
+let test_obs_config_match_gated_ok () =
+  let fs =
+    lint ~path:"lib/cluster/boot.ml"
+      "let arm sw h =\n\
+      \  match Config.hooks () with\n\
+      \  | true -> Cluster.Switch.set_hooks sw (Some h)\n\
+      \  | false -> ()\n"
+  in
+  checki "match-on-Config install clean" 0 (count "obs-gating" fs)
+
+let test_obs_gated_attr_escape () =
+  let fs =
+    lint ~path:"lib/sim/boot.ml"
+      "let[@obs_gated] arm eng p = Sim.Shard_engine.set_profiler eng (Some p)\n\
+       let bad sw cap = Cluster.Switch.tap sw ~port:0 cap\n"
+  in
+  checki "only the unmarked install flagged" 1 (count "obs-gating" fs)
+
+let test_obs_tap_and_enable_flagged () =
+  let fs =
+    lint ~path:"lib/cluster/boot.ml"
+      "let arm sw tr cap =\n\
+      \  Cluster.Switch.tap sw ~port:1 cap;\n\
+      \  Obs.Tracer.enable tr\n"
+  in
+  checki "tap + enable both flagged" 2 (count "obs-gating" fs)
+
+let test_obs_rule_scoped_to_sim_cluster () =
+  (* Experiments, harness and tests install hooks freely — the rule is
+     about the library's always-on paths. *)
+  let src = "let arm eng p = Sim.Shard_engine.set_profiler eng (Some p)\n" in
+  checki "not applied in lib/experiments" 0
+    (count "obs-gating" (lint ~path:"lib/experiments/e.ml" src));
+  checki "not applied in test/" 0
+    (count "obs-gating" (lint ~path:"test/t.ml" src))
+
 (* --- the repo itself is lint-clean --------------------------------- *)
 
 let test_repo_lib_clean () =
@@ -280,6 +337,15 @@ let () =
           tc "unpaired acquire" test_pool_unpaired_acquire;
           tc "paired clean" test_pool_paired_ok;
           tc "[@ownership_transfer]" test_pool_ownership_transfer;
+        ] );
+      ( "obs-gating",
+        [
+          tc "unconditional install flagged" test_obs_unconditional_install;
+          tc "Config-gated if clean" test_obs_config_gated_ok;
+          tc "Config-gated match clean" test_obs_config_match_gated_ok;
+          tc "[@obs_gated] escape" test_obs_gated_attr_escape;
+          tc "tap and enable flagged" test_obs_tap_and_enable_flagged;
+          tc "scoped to lib/sim + lib/cluster" test_obs_rule_scoped_to_sim_cluster;
         ] );
       ( "repo",
         [
