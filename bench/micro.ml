@@ -290,6 +290,48 @@ let test_span_enabled =
          done;
          Obs.Tracer.rpc_end tr ~rpc:7L 101))
 
+(* The fault-seam tax when no fault plan is armed: a full ToR crossbar
+   sweep — 64 frames fanned over 8 ports, ingress FIFO → crossbar →
+   egress FIFO → transmitter — with every per-port fault predicate left
+   at its [None]/all-up default. The per-frame fault checks must stay a
+   single load-and-branch, so this row must not move when the switch
+   grows wedge/brownout/partition seams. *)
+let test_switch_sweep =
+  let src = Harness.Traffic.client_endpoint () in
+  let dst = Harness.Traffic.server_endpoint ~port:7000 in
+  let frames =
+    Array.init 64 (fun i ->
+        ignore i;
+        Net.Frame.make ~src ~dst (Bytes.make 64 'x'))
+  in
+  Test.make ~name:"switch crossbar sweep (64 frames, 8 ports, no fault)"
+    (Staged.stage (fun () ->
+         let e = Sim.Engine.create () in
+         let ports =
+           Array.make 8
+             {
+               Cluster.Switch.latency = Sim.Units.us 1;
+               tx = Sim.Units.ns 100;
+             }
+         in
+         let delivered = ref 0 in
+         let sw =
+           Cluster.Switch.create e ~ports
+             ~route:(fun _ -> Some 7)
+             ~deliver:(fun ~port:_ _ -> incr delivered)
+             ()
+         in
+         for i = 0 to 63 do
+           let port = i mod 7 in
+           let f = frames.(i) in
+           ignore
+             (Sim.Engine.schedule_at e
+                ~at:(Sim.Units.ns (10 * i))
+                (fun () -> Cluster.Switch.ingress sw ~port f))
+         done;
+         Sim.Engine.run e ~until:(Sim.Units.ms 1);
+         assert (!delivered = 64)))
+
 let test_modelcheck =
   Test.make ~name:"model-check protocol (3 packets)"
     (Staged.stage (fun () ->
@@ -314,6 +356,7 @@ let tests =
     test_frame;
     test_pooled_frame;
     test_pooled_frame_sanitized;
+    test_switch_sweep;
     test_span_disabled;
     test_span_enabled;
     test_modelcheck;

@@ -22,6 +22,7 @@ let sections =
     ("parallel", Experiments.Parallel.run);
     ("rack", Experiments.Rack.run);
     ("obstrace", Experiments.Obstrace.run);
+    ("chaossoak", Experiments.Chaossoak.run);
   ]
 
 let section_arg =

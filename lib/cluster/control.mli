@@ -48,13 +48,51 @@ val start : t -> unit
 
 val register : t -> host:int -> unit
 (** A host announces itself (spawn or respawn): state becomes [Alive],
-    any pending probe is forgiven, and steering resumes immediately.
+    any pending probe is forgiven, steering resumes immediately, and a
+    fresh lease {!epoch} is minted — even when the host was already
+    alive (a lease-driven defensive re-register), so acks from its
+    previous incarnation turn stale. Ignored while the master is
+    crashed (the process is not there to hear it).
     @raise Invalid_argument on a bad host index. *)
 
-val ack : t -> host:int -> unit
+val epoch : t -> host:int -> int
+(** The host's current lease epoch:
+    [(master generation lsl 20) lor registration ordinal]. Probes
+    should carry it so acks can echo it back. [0] before the first
+    registration. *)
+
+val ack : ?epoch:int -> t -> host:int -> unit
 (** A probe reply arrived. Ignored for dead/unregistered hosts (a
     reply already in flight when the host was declared dead does not
-    resurrect it — only {!register} does). *)
+    resurrect it — only {!register} does) and while the master is
+    crashed. When the reply echoes an [epoch] that is not the host's
+    current one — it predates a master restart or a re-register — it
+    is rejected and counted ([ctl_epoch_rejections]), never mistaken
+    for current health. *)
+
+val crash : t -> unit
+(** The master process dies: probing stops, {!register}/{!ack} fall on
+    the floor, {!pick} answers [None]. Idempotent. Arm only from a
+    {!Fault.Plan}-driven seam ([Fault.Rack_chaos]); simlint's
+    [fault-seam] rule flags anything else inside [lib/]. *)
+
+val restart : t -> unit
+(** The master comes back with empty soft state: every host is
+    [Unregistered] (workers must re-register — their {!Worker_lease}
+    does this within one lease timeout), shedding flags and the
+    balancer cursor are cleared, the probe loop re-arms, and the
+    generation counter bumps so every pre-crash epoch is stale. Counted
+    in [ctl_master_restarts] (registered lazily at first restart).
+    Idempotent while up. *)
+
+val up : t -> bool
+(** [false] between {!crash} and {!restart}. *)
+
+val master_generation : t -> int
+(** Bumped by every {!restart}; starts at 1. *)
+
+val master_restarts : t -> int
+val epoch_rejections : t -> int
 
 val set_shedding : t -> host:int -> bool -> unit
 (** Mark a host as shedding load (e.g. its NIC admission control is
@@ -83,3 +121,34 @@ val acks_received : t -> int
 val metrics : t -> Obs.Metrics.t
 (** The registry behind the counters above (the one passed to
     {!create}, or the control plane's private one). *)
+
+(** Worker-side lease keeping a host registered across master
+    restarts. It runs on the {e host's} engine: every probe the host
+    observes renews the lease ({!Worker_lease.saw_probe}); a periodic
+    check that finds no probe for a full [timeout] fires
+    [re_register] — in a rack, a {!register} posted back across the
+    wire — so a worker orphaned by a master crash rejoins the new
+    generation within one timeout of the restart, with no master-side
+    cooperation. All bookkeeping is host-engine-deterministic. *)
+module Worker_lease : sig
+  type t
+
+  val create :
+    Sim.Engine.t -> timeout:Sim.Units.duration -> re_register:(unit -> unit) ->
+    t
+  (** @raise Invalid_argument on a non-positive timeout. *)
+
+  val start : t -> unit
+  (** Begin the periodic lease check (idempotent); the lease counts as
+      renewed at start time. *)
+
+  val stop : t -> unit
+  (** Park the check loop (e.g. while the host process itself is
+      dead — a dead worker must not re-register). *)
+
+  val saw_probe : t -> unit
+  (** Renew the lease: a probe from the master reached this host. *)
+
+  val re_registrations : t -> int
+  (** How many times the lease expired and [re_register] fired. *)
+end

@@ -18,6 +18,11 @@ type t = {
   (* per-host so each cell is only ever touched by its own shard *)
   n_undeliverable : int array;
   mutable n_undeliverable_uplink : int;
+  (* wire-fault losses, one cell per posting shard (hosts + 1): each is
+     only ever touched by the domain running that shard — the same
+     ownership discipline as the outboxes, which is what keeps counted
+     wire drops deterministic under any LAUBERHORN_SHARDS *)
+  n_link_drops : int array;
 }
 
 let base_ip = Net.Ip_addr.to_int (Net.Ip_addr.of_string "10.0.2.1")
@@ -112,6 +117,7 @@ let create ?domains ?sched ?(host_link = default_host_link)
       uplink_ingress = None;
       n_undeliverable;
       n_undeliverable_uplink = 0;
+      n_link_drops = Array.make n 0;
     }
   in
   t_ref := Some t;
@@ -150,6 +156,28 @@ let post_to_master t ~host fn =
   Sim.Shard_engine.post t.shard ~src:host ~dst:t.hosts
     ~at:(Sim.Engine.now t.engines.(host) + t.links.(host).Switch.latency)
     fn
+
+(* The per-pair wire fault seam: [cut] (a pure function of shard ids
+   and time — in practice a Fault.Plan flap/partition schedule compiled
+   by Fault.Rack_chaos) decides, per post, whether the wire eats the
+   message; the fabric counts the loss in the posting shard's own cell
+   before swallowing it, so nothing is silent and nothing is shared. *)
+let set_link_fault t cut =
+  match cut with
+  | None -> Sim.Shard_engine.set_wire_fault t.shard None
+  | Some cut ->
+      Sim.Shard_engine.set_wire_fault t.shard
+        (Some
+           (fun ~src ~dst ~at ->
+             cut ~src ~dst ~at
+             && begin
+                  t.n_link_drops.(src) <- t.n_link_drops.(src) + 1;
+                  true
+                end))
+[@@fault_seam]
+
+let link_drops t = Array.copy t.n_link_drops
+let link_drops_total t = Array.fold_left ( + ) 0 t.n_link_drops
 
 let run t ~until = Sim.Shard_engine.run t.shard ~until
 

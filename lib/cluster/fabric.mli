@@ -85,6 +85,26 @@ val post_to_master : t -> host:int -> (unit -> unit) -> unit
 (** Run a closure on the master shard one host-link latency from now
     (host-shard callers only): probe acks, registrations. *)
 
+val set_link_fault :
+  t -> (src:int -> dst:int -> at:Sim.Units.time -> bool) option -> unit
+(** Arm (or disarm) the rack's wire fault seam on the underlying
+    {!Sim.Shard_engine.set_wire_fault} slot: [cut ~src ~dst ~at]
+    answers whether the [src]→[dst] wire (shard indices; [hosts] is
+    the switch/master shard) eats a message delivered at [at]. Every
+    swallowed post — frame or control closure; they cross the same
+    wires — is counted in the posting shard's {!link_drops} cell,
+    never silent. The predicate must be a pure function of its
+    arguments (a {!Fault.Plan} schedule); [Fault.Rack_chaos] is the
+    intended installer — simlint's [fault-seam] rule flags any other
+    installation inside [lib/]. [None] — the default — keeps the post
+    path at one load-and-branch. *)
+
+val link_drops : t -> int array
+(** Per-posting-shard wire-fault losses ([hosts + 1] cells; the last
+    is the switch/master shard's outbound wires). *)
+
+val link_drops_total : t -> int
+
 val run : t -> until:Sim.Units.time -> unit
 val undeliverable : t -> int
 val windows_run : t -> int

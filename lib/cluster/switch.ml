@@ -30,6 +30,8 @@ type stats = {
   drop_in : int;
   drop_out : int;
   unroutable : int;
+  port_drops : int;
+  partition_drops : int;
 }
 
 (* Observation points for an external tracing plane (e.g. the rack
@@ -76,6 +78,20 @@ type t = {
      load-and-branch on the hot paths *)
   taps : Obs.Pcap.t option array;
   mutable hooks : hooks option;
+  (* fault seams ([Fault.Rack_chaos] is the intended installer); None =
+     disarmed, one load-and-branch on each consulting path. The
+     predicates must be pure functions of simulated time so delivery
+     (and loss) order stays a function of (arrival-time, port). *)
+  mutable wedge :
+    (port:int -> at:Sim.Units.time -> Sim.Units.time option) option;
+  mutable brownout : (at:Sim.Units.time -> Sim.Units.time option) option;
+  mutable partition : (src:int -> dst:int -> at:Sim.Units.time -> bool) option;
+  (* fault-loss counters, registered lazily at arm time so a fault-free
+     switch leaves the metrics snapshot untouched *)
+  mutable c_port_drops : Obs.Metrics.counter option;
+  mutable c_partition_drops : Obs.Metrics.counter option;
+  n_port_drops : int array;
+  n_partitioned : int array;
 }
 
 let create engine ~ports ?(cap_in = 64) ?(cap_out = 64)
@@ -118,23 +134,52 @@ let create engine ~ports ?(cap_in = 64) ?(cap_out = 64)
     n_drop_out = Array.make n 0;
     taps = Array.make n None;
     hooks = None;
+    wedge = None;
+    brownout = None;
+    partition = None;
+    c_port_drops = None;
+    c_partition_drops = None;
+    n_port_drops = Array.make n 0;
+    n_partitioned = Array.make n 0;
   }
 
 let ports t = Array.length t.ports
 let port_conf t p = t.ports.(p)
 
+(* Push a candidate transmit-start time past any wedge (or brownout)
+   window containing it; abutting windows are walked, the [u > start]
+   guard keeps a misbehaving predicate from looping. *)
+let rec past_windows f start =
+  match f ~at:start with
+  | Some u when u > start -> past_windows f u
+  | Some _ | None -> start
+
 (* Egress: claim a slot in [port]'s bounded output queue, serialize
    behind whatever the transmitter is already committed to, deliver at
-   transmit complete. *)
+   transmit complete. A wedged port's transmitter stalls: frames keep
+   claiming slots (and serialize after the wedge lifts), overflow is
+   counted as a port-failure loss, never silent. *)
 let egress_enqueue t ~port frame =
   if t.out_len.(port) >= t.cap_out then begin
-    t.n_drop_out.(port) <- t.n_drop_out.(port) + 1;
-    Obs.Metrics.incr t.c_drop_out
+    match t.wedge with
+    | Some f when f ~port ~at:(Sim.Engine.now t.engine) <> None ->
+        t.n_port_drops.(port) <- t.n_port_drops.(port) + 1;
+        (match t.c_port_drops with
+        | Some c -> Obs.Metrics.incr c
+        | None -> ())
+    | Some _ | None ->
+        t.n_drop_out.(port) <- t.n_drop_out.(port) + 1;
+        Obs.Metrics.incr t.c_drop_out
   end
   else begin
     t.out_len.(port) <- t.out_len.(port) + 1;
     let now = Sim.Engine.now t.engine in
     let start = if t.out_busy.(port) > now then t.out_busy.(port) else now in
+    let start =
+      match t.wedge with
+      | None -> start
+      | Some f -> past_windows (fun ~at -> f ~port ~at) start
+    in
     let finish = start + t.ports.(port).tx in
     t.out_busy.(port) <- finish;
     ignore
@@ -154,12 +199,20 @@ let egress_enqueue t ~port frame =
 (* Crossbar service of one ingress port: forward the head-of-line
    frame after [fwd_delay], then keep going while the queue is
    non-empty. The head stays queued (occupying its slot) until its
-   forwarding completes. *)
+   forwarding completes. A brownout defers the service *start* — a
+   frame whose service began before the stall completes (service is
+   non-preemptible), frames behind it back up in the ingress FIFO and
+   overflow as counted drop_in. A partitioned (src, dst) pair drops
+   the frame at the crossbar with its own counted loss. *)
 let rec kick t p =
   if (not t.busy_in.(p)) && not (Queue.is_empty t.in_q.(p)) then begin
     t.busy_in.(p) <- true;
+    let now = Sim.Engine.now t.engine in
+    let start =
+      match t.brownout with None -> now | Some f -> past_windows f now
+    in
     ignore
-      (Sim.Engine.schedule_after t.engine ~after:t.fwd_delay (fun () ->
+      (Sim.Engine.schedule_at t.engine ~at:(start + t.fwd_delay) (fun () ->
            let frame = Queue.pop t.in_q.(p) in
            let out =
              match t.route frame with
@@ -172,7 +225,15 @@ let rec kick t p =
                  ~time:(Sim.Engine.now t.engine) frame
            | None -> ());
            (match out with
-           | Some o -> egress_enqueue t ~port:o frame
+           | Some o -> (
+               match t.partition with
+               | Some cut when cut ~src:p ~dst:o ~at:(Sim.Engine.now t.engine)
+                 ->
+                   t.n_partitioned.(p) <- t.n_partitioned.(p) + 1;
+                   (match t.c_partition_drops with
+                   | Some c -> Obs.Metrics.incr c
+                   | None -> ())
+               | Some _ | None -> egress_enqueue t ~port:o frame)
            | None -> Obs.Metrics.incr t.c_unroutable);
            t.busy_in.(p) <- false;
            kick t p))
@@ -216,6 +277,8 @@ let ingress t ~port frame =
       (Sim.Engine.schedule_at t.engine ~at:(Sim.Engine.now t.engine) (sweep t))
   end
 
+let opt_value = function Some c -> Obs.Metrics.value c | None -> 0
+
 let stats t =
   {
     ingressed = Obs.Metrics.value t.c_ingressed;
@@ -223,11 +286,15 @@ let stats t =
     drop_in = Obs.Metrics.value t.c_drop_in;
     drop_out = Obs.Metrics.value t.c_drop_out;
     unroutable = Obs.Metrics.value t.c_unroutable;
+    port_drops = opt_value t.c_port_drops;
+    partition_drops = opt_value t.c_partition_drops;
   }
 
 let forwarded t = Array.copy t.n_forwarded
 let dropped_in t = Array.copy t.n_drop_in
 let dropped_out t = Array.copy t.n_drop_out
+let port_dropped t = Array.copy t.n_port_drops
+let partition_dropped t = Array.copy t.n_partitioned
 let metrics t = t.metrics
 
 let tap t ~port writer =
@@ -236,3 +303,24 @@ let tap t ~port writer =
   t.taps.(port) <- Some writer
 
 let set_hooks t h = t.hooks <- h
+
+(* Arm-time counter registration keeps the fault-free metrics snapshot
+   byte-identical to a switch built before these seams existed. *)
+let set_port_wedge t f =
+  (match (f, t.c_port_drops) with
+  | Some _, None ->
+      t.c_port_drops <- Some (Obs.Metrics.counter t.metrics "switch_port_drops")
+  | (Some _ | None), _ -> ());
+  t.wedge <- f
+[@@fault_seam]
+
+let set_brownout t f = t.brownout <- f [@@fault_seam]
+
+let set_partition t f =
+  (match (f, t.c_partition_drops) with
+  | Some _, None ->
+      t.c_partition_drops <-
+        Some (Obs.Metrics.counter t.metrics "switch_partition_drops")
+  | (Some _ | None), _ -> ());
+  t.partition <- f
+[@@fault_seam]

@@ -23,10 +23,11 @@
     order.
 
     {b No silent loss}: every frame that enters is either delivered or
-    counted — ingress-queue overflow, egress-queue overflow, and
-    unroutable frames each have a counter. {!stats} conserves:
+    counted — ingress-queue overflow, egress-queue overflow, unroutable
+    frames, and every fault-induced loss (wedged-port overflow,
+    partition cut) each have a counter. {!stats} conserves:
     [ingressed = delivered + drop_in + drop_out + unroutable +
-    in-flight]. *)
+    port_drops + partition_drops + in-flight]. *)
 
 type port_conf = {
   latency : Sim.Units.duration;
@@ -44,6 +45,10 @@ type stats = {
   drop_in : int;  (** Frames dropped at a full ingress queue. *)
   drop_out : int;  (** Frames dropped at a full egress queue. *)
   unroutable : int;  (** Frames [route] could not map to a port. *)
+  port_drops : int;
+      (** Frames dropped behind a wedged egress port's full queue. *)
+  partition_drops : int;
+      (** Frames cut at the crossbar by an armed partition. *)
 }
 
 type t
@@ -100,6 +105,12 @@ val forwarded : t -> int array
 val dropped_in : t -> int array
 val dropped_out : t -> int array
 
+val port_dropped : t -> int array
+(** Per-egress-port wedged-overflow losses. *)
+
+val partition_dropped : t -> int array
+(** Per-ingress-port partition-cut losses. *)
+
 val metrics : t -> Obs.Metrics.t
 (** The registry behind {!stats} (the one passed to {!create}, or the
     switch's private one). *)
@@ -116,3 +127,40 @@ val set_hooks : t -> hooks option -> unit
     default — costs one load-and-branch per observation site. Arm only
     from a config-gated path (simlint flags unconditional installation
     inside [lib/]). *)
+
+(** {2 Fault seams}
+
+    Deterministic fault injection points, intended to be armed only by
+    [Fault.Rack_chaos] from a {!Fault.Plan} — simlint's [fault-seam]
+    rule flags any other cluster fault-state mutation inside [lib/].
+    Every predicate must be a pure function of its arguments (a plan
+    schedule, never shared mutable state), so delivery and loss order
+    remain a function of [(arrival-time, ingress port)] and chaos runs
+    stay byte-identical across [LAUBERHORN_SHARDS]. [None] — the
+    default for each seam — costs one load-and-branch on its consulting
+    path; with no seam armed the switch's behaviour and its metrics
+    snapshot are byte-identical to the pre-seam model (the fault-loss
+    counters register lazily at arm time). *)
+
+val set_port_wedge :
+  t -> (port:int -> at:Sim.Units.time -> Sim.Units.time option) option -> unit
+(** Egress-port failure: while the predicate answers [Some until] (the
+    first instant the port is free again), [port]'s transmitter is
+    wedged — queued frames serialize only after the wedge lifts, and
+    frames arriving behind a full queue are counted as [port_drops].
+    Arming registers the [switch_port_drops] counter. *)
+
+val set_brownout :
+  t -> (at:Sim.Units.time -> Sim.Units.time option) option -> unit
+(** Whole-switch brownout: while the predicate answers [Some until],
+    crossbar service starts are deferred to [until] (service already
+    begun completes — non-preemptible), so ingress FIFOs back up and
+    overflow as counted [drop_in]. *)
+
+val set_partition :
+  t -> (src:int -> dst:int -> at:Sim.Units.time -> bool) option -> unit
+(** Asymmetric partition cut at the crossbar: a routed frame whose
+    [(ingress port, egress port)] pair the predicate cuts at forward
+    time is dropped and counted as [partition_drops] ([src]→[dst] only;
+    the reverse direction asks the predicate with swapped arguments).
+    Arming registers the [switch_partition_drops] counter. *)

@@ -63,6 +63,9 @@ type rack = {
   mutable alive_at : (int * Sim.Units.time) list;
   mutable steered_at_death : int array;
   mutable steered_at_rereg : int array;
+  chaos : Fault.Rack_chaos.t option; (* armed cluster fault driver (E19) *)
+  leases : Cluster.Control.Worker_lease.t option array;
+      (* per-host master leases, installed only when chaos is armed *)
 }
 
 (* Build N Lauberhorn hosts on a fabric, register them with the master,
@@ -80,9 +83,9 @@ type rack = {
    emission happens on the owning shard (host tracers on host shards,
    the master tracer on master-shard events only), so arming changes no
    timing and breaks no determinism. *)
-let make_rack ?domains ?sched ?obs ~hosts () =
+let make_rack ?domains ?sched ?obs ?fault ?metrics ~hosts () =
   let fabric =
-    Cluster.Fabric.create ?domains ?sched ~host_link ~uplink ~hosts ()
+    Cluster.Fabric.create ?domains ?sched ~host_link ~uplink ?metrics ~hosts ()
   in
   let master = Cluster.Fabric.master_engine fabric in
   let setup = Workload.Scenario.echo_fleet ~n:1 ~handler_time () in
@@ -113,15 +116,29 @@ let make_rack ?domains ?sched ?obs ~hosts () =
         server)
   in
   let rack_ref = ref None in
+  let leases = Array.make hosts None in
   let control =
     Cluster.Control.create master ~hosts ~probe_period
       ~probe:(fun ~host ->
+        (* The epoch rides the probe: the host echoes it back in the
+           ack, so an ack minted against a pre-restart registration is
+           rejected (and counted) instead of resurrecting stale
+           liveness state. *)
+        let ep =
+          match !rack_ref with
+          | Some r -> Some (Cluster.Control.epoch r.control ~host)
+          | None -> None
+        in
         Cluster.Fabric.post_to_host fabric ~host (fun () ->
-            if alive.(host) then
+            if alive.(host) then begin
+              (match leases.(host) with
+              | Some l -> Cluster.Control.Worker_lease.saw_probe l
+              | None -> ());
               Cluster.Fabric.post_to_master fabric ~host (fun () ->
                   match !rack_ref with
-                  | Some r -> Cluster.Control.ack r.control ~host
-                  | None -> ())))
+                  | Some r -> Cluster.Control.ack ?epoch:ep r.control ~host
+                  | None -> ())
+            end))
       ~on_dead:(fun ~host ->
         match !rack_ref with
         | Some r ->
@@ -134,7 +151,7 @@ let make_rack ?domains ?sched ?obs ~hosts () =
             r.alive_at <- (host, Sim.Engine.now master) :: r.alive_at;
             r.steered_at_rereg <- Cluster.Control.steered r.control
         | None -> ())
-      ()
+      ?metrics ()
   in
   (* The tracing plane: passive switch hooks emit the fabric stages of
      every RPC frame onto the master tracer, and the client send path
@@ -210,7 +227,14 @@ let make_rack ?domains ?sched ?obs ~hosts () =
      believes the pinned host is dead (the LB resets the connection).
      The frame is re-addressed to the host's own endpoint, which is
      what the switch routes on. *)
-  let pins : (int64, int) Hashtbl.t = Hashtbl.create 4096 in
+  (* Keyed by the client's continuation slot (the low bits of the
+     rpc_id), which the client recycles when a call completes or is
+     abandoned — so the table is bounded by peak outstanding calls, not
+     total calls issued, and an hours-long soak holds constant memory.
+     The full rpc_id stored alongside disambiguates a recycled slot: a
+     stale entry steers exactly like a missing one. *)
+  let pins : (int, int64 * int) Hashtbl.t = Hashtbl.create 4096 in
+  let pin_key id = Int64.to_int (Int64.logand id 0xF_FFFFL) in
   let send frame =
     match Rpc.Wire_format.decode frame.Net.Frame.payload with
     | Error _ -> ()
@@ -218,21 +242,25 @@ let make_rack ?domains ?sched ?obs ~hosts () =
         let r = match !rack_ref with Some r -> r | None -> assert false in
         let rpc_id = msg.Rpc.Wire_format.rpc_id in
         let target =
-          match Hashtbl.find_opt pins rpc_id with
-          | Some h when Cluster.Control.alive r.control ~host:h -> Some h
-          | Some _ ->
+          match Hashtbl.find_opt pins (pin_key rpc_id) with
+          | Some (id, h)
+            when id = rpc_id && Cluster.Control.alive r.control ~host:h ->
+              Some h
+          | Some (id, _) when id = rpc_id ->
               (* pinned host died: re-steer the retry *)
               let p = Cluster.Control.pick r.control in
               (match p with
               | Some h ->
                   r.resteered <- r.resteered + 1;
-                  Hashtbl.replace pins rpc_id h
+                  Hashtbl.replace pins (pin_key rpc_id) (rpc_id, h)
               | None -> ());
               p
-          | None ->
+          | Some _ | None ->
+              (* first transmission (or a slot recycled from a finished
+                 call, which is the same thing) *)
               let p = Cluster.Control.pick r.control in
               (match p with
-              | Some h -> Hashtbl.replace pins rpc_id h
+              | Some h -> Hashtbl.replace pins (pin_key rpc_id) (rpc_id, h)
               | None -> r.unsteered <- r.unsteered + 1);
               p
         in
@@ -275,7 +303,7 @@ let make_rack ?domains ?sched ?obs ~hosts () =
                  ~src:(Net.Frame.src_endpoint frame)
                  ~dst payload))
   in
-  let client = Harness.Client.create master ~send () in
+  let client = Harness.Client.create master ~send ?metrics () in
   let uplink_rx frame =
     (match obs with
     | None -> ()
@@ -299,6 +327,36 @@ let make_rack ?domains ?sched ?obs ~hosts () =
           | None -> ()))
     servers;
   Cluster.Control.start control;
+  (* Cluster fault domain (E19): compile and install the plan's fault
+     classes, and give every host a master lease — when a master
+     restart wipes the registration table, hosts notice the probe
+     silence and re-register on their own, with no master cooperation.
+     With no cluster faults in the plan nothing is installed and the
+     rack is byte-identical to a fault-free build. *)
+  let chaos =
+    match fault with
+    | Some plan when not (Fault.Plan.cluster_is_none plan.Fault.Plan.cluster)
+      ->
+        Some (Fault.Rack_chaos.arm ~plan ~fabric ~control ?metrics ())
+    | Some _ | None -> None
+  in
+  if chaos <> None then
+    Array.iteri
+      (fun h (_ : Common.server) ->
+        let l =
+          Cluster.Control.Worker_lease.create
+            (Cluster.Fabric.host_engine fabric h)
+            ~timeout:(4 * probe_period)
+            ~re_register:(fun () ->
+              if alive.(h) then
+                Cluster.Fabric.post_to_master fabric ~host:h (fun () ->
+                    match !rack_ref with
+                    | Some r -> Cluster.Control.register r.control ~host:h
+                    | None -> ()))
+        in
+        Cluster.Control.Worker_lease.start l;
+        leases.(h) <- Some l)
+      servers;
   let rack =
     {
       fabric;
@@ -315,6 +373,8 @@ let make_rack ?domains ?sched ?obs ~hosts () =
       alive_at = [];
       steered_at_death = Array.make hosts 0;
       steered_at_rereg = Array.make hosts 0;
+      chaos;
+      leases;
     }
   in
   rack_ref := Some rack;

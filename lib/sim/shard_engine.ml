@@ -78,6 +78,12 @@ type t = {
      runs the shard, with sim-time-deterministic arguments only — the
      callee owns per-shard storage (see Obs.Profiler). *)
   mutable profiler : probe option;
+  (* wire-fault seam; [None] (the default) costs one load-and-branch
+     per post. Consulted by the posting domain, so the predicate must
+     be a pure function of (src, dst, at) — typically a Fault.Plan
+     schedule — and any counting it does must live in per-src storage
+     touched only by the posting domain (the outbox discipline). *)
+  mutable wire_fault : (src:int -> dst:int -> at:Units.time -> bool) option;
 }
 
 let env_domains () =
@@ -114,6 +120,7 @@ let make ?domains ~lookahead ~latency engines =
     window_end = 0;
     stop = false;
     profiler = None;
+    wire_fault = None;
   }
 
 let create ?domains ~lookahead engines =
@@ -150,6 +157,7 @@ let create_matrix ?domains ~latency engines =
 let shards t = Array.length t.engines
 let domains t = t.domains
 let set_profiler t p = t.profiler <- p
+let set_wire_fault t f = t.wire_fault <- f
 let lookahead t = t.lookahead
 let engine t i = t.engines.(i)
 let windows_run t = t.windows
@@ -178,7 +186,15 @@ let post t ~src ~dst ~at fn =
          at src
          (Engine.now t.engines.(src))
          pair_lookahead horizon);
-  t.outbox.(src) <- { at; src; dst; fn } :: t.outbox.(src)
+  (* The wire-fault seam: a cut wire swallows the message *after* the
+     lookahead contract is enforced, so chaos runs still catch model
+     bugs. The hook observes (and may count) the drop; dropping here —
+     before the outbox — keeps faulted posts invisible to the merge
+     order, which is what makes the cut deterministic per shard count. *)
+  let dropped =
+    match t.wire_fault with None -> false | Some f -> f ~src ~dst ~at
+  in
+  if not dropped then t.outbox.(src) <- { at; src; dst; fn } :: t.outbox.(src)
 
 (* Deliver every outboxed message, in an order that is a pure function
    of the simulation state: sort by (delivery time, source shard),

@@ -122,3 +122,20 @@ val set_profiler : t -> probe option -> unit
     callee). Install only from a [Config]-gated (or otherwise
     explicitly armed) path, never unconditionally; simlint enforces
     this within [lib/]. *)
+
+val set_wire_fault :
+  t -> (src:int -> dst:int -> at:Units.time -> bool) option -> unit
+(** Install (or clear) the wire-fault seam: every {!post} consults the
+    predicate — after the lookahead contract is enforced — and a [true]
+    answer swallows the message before it reaches the outbox, modelling
+    a cut inter-shard wire (a flapping link, an asymmetric partition).
+    [None] — the default — costs one load-and-branch per post.
+
+    The predicate runs on the posting domain. To keep runs
+    byte-identical across domain counts it must be a pure function of
+    [(src, dst, at)] — a {!Fault.Plan} schedule, never shared mutable
+    state — and any drop counting must live in per-src storage touched
+    only by the posting domain (the same discipline as the outboxes;
+    [Fault.Rack_chaos] is the intended installer). Install only from a
+    fault-plan-driven seam; simlint's [fault-seam] rule flags anything
+    else within [lib/]. *)

@@ -15,6 +15,7 @@ type rules = {
   hot_path : bool;
   pool : bool;
   obs_gating : bool;
+  fault_seam : bool;
 }
 
 let all_rules =
@@ -24,6 +25,7 @@ let all_rules =
     hot_path = true;
     pool = true;
     obs_gating = true;
+    fault_seam = true;
   }
 
 (* Path classification is purely textual so the linter behaves the same
@@ -41,6 +43,7 @@ let rules_for_path path =
       hot_path = true;
       pool = true;
       obs_gating = false;
+      fault_seam = false;
     }
   else
     let in_lib = has_segment path "lib" in
@@ -53,7 +56,10 @@ let rules_for_path path =
     let obs_gating =
       in_lib && (has_segment path "sim" || has_segment path "cluster")
     in
-    { nondet; poly_compare; hot_path = true; pool = true; obs_gating }
+    (* lib/fault (Rack_chaos) is the sanctioned installer; everything
+       else in lib/ must not touch the cluster fault seams *)
+    let fault_seam = in_lib && not (has_segment path "fault") in
+    { nondet; poly_compare; hot_path = true; pool = true; obs_gating; fault_seam }
 
 (* ---------- AST helpers ---------- *)
 
@@ -92,6 +98,9 @@ type ctx = {
      if/match whose scrutinee consults a Config, plus explicit
      [@obs_gated] marks *)
   mutable obs_gated : (int * int) list;
+  (* [@fault_seam] spans: reviewed cluster-fault plumbing (the seam
+     definitions themselves, and lib/fault's installers) *)
+  mutable fault_seam_ok : (int * int) list;
 }
 
 let in_nondet_ok ctx (loc : Location.t) =
@@ -101,6 +110,10 @@ let in_nondet_ok ctx (loc : Location.t) =
 let in_obs_gated ctx (loc : Location.t) =
   let p = loc.Location.loc_start.Lexing.pos_cnum in
   List.exists (fun (s, e) -> p >= s && p < e) ctx.obs_gated
+
+let in_fault_seam_ok ctx (loc : Location.t) =
+  let p = loc.Location.loc_start.Lexing.pos_cnum in
+  List.exists (fun (s, e) -> p >= s && p < e) ctx.fault_seam_ok
 
 let report ctx ~loc ~rule fmt =
   let pos = loc.Location.loc_start in
@@ -345,6 +358,30 @@ let obs_hook_diagnosis lid =
   else if is_mod_fn lid ~m:"Tracer" ~fn:"enable" then Some "Tracer.enable"
   else None
 
+(* ---------- rule: cluster fault-seam discipline ---------- *)
+
+(* The cluster fault seams: entry points that mutate fault state in
+   the rack machinery. Only lib/fault (the Rack_chaos driver compiling
+   a Fault.Plan) may arm them — a direct call anywhere else in lib/
+   is scripted chaos outside the plan, invisible to the determinism
+   and conservation contracts. The seam definitions themselves (and
+   any reviewed plumbing, like Fabric.set_link_fault forwarding to the
+   shard engine's slot) carry a [@fault_seam] mark. *)
+let fault_seam_diagnosis lid =
+  if is_mod_fn lid ~m:"Switch" ~fn:"set_port_wedge" then
+    Some "Switch.set_port_wedge"
+  else if is_mod_fn lid ~m:"Switch" ~fn:"set_brownout" then
+    Some "Switch.set_brownout"
+  else if is_mod_fn lid ~m:"Switch" ~fn:"set_partition" then
+    Some "Switch.set_partition"
+  else if is_mod_fn lid ~m:"Fabric" ~fn:"set_link_fault" then
+    Some "Fabric.set_link_fault"
+  else if is_mod_fn lid ~m:"Shard_engine" ~fn:"set_wire_fault" then
+    Some "Shard_engine.set_wire_fault"
+  else if is_mod_fn lid ~m:"Control" ~fn:"crash" then Some "Control.crash"
+  else if is_mod_fn lid ~m:"Control" ~fn:"restart" then Some "Control.restart"
+  else None
+
 (* Does the expression consult a [Config] module anywhere (ident or
    record-field access through a Config-qualified label)? *)
 let expr_mentions_config (e : expression) =
@@ -435,6 +472,8 @@ let check_structure ctx (str : structure) =
           in
           if has_attr "obs_gated" e.pexp_attributes then
             ctx.obs_gated <- span () :: ctx.obs_gated;
+          if has_attr "fault_seam" e.pexp_attributes then
+            ctx.fault_seam_ok <- span () :: ctx.fault_seam_ok;
           (match e.pexp_desc with
           | Pexp_ifthenelse (cond, _, _) when expr_mentions_config cond ->
               ctx.obs_gated <- span () :: ctx.obs_gated
@@ -454,6 +493,11 @@ let check_structure ctx (str : structure) =
               ( vb.pvb_loc.Location.loc_start.Lexing.pos_cnum,
                 vb.pvb_loc.Location.loc_end.Lexing.pos_cnum )
               :: ctx.obs_gated;
+          if has_attr "fault_seam" vb.pvb_attributes then
+            ctx.fault_seam_ok <-
+              ( vb.pvb_loc.Location.loc_start.Lexing.pos_cnum,
+                vb.pvb_loc.Location.loc_end.Lexing.pos_cnum )
+              :: ctx.fault_seam_ok;
           Ast_iterator.default_iterator.value_binding it vb);
     }
   in
@@ -471,6 +515,15 @@ let check_structure ctx (str : structure) =
                 "%s arms an observability hook unconditionally; install only \
                  under a Config-consulting branch (or mark the reviewed path \
                  [@obs_gated])"
+                what
+          | Some _ | None -> ());
+        if ctx.rules.fault_seam then (
+          match fault_seam_diagnosis lid with
+          | Some what when not (in_fault_seam_ok ctx loc) ->
+              report ctx ~loc ~rule:"fault-seam"
+                "%s mutates cluster fault state outside lib/fault; compile \
+                 the fault into a Fault.Plan and let Rack_chaos install it \
+                 (or mark reviewed plumbing [@fault_seam])"
                 what
           | Some _ | None -> ());
         (* [x = 0]-style tests against a literal compile to immediate
@@ -541,6 +594,7 @@ let check_source ?rules ~path source =
         exempt = Hashtbl.create 16;
         nondet_ok = [];
         obs_gated = [];
+        fault_seam_ok = [];
       }
     in
     check_structure ctx str;

@@ -1,6 +1,6 @@
 (** Project-law static analysis over the simulator's sources.
 
-    Four rules, applied per-file according to its path:
+    Six rules, applied per-file according to its path:
 
     - {b nondeterminism} (all of [lib/] except [lib/fault]): no ambient
       entropy or wall-clock sources — [Random.*] (the global PRNG and
@@ -34,7 +34,18 @@
       explicitly marked [[@obs_gated]]. The disarmed slots are one
       load-and-branch on hot paths; an unconditional install inside
       the library would falsify the zero-cost-when-off claim for every
-      user. Experiment/bench/test code is exempt. *)
+      user. Experiment/bench/test code is exempt.
+    - {b fault-seam} (all of [lib/] except [lib/fault]): calling a
+      cluster fault seam — [Switch.set_port_wedge] / [set_brownout] /
+      [set_partition], [Fabric.set_link_fault],
+      [Shard_engine.set_wire_fault], [Control.crash] / [restart] — is
+      a finding. Faults belong in a [Fault.Plan] installed by
+      [Fault.Rack_chaos], where they stay pure functions of simulated
+      time; a direct call is scripted chaos outside the plan,
+      invisible to the determinism and conservation contracts.
+      Reviewed plumbing (the seam definitions, forwarding wrappers)
+      carries a [[@fault_seam]] mark. Experiment/bench/test code is
+      exempt. *)
 
 type finding = {
   file : string;
@@ -42,7 +53,7 @@ type finding = {
   col : int;
   rule : string;
       (** [nondeterminism] | [polymorphic-compare] | [hot-path] |
-          [pool-discipline] | [obs-gating] *)
+          [pool-discipline] | [obs-gating] | [fault-seam] *)
   msg : string;
 }
 
@@ -54,6 +65,7 @@ type rules = {
   hot_path : bool;
   pool : bool;
   obs_gating : bool;
+  fault_seam : bool;
 }
 
 val all_rules : rules

@@ -8,7 +8,8 @@ cd "$(dirname "$0")/.."
 dune build
 # Project-law static analysis (lib/simlint): determinism, polymorphic
 # compare, [@hot_path] allocation discipline, pool acquire/release
-# pairing. Zero findings or the build fails.
+# pairing, observability-hook gating, fault-seam containment. Zero
+# findings or the build fails.
 dune build @lint
 dune runtest
 # Chaos determinism: the loss sweep under a fixed seed, twice, must be
@@ -103,4 +104,16 @@ diff "$a" "$b"
 for f in "$ea"/*; do
   diff "$f" "$eb/$(basename "$f")"
 done
+# E19: the chaos soak — every cluster fault class armed at once (link
+# flaps with seeded jitter, port wedges, switch brownouts, asymmetric
+# partitions, a master crash/restart). The soak itself fails the run
+# if call or frame conservation breaks; here two runs must also be
+# byte-identical, sanitized and unsanitized alike, and the report must
+# not move between 1 and 4 domains.
+dune exec bin/figures.exe -- chaossoak > "$a"
+dune exec bin/figures.exe -- chaossoak > "$b"
+diff "$a" "$b"
+LAUBERHORN_SHARDS=1 LAUBERHORN_SANITIZE=1 dune exec bin/figures.exe -- chaossoak > "$a"
+LAUBERHORN_SHARDS=4 LAUBERHORN_SANITIZE=1 dune exec bin/figures.exe -- chaossoak > "$b"
+diff "$a" "$b"
 dune exec bench/main.exe

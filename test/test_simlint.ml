@@ -257,6 +257,51 @@ let test_obs_rule_scoped_to_sim_cluster () =
   checki "not applied in test/" 0
     (count "obs-gating" (lint ~path:"test/t.ml" src))
 
+(* --- cluster fault-seam discipline --------------------------------- *)
+
+let test_seam_direct_call_flagged () =
+  (* Arming a cluster fault seam anywhere in lib/ outside lib/fault is
+     scripted chaos outside the plan. *)
+  let src = "let wedge sw f = Cluster.Switch.set_port_wedge sw (Some f)\n" in
+  checki "flagged in lib/cluster" 1
+    (count "fault-seam" (lint ~path:"lib/cluster/boot.ml" src));
+  checki "flagged in lib/experiments" 1
+    (count "fault-seam" (lint ~path:"lib/experiments/e.ml" src));
+  let src2 = "let cut fb p = Cluster.Fabric.set_link_fault fb (Some p)\n" in
+  checki "set_link_fault flagged" 1
+    (count "fault-seam" (lint ~path:"lib/harness/h.ml" src2))
+
+let test_seam_all_entry_points () =
+  let src =
+    "let chaos sw fb eng ctl f =\n\
+    \  Cluster.Switch.set_port_wedge sw (Some f);\n\
+    \  Cluster.Switch.set_brownout sw None;\n\
+    \  Cluster.Switch.set_partition sw None;\n\
+    \  Cluster.Fabric.set_link_fault fb None;\n\
+    \  Sim.Shard_engine.set_wire_fault eng None;\n\
+    \  Cluster.Control.crash ctl;\n\
+    \  Cluster.Control.restart ctl\n"
+  in
+  checki "all seven seams flagged" 7
+    (count "fault-seam" (lint ~path:"lib/cluster/boot.ml" src))
+
+let test_seam_fault_dir_exempt () =
+  (* lib/fault (Rack_chaos) is the sanctioned installer. *)
+  let src = "let arm sw f = Cluster.Switch.set_partition sw (Some f)\n" in
+  checki "lib/fault exempt" 0
+    (count "fault-seam" (lint ~path:"lib/fault/rack_chaos.ml" src));
+  checki "test/ exempt" 0 (count "fault-seam" (lint ~path:"test/t.ml" src))
+
+let test_seam_attr_escape () =
+  (* Reviewed plumbing — a forwarding wrapper like
+     Fabric.set_link_fault — carries [@fault_seam]. *)
+  let fs =
+    lint ~path:"lib/cluster/fb.ml"
+      "let[@fault_seam] forward eng p = Sim.Shard_engine.set_wire_fault eng p\n\
+       let bad ctl = Cluster.Control.crash ctl\n"
+  in
+  checki "only the unmarked call flagged" 1 (count "fault-seam" fs)
+
 (* --- the repo itself is lint-clean --------------------------------- *)
 
 let test_repo_lib_clean () =
@@ -346,6 +391,13 @@ let () =
           tc "[@obs_gated] escape" test_obs_gated_attr_escape;
           tc "tap and enable flagged" test_obs_tap_and_enable_flagged;
           tc "scoped to lib/sim + lib/cluster" test_obs_rule_scoped_to_sim_cluster;
+        ] );
+      ( "fault-seam",
+        [
+          tc "direct seam call flagged" test_seam_direct_call_flagged;
+          tc "every entry point flagged" test_seam_all_entry_points;
+          tc "lib/fault and test/ exempt" test_seam_fault_dir_exempt;
+          tc "[@fault_seam] escape" test_seam_attr_escape;
         ] );
       ( "repo",
         [
