@@ -337,6 +337,64 @@ let test_modelcheck =
     (Staged.stage (fun () ->
          ignore (Protocheck.Lauberhorn_model.check ~packets:3 ())))
 
+(* The steering tax, per dispatch decision, across the three shipped
+   policies: no program (the NIC's raw RSS indirection lookup — what
+   every packet paid before this subsystem existed), the verified
+   identity program (rss_all: one guard scan, then the same lookup),
+   and key-hash affinity (gather 4 payload bytes, Toeplitz, lane mod —
+   cheaper in wall-clock than the 12-byte 5-tuple hash, though its
+   *simulated* charge is the verified static cost, not this number).
+   The off row is the zero-cost-when-off host baseline. *)
+let steer_frames =
+  Array.init 64 (fun i ->
+      let src = Harness.Traffic.client_endpoint ~idx:(i mod 16) () in
+      let dst = Harness.Traffic.server_endpoint ~port:7000 in
+      let b = Bytes.make 64 'k' in
+      Bytes.set b 21 (Char.chr (i land 0xff));
+      Net.Frame.make ~src ~dst b)
+
+let steer_rss_tbl = Nic.Rss.create ~queues:8 ()
+
+let compiled_steer prog =
+  let env = { Nic.Steer_verify.default_env with queues = 8; workers = 8 } in
+  match Nic.Steer_verify.verify ~env prog with
+  | Ok v ->
+      Nic.Steer.compile
+        ~rss:(Nic.Rss.queue_of_frame steer_rss_tbl)
+        (Nic.Steer_verify.program v)
+  | Error _ -> assert false
+
+let test_steer_off =
+  Test.make ~name:"steering decision x64 (off: raw RSS lookup)"
+    (Staged.stage (fun () ->
+         let acc = ref 0 in
+         for i = 0 to 63 do
+           acc := !acc + Nic.Rss.queue_of_frame steer_rss_tbl steer_frames.(i)
+         done;
+         ignore !acc))
+
+let test_steer_rss_prog =
+  let f = compiled_steer Nic.Steer.rss_all in
+  Test.make ~name:"steering decision x64 (verified rss_all)"
+    (Staged.stage (fun () ->
+         let acc = ref 0 in
+         for i = 0 to 63 do
+           acc := !acc + f steer_frames.(i)
+         done;
+         ignore !acc))
+
+let test_steer_affinity =
+  let f =
+    compiled_steer (Nic.Steer.key_affinity ~key_off:21 ~key_len:4 ~lanes:8 ())
+  in
+  Test.make ~name:"steering decision x64 (verified key_affinity)"
+    (Staged.stage (fun () ->
+         let acc = ref 0 in
+         for i = 0 to 63 do
+           acc := !acc + f steer_frames.(i)
+         done;
+         ignore !acc))
+
 let tests =
   [
     test_event_heap;
@@ -360,6 +418,9 @@ let tests =
     test_span_disabled;
     test_span_enabled;
     test_modelcheck;
+    test_steer_off;
+    test_steer_rss_prog;
+    test_steer_affinity;
   ]
 
 let json_rows : (string * float * float) list ref = ref []

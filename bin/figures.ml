@@ -23,6 +23,7 @@ let sections =
     ("rack", Experiments.Rack.run);
     ("obstrace", Experiments.Obstrace.run);
     ("chaossoak", Experiments.Chaossoak.run);
+    ("steering", Experiments.Steering.run);
   ]
 
 let section_arg =

@@ -178,7 +178,7 @@ let resume_from_spin t p () =
 
 let create engine ~profile ~ncores ?pollers ?kernel_costs
     ?(sw_costs = Costs.default) ?(fault = Fault.Plan.none) ?metrics ?tracer
-    ?sanitize ~services ~egress () =
+    ?sanitize ?steering ~services ~egress () =
   if services = [] then invalid_arg "Bypass_stack.create: no services";
   let npollers = match pollers with Some n -> n | None -> ncores in
   if npollers < 1 || npollers > ncores then
@@ -248,12 +248,24 @@ let create engine ~profile ~ncores ?pollers ?kernel_costs
       Hashtbl.replace t.by_port sspec.port sspec;
       Hashtbl.replace t.port_to_poller sspec.port (i mod npollers))
     services;
-  Nic.Dma_nic.set_steering dnic (fun frame ->
-      match
-        Hashtbl.find_opt t.port_to_poller frame.Net.Frame.udp.Net.Udp.dst_port
-      with
-      | Some q -> q
-      | None -> 0);
+  (match steering with
+  | Some verified ->
+      (* Application-defined receive-side steering: a statically
+         verified program replaces the port→poller flow director. *)
+      Nic.Steer_verify.install ~metrics ~nic:dnic verified
+  | None ->
+      (* Legacy flow director: each service's port to its poller's
+         queue. Predates the verified steering path; raw table write
+         reviewed — total (default queue 0), in-range by construction
+         (poller index mod npollers), zero per-packet cost charged. *)
+      (Nic.Dma_nic.set_steering dnic (fun frame ->
+           match
+             Hashtbl.find_opt t.port_to_poller
+               frame.Net.Frame.udp.Net.Udp.dst_port
+           with
+           | Some q -> q
+           | None -> 0)
+       [@steer_seam]));
   (* Spawn pinned poller threads. *)
   let proc = Osmodel.Kernel.new_process kern ~name:"bypass-app" in
   t.proc <- Some proc;

@@ -25,14 +25,22 @@ val create :
   Sim.Engine.t -> profile:Coherence.Interconnect.profile -> ncores:int ->
   ?pollers:int -> ?kernel_costs:Osmodel.Kernel.costs -> ?sw_costs:Costs.t ->
   ?fault:Fault.Plan.t -> ?metrics:Obs.Metrics.t -> ?tracer:Obs.Tracer.t ->
-  ?sanitize:Sanitize.t ->
+  ?sanitize:Sanitize.t -> ?steering:Nic.Steer_verify.verified ->
   services:service_spec list -> egress:(Net.Frame.t -> unit) -> unit -> t
 (** [pollers] defaults to [ncores]. [fault] (default {!Fault.Plan.none})
     is forwarded to the DMA NIC as in {!Linux_stack.create}, with its
     drop/pool gauges on [metrics]. [tracer] collects the per-RPC stage
     chain poll_rx → app → marshal → tx_dma (summing exactly to the
     measured latency). Services are assigned to pollers round-robin;
-    the assignment is static for the stack's lifetime. *)
+    the assignment is static for the stack's lifetime.
+
+    [steering] replaces the default port→poller flow director with a
+    statically verified application-defined steering program
+    ({!Nic.Steer_verify.install}): its per-packet cost is charged in
+    the NIC pipeline and per-lane counters land on [metrics]. Any
+    poller can serve any service port, so cross-lane steering (e.g.
+    key-hash affinity) trades the rigid static assignment for cache
+    locality. *)
 
 val ingress : t -> Net.Frame.t -> unit
 val kernel : t -> Osmodel.Kernel.t

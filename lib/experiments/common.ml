@@ -53,7 +53,13 @@ let sanitize_env_enabled () =
    disabled; enable it to collect per-RPC stage spans. *)
 let make_server ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)
     ?(linux_threads = 2) ?engine ?(fault = Fault.Plan.none) ?egress ?tap
-    ?metrics ?sanitize flavour setup =
+    ?metrics ?sanitize ?steering flavour setup =
+  (match (steering, flavour) with
+  | Some _, (Lauberhorn _ | Linux _ | Static _) ->
+      invalid_arg
+        "Common.make_server: verified steering programs require the Bypass \
+         flavour (the poll-mode stack where any lane serves any port)"
+  | _ -> ());
   let engine =
     match engine with
     | Some e -> e
@@ -132,7 +138,7 @@ let make_server ?(ncores = 8) ?(min_workers = 1) ?(max_workers = 2)
     | Bypass profile ->
         let s =
           Baseline.Bypass_stack.create engine ~profile ~ncores ~fault ?metrics
-            ?sanitize ~tracer
+            ?sanitize ?steering ~tracer
             ~services:
               (List.mapi
                  (fun i def ->

@@ -1,0 +1,153 @@
+type state = {
+  to_arrive : int;
+  q_worker : int;
+  q_fallback : int;
+  handled : int;
+  nacked : int;
+  stranded : int;
+  worker_alive : bool;
+  mirror_alive : bool;
+  push_in_flight : bool;
+}
+
+type action =
+  | Arrive
+  | Worker_dies
+  | Push_lands
+  | Worker_handles
+  | Fallback_handles
+  | Sweep
+  | Strand
+
+let pp_state fmt s =
+  Format.fprintf fmt
+    "{arr=%d qw=%d qf=%d done=%d nack=%d strand=%d w=%c mirror=%c push=%c}"
+    s.to_arrive s.q_worker s.q_fallback s.handled s.nacked s.stranded
+    (if s.worker_alive then 'A' else 'D')
+    (if s.mirror_alive then 'A' else 'D')
+    (if s.push_in_flight then 'Y' else 'N')
+
+let pp_action fmt = function
+  | Arrive -> Format.pp_print_string fmt "packet arrives at NIC"
+  | Worker_dies -> Format.pp_print_string fmt "pinned worker dies"
+  | Push_lands -> Format.pp_print_string fmt "mirror push lands (NIC learns)"
+  | Worker_handles -> Format.pp_print_string fmt "worker handles packet"
+  | Fallback_handles -> Format.pp_print_string fmt "fallback handles packet"
+  | Sweep -> Format.pp_print_string fmt "dead-pid sweep NACKs stale queue"
+  | Strand -> Format.pp_print_string fmt "dispatch has no target: RPC stranded"
+
+module Model (P : sig
+  val packets : int
+  val with_fallback : bool
+end) =
+struct
+  type nonrec state = state
+  type nonrec action = action
+
+  let initial =
+    [
+      {
+        to_arrive = P.packets;
+        q_worker = 0;
+        q_fallback = 0;
+        handled = 0;
+        nacked = 0;
+        stranded = 0;
+        worker_alive = true;
+        mirror_alive = true;
+        push_in_flight = false;
+      };
+    ]
+
+  let actions s =
+    let out = ref [] in
+    let add a s' = out := (a, s') :: !out in
+    if s.to_arrive > 0 then begin
+      (* The NIC consults its (possibly stale) mirror at dispatch time. *)
+      if s.mirror_alive then
+        add Arrive { s with to_arrive = s.to_arrive - 1; q_worker = s.q_worker + 1 }
+      else if P.with_fallback then
+        add Arrive
+          { s with to_arrive = s.to_arrive - 1; q_fallback = s.q_fallback + 1 }
+      else
+        add Strand { s with to_arrive = s.to_arrive - 1; stranded = s.stranded + 1 }
+    end;
+    if s.worker_alive then begin
+      add Worker_dies { s with worker_alive = false; push_in_flight = true };
+      if s.q_worker > 0 then
+        add Worker_handles { s with q_worker = s.q_worker - 1; handled = s.handled + 1 }
+    end;
+    if s.push_in_flight then
+      add Push_lands { s with push_in_flight = false; mirror_alive = false };
+    (* Once the mirror has converged on the death, the dead-pid sweep
+       NACKs everything that was queued during the stale window — the
+       PR-4 "never silent loss" semantics. *)
+    if (not s.worker_alive) && (not s.mirror_alive) && s.q_worker > 0 then
+      add Sweep { s with q_worker = 0; nacked = s.nacked + s.q_worker };
+    if s.q_fallback > 0 then
+      add Fallback_handles
+        { s with q_fallback = s.q_fallback - 1; handled = s.handled + 1 };
+    !out
+
+  let invariant s =
+    let total =
+      s.to_arrive + s.q_worker + s.q_fallback + s.handled + s.nacked + s.stranded
+    in
+    if total <> P.packets then
+      Error
+        (Format.asprintf "packet conservation broken: %d of %d in %a" total
+           P.packets pp_state s)
+    else if s.stranded > 0 then
+      Error
+        (Format.asprintf
+           "RPC stranded: steering names a dead worker and declares no \
+            fallback (%a)"
+           pp_state s)
+    else Ok ()
+
+  let is_terminal s =
+    s.to_arrive = 0 && s.q_worker = 0 && s.q_fallback = 0
+    && s.handled + s.nacked + s.stranded = P.packets
+
+  let equal (a : state) (b : state) = a = b
+  let hash (s : state) = Hashtbl.hash s
+  let pp_state = pp_state
+  let pp_action = pp_action
+end
+
+type step = { action : action option; state : state }
+
+let check ?(packets = 2) ~with_fallback () =
+  let module M = Model (struct
+    let packets = packets
+    let with_fallback = with_fallback
+  end) in
+  let module C = State_space.Make (M) in
+  match C.check () with
+  | State_space.Ok_verdict st -> State_space.Ok_verdict st
+  | Invariant_violation { message; trace; stats } ->
+      Invariant_violation
+        {
+          message;
+          trace =
+            List.map (fun (s : C.step) -> { action = s.action; state = s.state }) trace;
+          stats;
+        }
+  | Deadlock { trace; stats } ->
+      Deadlock
+        {
+          trace =
+            List.map (fun (s : C.step) -> { action = s.action; state = s.state }) trace;
+          stats;
+        }
+  | State_limit st -> State_limit st
+
+let pp_trace fmt trace =
+  List.iteri
+    (fun i { action; state } ->
+      match action with
+      | None -> Format.fprintf fmt "  %2d. initial        %a@," i pp_state state
+      | Some a ->
+          Format.fprintf fmt "  %2d. %a@,      -> %a@," i pp_action a pp_state
+            state)
+    trace

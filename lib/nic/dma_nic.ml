@@ -38,6 +38,10 @@ type t = {
   mutable fault_dropped : int;  (* forced completion drops (plan.nic.drop) *)
   mutable corrupt_dropped : int;  (* descriptors the driver parse rejected *)
   mutable steering : (Net.Frame.t -> int) option;
+  mutable steering_cost : int;
+      (* statically verified per-packet cost of the installed steering
+         program (ns); 0 when steering is off — the off path charges
+         nothing. *)
 }
 
 let buffer_bytes = 2048
@@ -66,7 +70,8 @@ let rx_frame t frame =
     Coherence.Interconnect.dma_transfer t.prof
       ~bytes:(Net.Frame.wire_size frame)
   in
-  let total = translate_cost + payload_dma + t.cfg.descriptor_write in
+  let steer_cost = match t.steering with Some _ -> t.steering_cost | None -> 0 in
+  let total = steer_cost + translate_cost + payload_dma + t.cfg.descriptor_write in
   ignore
     (Sim.Engine.schedule_after t.engine ~after:total (fun () ->
          (* DMA completion: the wire bytes land in a pooled receive
@@ -152,6 +157,7 @@ let create engine prof ?(config = default_config) ?(fault = Fault.Plan.none)
       fault_dropped = 0;
       corrupt_dropped = 0;
       steering = None;
+      steering_cost = 0;
     }
   in
   sink_ref := (fun f -> rx_frame t f);
@@ -168,7 +174,13 @@ let create engine prof ?(config = default_config) ?(fault = Fault.Plan.none)
 
 let rx_from_wire t frame = Mac.rx t.mac frame
 
-let set_steering t f = t.steering <- Some f
+let set_steering ?(cost = 0) t f =
+  if cost < 0 then invalid_arg "Dma_nic.set_steering: cost < 0";
+  t.steering <- Some f;
+  t.steering_cost <- cost
+
+let rss_queue t frame = Rss.queue_of_frame t.rss frame
+let nqueues t = Array.length t.queues
 let rx_ring t ~queue:q = (queue t q).ring
 
 (* Driver-side receive: parse the oldest descriptor's bytes in place,

@@ -46,10 +46,27 @@ val create :
 val rx_from_wire : t -> Net.Frame.t -> unit
 (** Connect as the wire's deliver callback. *)
 
-val set_steering : t -> (Net.Frame.t -> int) -> unit
+val set_steering : ?cost:int -> t -> (Net.Frame.t -> int) -> unit
 (** Replace RSS with an explicit flow-director function (kernel-bypass
     stacks steer each service's port to its dedicated queue). The
-    result is taken modulo the queue count. *)
+    result is taken modulo the queue count.
+
+    [cost] (default 0) is charged to every received frame's hardware
+    pipeline — {!Steer_verify.install} passes the statically computed
+    per-packet cost of a verified steering program here, so steering
+    shows up in latency attribution. The off path ([steering] never
+    set) charges nothing.
+
+    This is the raw dispatch-table write. Outside [lib/nic] it is
+    confined by the simlint [steer-seam] rule: call sites must either
+    go through {!Steer_verify.install} (the verified path) or carry an
+    explicit [[@steer_seam]] review annotation. *)
+
+val rss_queue : t -> Net.Frame.t -> int
+(** The queue RSS would pick for this frame (the NIC's own indirection
+    table) — the meaning of a steering program's [Rss] target. *)
+
+val nqueues : t -> int
 
 val rx_ring : t -> queue:int -> Net.Slice.t Ring.t
 (** Completed receive descriptors — each a view of the wire bytes DMAed

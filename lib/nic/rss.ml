@@ -38,6 +38,8 @@ let toeplitz_hash ~key data =
   done;
   !acc land 0xffff_ffff
 
+let hash data = toeplitz_hash ~key:default_key data
+
 let hash_flow t ~src_ip ~dst_ip ~src_port ~dst_port =
   let w = Net.Buf.writer 12 in
   Net.Ip_addr.write w src_ip;

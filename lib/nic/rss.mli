@@ -18,6 +18,12 @@ val default_key : string
 val toeplitz_hash : key:string -> bytes -> int
 (** Raw 32-bit Toeplitz hash of the input bytes under the key. *)
 
+val hash : bytes -> int
+(** [hash data] is [toeplitz_hash ~key:default_key data]: the pure,
+    reusable flow hash.  The steering DSL's key-hash primitive
+    ({!Steer}) uses exactly this function, so steering-by-key and RSS
+    provably agree on hash values (QCheck-tested). *)
+
 val hash_flow :
   t -> src_ip:Net.Ip_addr.t -> dst_ip:Net.Ip_addr.t -> src_port:int ->
   dst_port:int -> int

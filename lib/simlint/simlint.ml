@@ -16,6 +16,7 @@ type rules = {
   pool : bool;
   obs_gating : bool;
   fault_seam : bool;
+  steer_seam : bool;
 }
 
 let all_rules =
@@ -26,6 +27,7 @@ let all_rules =
     pool = true;
     obs_gating = true;
     fault_seam = true;
+    steer_seam = true;
   }
 
 (* Path classification is purely textual so the linter behaves the same
@@ -44,6 +46,7 @@ let rules_for_path path =
       pool = true;
       obs_gating = false;
       fault_seam = false;
+      steer_seam = false;
     }
   else
     let in_lib = has_segment path "lib" in
@@ -59,7 +62,18 @@ let rules_for_path path =
     (* lib/fault (Rack_chaos) is the sanctioned installer; everything
        else in lib/ must not touch the cluster fault seams *)
     let fault_seam = in_lib && not (has_segment path "fault") in
-    { nondet; poly_compare; hot_path = true; pool = true; obs_gating; fault_seam }
+    (* lib/nic owns the dispatch table; everywhere else in lib/ the raw
+       write must go through the verified install path *)
+    let steer_seam = in_lib && not (has_segment path "nic") in
+    {
+      nondet;
+      poly_compare;
+      hot_path = true;
+      pool = true;
+      obs_gating;
+      fault_seam;
+      steer_seam;
+    }
 
 (* ---------- AST helpers ---------- *)
 
@@ -101,6 +115,10 @@ type ctx = {
   (* [@fault_seam] spans: reviewed cluster-fault plumbing (the seam
      definitions themselves, and lib/fault's installers) *)
   mutable fault_seam_ok : (int * int) list;
+  (* [@steer_seam] spans: reviewed raw dispatch-table writes outside
+     lib/nic (legacy port→queue plumbing that predates the verified
+     steering path) *)
+  mutable steer_seam_ok : (int * int) list;
 }
 
 let in_nondet_ok ctx (loc : Location.t) =
@@ -114,6 +132,10 @@ let in_obs_gated ctx (loc : Location.t) =
 let in_fault_seam_ok ctx (loc : Location.t) =
   let p = loc.Location.loc_start.Lexing.pos_cnum in
   List.exists (fun (s, e) -> p >= s && p < e) ctx.fault_seam_ok
+
+let in_steer_seam_ok ctx (loc : Location.t) =
+  let p = loc.Location.loc_start.Lexing.pos_cnum in
+  List.exists (fun (s, e) -> p >= s && p < e) ctx.steer_seam_ok
 
 let report ctx ~loc ~rule fmt =
   let pos = loc.Location.loc_start in
@@ -382,6 +404,19 @@ let fault_seam_diagnosis lid =
   else if is_mod_fn lid ~m:"Control" ~fn:"restart" then Some "Control.restart"
   else None
 
+(* ---------- rule: steering-seam discipline ---------- *)
+
+(* [Dma_nic.set_steering] is the raw dispatch-table write. Outside
+   lib/nic a program must be verified first (Steer_verify.verify) and
+   installed through Steer_verify.install, which alone can charge the
+   statically proven per-packet cost; a direct call skips the totality
+   / target-validity / cost proofs. Reviewed legacy plumbing carries a
+   [@steer_seam] mark. *)
+let steer_seam_diagnosis lid =
+  if is_mod_fn lid ~m:"Dma_nic" ~fn:"set_steering" then
+    Some "Dma_nic.set_steering"
+  else None
+
 (* Does the expression consult a [Config] module anywhere (ident or
    record-field access through a Config-qualified label)? *)
 let expr_mentions_config (e : expression) =
@@ -474,6 +509,8 @@ let check_structure ctx (str : structure) =
             ctx.obs_gated <- span () :: ctx.obs_gated;
           if has_attr "fault_seam" e.pexp_attributes then
             ctx.fault_seam_ok <- span () :: ctx.fault_seam_ok;
+          if has_attr "steer_seam" e.pexp_attributes then
+            ctx.steer_seam_ok <- span () :: ctx.steer_seam_ok;
           (match e.pexp_desc with
           | Pexp_ifthenelse (cond, _, _) when expr_mentions_config cond ->
               ctx.obs_gated <- span () :: ctx.obs_gated
@@ -498,6 +535,11 @@ let check_structure ctx (str : structure) =
               ( vb.pvb_loc.Location.loc_start.Lexing.pos_cnum,
                 vb.pvb_loc.Location.loc_end.Lexing.pos_cnum )
               :: ctx.fault_seam_ok;
+          if has_attr "steer_seam" vb.pvb_attributes then
+            ctx.steer_seam_ok <-
+              ( vb.pvb_loc.Location.loc_start.Lexing.pos_cnum,
+                vb.pvb_loc.Location.loc_end.Lexing.pos_cnum )
+              :: ctx.steer_seam_ok;
           Ast_iterator.default_iterator.value_binding it vb);
     }
   in
@@ -524,6 +566,16 @@ let check_structure ctx (str : structure) =
                 "%s mutates cluster fault state outside lib/fault; compile \
                  the fault into a Fault.Plan and let Rack_chaos install it \
                  (or mark reviewed plumbing [@fault_seam])"
+                what
+          | Some _ | None -> ());
+        if ctx.rules.steer_seam then (
+          match steer_seam_diagnosis lid with
+          | Some what when not (in_steer_seam_ok ctx loc) ->
+              report ctx ~loc ~rule:"steer-seam"
+                "%s writes the NIC dispatch table raw, outside lib/nic; \
+                 verify the program (Steer_verify.verify) and install it \
+                 through Steer_verify.install (or mark reviewed legacy \
+                 plumbing [@steer_seam])"
                 what
           | Some _ | None -> ());
         (* [x = 0]-style tests against a literal compile to immediate
@@ -595,6 +647,7 @@ let check_source ?rules ~path source =
         nondet_ok = [];
         obs_gated = [];
         fault_seam_ok = [];
+        steer_seam_ok = [];
       }
     in
     check_structure ctx str;
@@ -624,17 +677,46 @@ let run paths =
   let files = List.rev (List.fold_left walk [] paths) in
   List.concat_map (fun f -> check_file f) files
 
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let finding_to_json f =
+  Printf.sprintf
+    {|{"file":"%s","line":%d,"col":%d,"rule":"%s","msg":"%s"}|}
+    (json_escape f.file) f.line f.col (json_escape f.rule) (json_escape f.msg)
+
 let main () =
+  let args =
+    match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
+  in
+  let json = List.exists (String.equal "--json") args in
   let paths =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as rest) -> rest
-    | _ -> [ "lib" ]
+    match List.filter (fun a -> not (String.equal a "--json")) args with
+    | [] -> [ "lib" ]
+    | rest -> rest
   in
   let findings = run paths in
+  if json then
+    (* Machine-readable findings on stdout; the human lines stay on
+       stderr so both can be captured independently. *)
+    print_endline
+      (Printf.sprintf "[%s]"
+         (String.concat "," (List.map finding_to_json findings)));
   List.iter (fun f -> Format.eprintf "%a@." pp_finding f) findings;
-  match findings with
-  | [] -> ()
-  | fs ->
-      Format.eprintf "simlint: %d finding%s@." (List.length fs)
-        (match fs with [ _ ] -> "" | _ -> "s");
-      exit 1
+  (* Always-printed, greppable summary — CI logs show the count even on
+     a clean run. *)
+  let n = List.length findings in
+  Format.eprintf "simlint: %d finding%s@." n (if n = 1 then "" else "s");
+  if n > 0 then exit 1

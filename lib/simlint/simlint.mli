@@ -1,6 +1,6 @@
 (** Project-law static analysis over the simulator's sources.
 
-    Six rules, applied per-file according to its path:
+    Seven rules, applied per-file according to its path:
 
     - {b nondeterminism} (all of [lib/] except [lib/fault]): no ambient
       entropy or wall-clock sources — [Random.*] (the global PRNG and
@@ -45,7 +45,15 @@
       invisible to the determinism and conservation contracts.
       Reviewed plumbing (the seam definitions, forwarding wrappers)
       carries a [[@fault_seam]] mark. Experiment/bench/test code is
-      exempt. *)
+      exempt.
+    - {b steer-seam} (all of [lib/] except [lib/nic]): calling
+      [Dma_nic.set_steering] — the raw NIC dispatch-table write — is a
+      finding. Steering programs must be statically verified
+      ([Steer_verify.verify]: totality, target validity, bounded cost,
+      determinism) and installed through [Steer_verify.install], which
+      alone charges the proven per-packet cost. Reviewed legacy
+      plumbing (the kernel-bypass port→queue table) carries a
+      [[@steer_seam]] mark. Experiment/bench/test code is exempt. *)
 
 type finding = {
   file : string;
@@ -53,7 +61,8 @@ type finding = {
   col : int;
   rule : string;
       (** [nondeterminism] | [polymorphic-compare] | [hot-path] |
-          [pool-discipline] | [obs-gating] | [fault-seam] *)
+          [pool-discipline] | [obs-gating] | [fault-seam] |
+          [steer-seam] *)
   msg : string;
 }
 
@@ -66,6 +75,7 @@ type rules = {
   pool : bool;
   obs_gating : bool;
   fault_seam : bool;
+  steer_seam : bool;
 }
 
 val all_rules : rules
@@ -89,5 +99,7 @@ val run : string list -> finding list
     linting each with its path-derived rule set. *)
 
 val main : unit -> unit
-(** CLI entry point: lint [Sys.argv] paths, print findings to stderr,
-    exit 1 if any. *)
+(** CLI entry point: lint [Sys.argv] paths, print findings to stderr
+    followed by an always-printed greppable [simlint: N finding(s)]
+    summary, and exit 1 if any. With [--json], additionally print the
+    findings as a JSON array on stdout. *)

@@ -8,9 +8,16 @@ cd "$(dirname "$0")/.."
 dune build
 # Project-law static analysis (lib/simlint): determinism, polymorphic
 # compare, [@hot_path] allocation discipline, pool acquire/release
-# pairing, observability-hook gating, fault-seam containment. Zero
-# findings or the build fails.
+# pairing, observability-hook gating, fault-seam containment,
+# steer-seam confinement. Zero findings or the build fails.
 dune build @lint
+# The machine-readable lint surface: --json must emit a well-formed
+# (here: empty) findings array on stdout alongside the summary line.
+test "$(dune exec bin/simlint_cli.exe -- --json lib 2>/dev/null)" = "[]"
+# Steering programs are build artefacts with proofs: every shipped
+# program must pass the static verifier (totality, target validity,
+# bounded per-packet cost, determinism) before anything installs it.
+dune exec bin/steer_verify.exe
 dune runtest
 # Chaos determinism: the loss sweep under a fixed seed, twice, must be
 # byte-identical — completion-timeline digests included.
@@ -116,4 +123,25 @@ diff "$a" "$b"
 LAUBERHORN_SHARDS=1 LAUBERHORN_SANITIZE=1 dune exec bin/figures.exe -- chaossoak > "$a"
 LAUBERHORN_SHARDS=4 LAUBERHORN_SANITIZE=1 dune exec bin/figures.exe -- chaossoak > "$b"
 diff "$a" "$b"
+# E20: verified application-defined steering — the key-affinity-vs-RSS
+# comparison (with its in-run NIC-counter/reference-evaluator
+# agreement assertion) and the 4-host rack with verified programs on
+# every NIC. Two runs must be byte-identical, and the report must not
+# move between 1 and 4 domains with the sanitizers armed.
+dune exec bin/figures.exe -- steering > "$a"
+dune exec bin/figures.exe -- steering > "$b"
+diff "$a" "$b"
+LAUBERHORN_SHARDS=1 LAUBERHORN_SANITIZE=1 dune exec bin/figures.exe -- steering > "$a"
+LAUBERHORN_SHARDS=4 LAUBERHORN_SANITIZE=1 dune exec bin/figures.exe -- steering > "$b"
+diff "$a" "$b"
+# Steering is opt-in: with no program installed the NIC charges zero
+# and dispatches exactly as before this subsystem existed. Every
+# pre-steering section must be byte-identical to its committed
+# test/baseline snapshot — the executable form of the
+# "off means off" claim.
+for f in test/baseline/*.txt; do
+  sec=$(basename "$f" .txt)
+  dune exec bin/figures.exe -- "$sec" > "$a" 2>/dev/null
+  diff "$f" "$a"
+done
 dune exec bench/main.exe

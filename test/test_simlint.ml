@@ -302,6 +302,37 @@ let test_seam_attr_escape () =
   in
   checki "only the unmarked call flagged" 1 (count "fault-seam" fs)
 
+(* --- steer-seam ---------------------------------------------------- *)
+
+let test_steer_seam_flagged () =
+  (* Raw NIC dispatch-table writes outside lib/nic bypass the static
+     verifier — the whole point of Steer_verify.install. *)
+  let src = "let pin nic = Nic.Dma_nic.set_steering nic (fun _ -> 0)\n" in
+  let fs = lint ~path:"lib/cluster/boot.ml" src in
+  checki "flagged" 1 (count "steer-seam" fs);
+  checkb "names the sanctioned path" true
+    (List.exists
+       (fun f ->
+         String.equal f.Simlint.rule "steer-seam"
+         && String.length f.Simlint.msg > 0)
+       fs)
+
+let test_steer_seam_exemptions () =
+  let src = "let pin nic = Dma_nic.set_steering nic (fun _ -> 0)\n" in
+  checki "lib/nic exempt (owns the seam)" 0
+    (count "steer-seam" (lint ~path:"lib/nic/steer_verify.ml" src));
+  checki "test/ exempt" 0 (count "steer-seam" (lint ~path:"test/t.ml" src));
+  checki "bin/ exempt" 0 (count "steer-seam" (lint ~path:"bin/x.ml" src))
+
+let test_steer_seam_attr_escape () =
+  (* The reviewed legacy port->queue table in the bypass stack. *)
+  let fs =
+    lint ~path:"lib/baseline/bypass.ml"
+      "let legacy nic f = (Nic.Dma_nic.set_steering nic f [@steer_seam])\n\
+       let bad nic f = Nic.Dma_nic.set_steering nic f\n"
+  in
+  checki "only the unmarked call flagged" 1 (count "steer-seam" fs)
+
 (* --- the repo itself is lint-clean --------------------------------- *)
 
 let test_repo_lib_clean () =
@@ -398,6 +429,12 @@ let () =
           tc "every entry point flagged" test_seam_all_entry_points;
           tc "lib/fault and test/ exempt" test_seam_fault_dir_exempt;
           tc "[@fault_seam] escape" test_seam_attr_escape;
+        ] );
+      ( "steer-seam",
+        [
+          tc "raw set_steering flagged" test_steer_seam_flagged;
+          tc "lib/nic, test/, bin/ exempt" test_steer_seam_exemptions;
+          tc "[@steer_seam] escape" test_steer_seam_attr_escape;
         ] );
       ( "repo",
         [
